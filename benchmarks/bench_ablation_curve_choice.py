@@ -1,0 +1,10 @@
+"""Benchmark for the Hilbert-vs-Z ordering ablation inside RSMI."""
+
+
+def test_ablation_curve_choice(run_experiment, repro_profile):
+    result = run_experiment("ablation-curve")
+    assert len(result.rows) == 2
+    curves = result.column("curve")
+    assert set(curves) == {"hilbert", "z"}
+    # both orderings keep window recall usable
+    assert all(recall >= 0.5 for recall in result.column("window_recall"))

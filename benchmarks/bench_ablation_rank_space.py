@@ -1,0 +1,11 @@
+"""Benchmark for the rank-space vs. raw-coordinate ordering ablation."""
+
+
+def test_ablation_rank_space(run_experiment, repro_profile):
+    result = run_experiment("ablation-rank")
+    assert len(result.rows) == 2
+    by_ordering = {row[0]: row for row in result.rows}
+    rank_variance = by_ordering["rank-space"][1]
+    raw_variance = by_ordering["raw-coordinates"][1]
+    # the paper's motivation: rank-space ordering has far more even curve-value gaps
+    assert rank_variance <= raw_variance, (rank_variance, raw_variance)

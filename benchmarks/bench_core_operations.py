@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the core RSMI operations.
+
+Unlike the experiment benchmarks (which regenerate whole paper figures in a
+single round), these measure individual operations — index construction,
+point query, window query, kNN query — with pytest-benchmark's normal
+statistics so regressions in the hot paths are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RSMI, RSMIConfig
+from repro.datasets import dataset_by_name
+from repro.geometry import Rect
+from repro.nn import TrainingConfig
+
+
+N_POINTS = 4_000
+CONFIG = RSMIConfig(
+    block_capacity=25,
+    partition_threshold=500,
+    training=TrainingConfig(epochs=30),
+)
+
+
+@pytest.fixture(scope="module")
+def skewed_points():
+    return dataset_by_name("skewed", N_POINTS, seed=3)
+
+
+@pytest.fixture(scope="module")
+def built_index(skewed_points):
+    return RSMI(CONFIG).build(skewed_points)
+
+
+def test_rsmi_build(benchmark, skewed_points):
+    index = benchmark.pedantic(
+        lambda: RSMI(CONFIG).build(skewed_points), iterations=1, rounds=1, warmup_rounds=0
+    )
+    assert index.n_points == N_POINTS
+
+
+def test_rsmi_point_query(benchmark, built_index, skewed_points):
+    queries = skewed_points[:200]
+
+    def run():
+        return sum(built_index.contains(float(x), float(y)) for x, y in queries)
+
+    found = benchmark(run)
+    assert found == len(queries)
+
+
+def test_rsmi_window_query(benchmark, built_index):
+    window = Rect(0.2, 0.0, 0.4, 0.05)
+    result = benchmark(lambda: built_index.window_query(window))
+    assert result.count >= 0
+
+
+def test_rsmi_knn_query(benchmark, built_index):
+    result = benchmark(lambda: built_index.knn_query(0.35, 0.02, 10))
+    assert result.count == 10
+
+
+def test_rsmi_insert_then_delete(benchmark, built_index):
+    rng = np.random.default_rng(9)
+
+    def run():
+        x, y = rng.random(), rng.random()
+        built_index.insert(x, y)
+        assert built_index.delete(x, y)
+
+    benchmark(run)

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 6 (point query cost vs. data distribution)."""
+
+
+def test_fig6_point_query_distribution(run_experiment, repro_profile):
+    result = run_experiment("fig6")
+    assert result.rows, "no rows produced"
+    for distribution in ("skewed", "osm"):
+        rows = result.rows_where("distribution", distribution)
+        if not rows:
+            continue
+        accesses = {row[1]: row[3] for row in rows}
+        # shape check: RSMI needs no more block accesses than the other learned
+        # index (ZM) on the skewed/clustered data sets.  The paper additionally
+        # reports a 5x-77x gap over the Grid File, but that gap only opens up at
+        # larger data scales (run with --repro-profile small to observe it).
+        assert accesses["RSMI"] <= accesses["ZM"] * 1.15, accesses
+        # every index stays within a small constant number of block reads
+        assert accesses["RSMI"] < 25, accesses

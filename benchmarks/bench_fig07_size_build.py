@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 7 (index size and build time vs. distribution)."""
+
+
+def test_fig7_size_build_distribution(run_experiment, repro_profile):
+    result = run_experiment("fig7")
+    assert result.rows, "no rows produced"
+    for distribution in repro_profile.distributions:
+        rows = result.rows_where("distribution", distribution)
+        sizes = {row[1]: row[2] for row in rows}
+        build_times = {row[1]: row[3] for row in rows}
+        # shape checks from the paper: learned indices are compact, Grid/KDB build fastest
+        assert sizes["RSMI"] <= sizes["RR*"] * 1.5, sizes
+        assert build_times["Grid"] <= build_times["RSMI"], build_times

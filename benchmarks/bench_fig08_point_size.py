@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 8 (point query cost vs. data set size)."""
+
+
+def test_fig8_point_query_size(run_experiment, repro_profile):
+    result = run_experiment("fig8")
+    assert len(result.rows) >= len(repro_profile.size_sweep)
+    # every index keeps answering point queries with >= 1 block access on average
+    assert all(accesses >= 1 for accesses in result.column("block_accesses"))
+    # RSMI stays bounded: its accesses never exceed the worst index by more than 1x
+    for size in repro_profile.size_sweep:
+        rows = result.rows_where("n_points", size)
+        accesses = {row[1]: row[3] for row in rows}
+        assert accesses["RSMI"] <= max(accesses.values()) * 1.0 + 1e-9

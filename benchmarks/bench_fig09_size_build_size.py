@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 9 (index size and build time vs. data set size)."""
+
+
+def test_fig9_size_build_size(run_experiment, repro_profile):
+    result = run_experiment("fig9")
+    assert result.rows, "no rows produced"
+    sizes = repro_profile.size_sweep
+    # index sizes grow with the data set for every structure
+    for index_name in ("RSMI", "Grid", "HRR"):
+        per_size = [
+            result.rows_where("n_points", size) for size in sizes
+        ]
+        series = [
+            {row[1]: row[2] for row in rows}[index_name] for rows in per_size
+        ]
+        assert series[0] <= series[-1] * 1.05, (index_name, series)

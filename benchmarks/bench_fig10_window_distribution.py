@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 10 (window query cost and recall vs. distribution)."""
+
+
+def test_fig10_window_distribution(run_experiment, repro_profile):
+    result = run_experiment("fig10")
+    assert result.rows, "no rows produced"
+    for distribution in repro_profile.distributions:
+        rows = result.rows_where("distribution", distribution)
+        recalls = {row[1]: row[4] for row in rows}
+        # exact indices return the full answer
+        for exact_index in ("Grid", "HRR", "KDB", "RR*", "RSMIa"):
+            assert recalls[exact_index] == 1.0, (distribution, exact_index, recalls)
+        # the approximate learned indices keep a usable recall (paper: > 0.87)
+        assert recalls["RSMI"] >= 0.6, (distribution, recalls)
+        assert recalls["ZM"] >= 0.6, (distribution, recalls)

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Figure 11 (window query cost and recall vs. data set size)."""
+
+
+def test_fig11_window_size(run_experiment, repro_profile):
+    result = run_experiment("fig11")
+    assert result.rows, "no rows produced"
+    for size in repro_profile.size_sweep:
+        rows = result.rows_where("n_points", size)
+        recalls = {row[1]: row[4] for row in rows}
+        assert recalls["RSMIa"] == 1.0
+        assert recalls["RSMI"] >= 0.6, (size, recalls)

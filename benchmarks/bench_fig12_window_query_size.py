@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 12 (window query cost and recall vs. window size)."""
+
+
+def test_fig12_window_query_size(run_experiment, repro_profile):
+    result = run_experiment("fig12")
+    assert result.rows, "no rows produced"
+    # block accesses grow (weakly) with the window size for the exact tree indices
+    fractions = sorted(repro_profile.window_area_fractions)
+    for index_name in ("HRR", "KDB"):
+        series = []
+        for fraction in fractions:
+            rows = result.rows_where("window_area_fraction", fraction)
+            series.append({row[1]: row[3] for row in rows}[index_name])
+        assert series[0] <= series[-1] * 1.5, (index_name, series)
+    # RSMI recall stays usable even at the largest window
+    largest = result.rows_where("window_area_fraction", fractions[-1])
+    recalls = {row[1]: row[4] for row in largest}
+    assert recalls["RSMI"] >= 0.6, recalls

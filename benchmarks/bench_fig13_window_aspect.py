@@ -1,0 +1,11 @@
+"""Benchmark regenerating Figure 13 (window query cost and recall vs. aspect ratio)."""
+
+
+def test_fig13_window_aspect(run_experiment, repro_profile):
+    result = run_experiment("fig13")
+    assert len(result.rows) == len(repro_profile.aspect_ratios) * len(repro_profile.index_names)
+    for ratio in repro_profile.aspect_ratios:
+        rows = result.rows_where("aspect_ratio", ratio)
+        recalls = {row[1]: row[4] for row in rows}
+        assert recalls["RSMIa"] == 1.0
+        assert recalls["RSMI"] >= 0.6, (ratio, recalls)

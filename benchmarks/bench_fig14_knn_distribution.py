@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 14 (kNN query cost and recall vs. distribution)."""
+
+
+def test_fig14_knn_distribution(run_experiment, repro_profile):
+    result = run_experiment("fig14")
+    assert result.rows, "no rows produced"
+    for distribution in repro_profile.distributions:
+        rows = result.rows_where("distribution", distribution)
+        recalls = {row[1]: row[4] for row in rows}
+        # exact best-first kNN answers are perfect
+        for exact_index in ("Grid", "HRR", "KDB", "RR*", "RSMIa"):
+            assert recalls[exact_index] == 1.0, (distribution, exact_index, recalls)
+        # approximate learned answers keep a usable recall (paper: > 0.9)
+        assert recalls["RSMI"] >= 0.6, (distribution, recalls)

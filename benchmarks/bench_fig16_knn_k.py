@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 16 (kNN query cost and recall vs. k)."""
+
+
+def test_fig16_knn_k(run_experiment, repro_profile):
+    result = run_experiment("fig16")
+    assert len(result.rows) == len(repro_profile.k_values) * len(repro_profile.index_names)
+    # block accesses grow (weakly) with k for the exact tree indices
+    k_values = sorted(repro_profile.k_values)
+    for index_name in ("HRR", "RR*"):
+        series = []
+        for k in k_values:
+            rows = result.rows_where("k", k)
+            series.append({row[1]: row[3] for row in rows}[index_name])
+        assert series[0] <= series[-1] * 1.2, (index_name, series)
+    # RSMI keeps a usable recall at the largest k
+    rows = result.rows_where("k", k_values[-1])
+    recalls = {row[1]: row[4] for row in rows}
+    assert recalls["RSMI"] >= 0.6, recalls

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Figure 17 (insertions and point queries after insertions)."""
+
+
+def test_fig17_insertions(run_experiment, repro_profile):
+    result = run_experiment("fig17")
+    assert result.rows, "no rows produced"
+    index_names = {row[1] for row in result.rows}
+    assert "RSMIr" in index_names, "the periodic-rebuild variant must be included"
+    # insertions never break point queries: every index keeps answering them
+    assert all(accesses >= 0 for accesses in result.column("point_query_block_accesses"))
+    assert all(time_us >= 0 for time_us in result.column("insertion_time_us"))

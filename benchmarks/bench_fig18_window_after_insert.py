@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 18 (window queries after insertions)."""
+
+
+def test_fig18_window_after_insert(run_experiment, repro_profile):
+    result = run_experiment("fig18")
+    assert result.rows, "no rows produced"
+    for fraction in repro_profile.update_fractions:
+        rows = result.rows_where("inserted_fraction", fraction)
+        recalls = {row[1]: row[4] for row in rows}
+        # the exact indices remain exact after insertions
+        for exact_index in ("Grid", "HRR", "KDB", "RR*", "RSMIa"):
+            assert recalls[exact_index] == 1.0, (fraction, exact_index, recalls)
+        # RSMI keeps a usable recall after insertions (paper: > 0.875)
+        assert recalls["RSMI"] >= 0.6, (fraction, recalls)

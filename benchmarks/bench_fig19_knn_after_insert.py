@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 19 (kNN queries after insertions)."""
+
+
+def test_fig19_knn_after_insert(run_experiment, repro_profile):
+    result = run_experiment("fig19")
+    assert result.rows, "no rows produced"
+    for fraction in repro_profile.update_fractions:
+        rows = result.rows_where("inserted_fraction", fraction)
+        recalls = {row[1]: row[4] for row in rows}
+        for exact_index in ("Grid", "HRR", "KDB", "RR*", "RSMIa"):
+            assert recalls[exact_index] == 1.0, (fraction, exact_index, recalls)
+        assert recalls["RSMI"] >= 0.6, (fraction, recalls)

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Table 3 (impact of the RSMI partition threshold N)."""
+
+
+def test_table3_partition_threshold(run_experiment, repro_profile):
+    result = run_experiment("table3")
+    assert len(result.rows) == len(repro_profile.threshold_sweep)
+    heights = result.column("height")
+    assert all(height >= 1 for height in heights)
+    # larger N never yields a taller structure
+    assert heights[0] >= heights[-1]
+    # every configuration answers point queries with a bounded number of block reads
+    assert all(accesses >= 1 for accesses in result.column("point_query_block_accesses"))

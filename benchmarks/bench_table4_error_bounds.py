@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table 4 (prediction error bounds of ZM and RSMI)."""
+
+
+def test_table4_error_bounds(run_experiment, repro_profile):
+    result = run_experiment("table4")
+    assert len(result.rows) == 2 * len(repro_profile.distributions)
+    for distribution in repro_profile.distributions:
+        rows = result.rows_where("distribution", distribution)
+        by_index = {row[1]: (row[2], row[3]) for row in rows}
+        zm_total = sum(by_index["ZM"])
+        rsmi_total = sum(by_index["RSMI"])
+        # shape check: RSMI's error bounds are (much) tighter than ZM's
+        assert rsmi_total <= zm_total * 1.2, (distribution, by_index)

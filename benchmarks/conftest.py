@@ -1,0 +1,52 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure at the ``tiny`` scale
+profile (override with ``--repro-profile small``), times the full experiment
+through pytest-benchmark (one round — these are end-to-end experiment runs,
+not micro-benchmarks), prints the regenerated rows and writes them to
+``benchmarks/results/<experiment id>.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import EXPERIMENT_REGISTRY, profile_by_name
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-profile",
+        action="store",
+        default="tiny",
+        choices=("tiny", "small", "paper"),
+        help="scale profile used by the experiment benchmarks (default: tiny)",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_profile(request):
+    return profile_by_name(request.config.getoption("--repro-profile"))
+
+
+@pytest.fixture
+def run_experiment(benchmark, repro_profile):
+    """Run a registered experiment once under pytest-benchmark and persist its table."""
+
+    def runner(experiment_id: str):
+        spec = EXPERIMENT_REGISTRY[experiment_id]
+        result = benchmark.pedantic(
+            lambda: spec.run(repro_profile), iterations=1, rounds=1, warmup_rounds=0
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.to_text()
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+        return result
+
+    return runner

@@ -1,0 +1,39 @@
+"""Reproduction of "Effectively Learning Spatial Indices" (Qi et al., VLDB 2020).
+
+The package implements the Recursive Spatial Model Index (RSMI) — a learned
+index for two-dimensional point data — together with every baseline index the
+paper evaluates against, the substrate libraries (NumPy neural networks,
+space-filling curves, simulated block storage), data-set and query-workload
+generators, and an experiment harness that regenerates every table and figure
+of the paper's evaluation section.
+
+Quick start::
+
+    import numpy as np
+    from repro import RSMI, RSMIConfig, Rect
+    from repro.datasets import generate_uniform
+
+    points = generate_uniform(20_000, seed=7)
+    index = RSMI(RSMIConfig(block_capacity=50, partition_threshold=2_000)).build(points)
+
+    index.contains(*points[0])                     # point query
+    index.window_query(Rect(0.2, 0.2, 0.3, 0.3))   # window query
+    index.knn_query(0.5, 0.5, k=10)                # k nearest neighbours
+"""
+
+from repro.core import RSMI, RSMIConfig, PeriodicRebuilder
+from repro.geometry import Rect
+from repro.storage import AccessStats, Block, BlockStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RSMI",
+    "RSMIConfig",
+    "PeriodicRebuilder",
+    "Rect",
+    "AccessStats",
+    "Block",
+    "BlockStore",
+    "__version__",
+]

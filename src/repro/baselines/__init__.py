@@ -1,0 +1,31 @@
+"""Baseline spatial indices the paper compares RSMI against (Section 6.1).
+
+* :class:`~repro.baselines.zm.ZMIndex` — the Z-order learned model [46],
+  a recursive (RMI-style) learned index over Z-values,
+* :class:`~repro.baselines.grid_file.GridFile` — a static regular grid [33],
+* :class:`~repro.baselines.kdb_tree.KDBTree` — a K-D-B-tree [39],
+* :class:`~repro.baselines.rtree.HRRTree` — the rank-space Hilbert-packed
+  R-tree [37, 38] (bulk-loaded, state-of-the-art window query performance),
+* :class:`~repro.baselines.rtree.RStarTree` — an R*-tree standing in for the
+  revised R*-tree [4] (see DESIGN.md, "Substitutions").
+
+All baselines implement the common
+:class:`~repro.baselines.interface.SpatialIndex` interface so the experiment
+harness can sweep them uniformly.
+"""
+
+from repro.baselines.interface import SpatialIndex
+from repro.baselines.zm import ZMConfig, ZMIndex
+from repro.baselines.grid_file import GridFile
+from repro.baselines.kdb_tree import KDBTree
+from repro.baselines.rtree import HRRTree, RStarTree
+
+__all__ = [
+    "SpatialIndex",
+    "ZMIndex",
+    "ZMConfig",
+    "GridFile",
+    "KDBTree",
+    "HRRTree",
+    "RStarTree",
+]

@@ -1,0 +1,71 @@
+"""Helpers shared by several baseline indices."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.geometry import Rect, euclidean_many
+
+__all__ = ["quantize_to_grid", "expanding_window_knn"]
+
+
+def quantize_to_grid(
+    points: np.ndarray, side: int, data_space: Rect
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map points to integer cell coordinates of a ``side x side`` regular grid."""
+    points = np.asarray(points, dtype=float)
+    width = data_space.width or 1.0
+    height = data_space.height or 1.0
+    xs = np.clip(((points[:, 0] - data_space.xlo) / width * side).astype(np.int64), 0, side - 1)
+    ys = np.clip(((points[:, 1] - data_space.ylo) / height * side).astype(np.int64), 0, side - 1)
+    return xs, ys
+
+
+def expanding_window_knn(
+    window_query: Callable[[Rect], np.ndarray],
+    x: float,
+    y: float,
+    k: int,
+    n_points: int,
+    data_space: Rect,
+    max_expansions: int = 40,
+) -> np.ndarray:
+    """Approximate kNN by repeatedly enlarging a window query (Algorithm 3).
+
+    This is the search-region-expansion strategy the paper applies to indices
+    that have no native kNN algorithm (the ZM baseline, Section 6.2.4).  The
+    skew correction is omitted (``αx = αy = 1``) because the wrapped index has
+    no CDF model; the expansion loop compensates.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    n_points = max(n_points, 1)
+    side = math.sqrt(k / n_points)
+    width = max(side * data_space.width, 1e-9)
+    height = max(side * data_space.height, 1e-9)
+    diagonal = math.hypot(data_space.width, data_space.height) or 1.0
+
+    best_points = np.empty((0, 2), dtype=float)
+    for _ in range(max_expansions):
+        region = Rect.from_center(x, y, width, height)
+        candidates = window_query(region)
+        if candidates.shape[0] >= k:
+            distances = euclidean_many((x, y), candidates)
+            order = np.argsort(distances, kind="stable")
+            best_points = candidates[order[:k]]
+            kth = float(distances[order[k - 1]])
+            if kth <= math.hypot(width, height) / 2.0:
+                return best_points
+            width = height = 2.0 * kth
+        else:
+            if width >= 2 * diagonal and height >= 2 * diagonal:
+                # the whole space has been covered; fewer than k points exist
+                distances = euclidean_many((x, y), candidates) if candidates.size else np.empty(0)
+                order = np.argsort(distances, kind="stable")
+                return candidates[order]
+            width *= 2.0
+            height *= 2.0
+    return best_points

@@ -1,0 +1,84 @@
+"""Common interface implemented by every baseline index.
+
+The experiment harness sweeps heterogeneous indices (learned and
+traditional), so they all expose the same primitive operations with plain
+NumPy return values.  The RSMI itself returns richer result records; the
+harness adapts it through :mod:`repro.evaluation.adapters`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.storage import AccessStats
+
+__all__ = ["SpatialIndex"]
+
+
+class SpatialIndex(abc.ABC):
+    """Abstract base class for the baseline spatial indices."""
+
+    #: short display name used in experiment tables ("Grid", "KDB", ...)
+    name: str = "abstract"
+
+    def __init__(self, stats: Optional[AccessStats] = None):
+        self.stats = stats if stats is not None else AccessStats()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def build(self, points: np.ndarray) -> "SpatialIndex":
+        """Bulk-build the index over an ``(n, 2)`` point array; returns ``self``."""
+
+    # -- queries ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def contains(self, x: float, y: float) -> bool:
+        """True when a point with exactly these coordinates is stored."""
+
+    @abc.abstractmethod
+    def window_query(self, window: Rect) -> np.ndarray:
+        """All stored points inside ``window`` as an ``(m, 2)`` array."""
+
+    @abc.abstractmethod
+    def knn_query(self, x: float, y: float, k: int) -> np.ndarray:
+        """The ``k`` stored points nearest to ``(x, y)``, ordered by distance."""
+
+    # -- updates ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def insert(self, x: float, y: float) -> None:
+        """Insert a new point."""
+
+    @abc.abstractmethod
+    def delete(self, x: float, y: float) -> bool:
+        """Delete a stored point; returns True when a point was removed."""
+
+    # -- accounting ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Approximate index size in bytes (structure plus stored data)."""
+
+    @property
+    @abc.abstractmethod
+    def n_points(self) -> int:
+        """Number of live points currently stored."""
+
+    # -- helpers shared by implementations -------------------------------------------
+
+    @staticmethod
+    def _validate_points(points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError("points must have shape (n, 2)")
+        if points.shape[0] == 0:
+            raise ValueError("cannot build an index over an empty point set")
+        return points
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(points={self.n_points})"

@@ -1,0 +1,20 @@
+"""R-tree family baselines.
+
+* :class:`~repro.baselines.rtree.hrr.HRRTree` — the rank-space Hilbert-packed
+  R-tree of Qi et al. [37, 38], bulk-loaded bottom-up from the same rank-space
+  curve ordering RSMI uses.  It is the paper's strongest traditional baseline
+  for window queries.
+* :class:`~repro.baselines.rtree.rstar.RStarTree` — an R*-tree built by
+  repeated insertion (ChooseSubtree, forced reinsertion, margin-minimising
+  splits), standing in for the revised R*-tree (RR*) of Beckmann & Seeger [4].
+
+Both share the node structure in :mod:`repro.baselines.rtree.node` and the
+generic query algorithms in :mod:`repro.baselines.rtree.queries` (recursive
+window search and the best-first kNN algorithm of Roussopoulos et al. [40]).
+"""
+
+from repro.baselines.rtree.node import RTreeNode
+from repro.baselines.rtree.hrr import HRRTree
+from repro.baselines.rtree.rstar import RStarTree
+
+__all__ = ["RTreeNode", "HRRTree", "RStarTree"]

@@ -1,0 +1,63 @@
+"""Shared R-tree node structure."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry import Rect, mbr_of_points, union_rects
+
+__all__ = ["RTreeNode"]
+
+
+class RTreeNode:
+    """An R-tree node: a leaf holds points, an internal node holds child nodes."""
+
+    __slots__ = ("is_leaf", "points", "children", "mbr")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.points: list[tuple[float, float]] = []
+        self.children: list["RTreeNode"] = []
+        self.mbr: Optional[Rect] = None
+
+    # -- construction helpers -------------------------------------------------------
+
+    @classmethod
+    def leaf_from_points(cls, points: np.ndarray) -> "RTreeNode":
+        node = cls(is_leaf=True)
+        node.points = [(float(x), float(y)) for x, y in np.asarray(points, dtype=float)]
+        node.recompute_mbr()
+        return node
+
+    @classmethod
+    def internal_from_children(cls, children: list["RTreeNode"]) -> "RTreeNode":
+        node = cls(is_leaf=False)
+        node.children = list(children)
+        node.recompute_mbr()
+        return node
+
+    # -- MBR maintenance -------------------------------------------------------------
+
+    def recompute_mbr(self) -> None:
+        if self.is_leaf:
+            self.mbr = (
+                mbr_of_points(np.asarray(self.points, dtype=float)) if self.points else None
+            )
+        else:
+            child_mbrs = [child.mbr for child in self.children if child.mbr is not None]
+            self.mbr = union_rects(child_mbrs) if child_mbrs else None
+
+    def expand_mbr(self, x: float, y: float) -> None:
+        self.mbr = Rect(x, y, x, y) if self.mbr is None else self.mbr.expand_to_point(x, y)
+
+    # -- occupancy ---------------------------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.points) if self.is_leaf else len(self.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"RTreeNode({kind}, entries={self.n_entries})"

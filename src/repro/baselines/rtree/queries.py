@@ -1,0 +1,97 @@
+"""Generic R-tree query algorithms shared by HRR and the R*-tree.
+
+Window queries recursively visit every node whose MBR intersects the query
+window.  kNN queries use the best-first algorithm of Roussopoulos et al. [40]:
+a priority queue ordered by MINDIST interleaves nodes, leaf blocks and points
+so that exactly the necessary nodes are expanded.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.baselines.rtree.node import RTreeNode
+from repro.geometry import Rect, euclidean, mindist_point_rect
+from repro.storage import AccessStats
+
+__all__ = ["rtree_contains", "rtree_window_query", "rtree_knn_query", "rtree_iter_leaves"]
+
+
+def rtree_contains(root: RTreeNode, x: float, y: float, stats: AccessStats) -> bool:
+    """True when a point with these exact coordinates is stored under ``root``."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.mbr is None or not node.mbr.contains_point(x, y):
+            continue
+        if node.is_leaf:
+            stats.record_block_read()
+            if any(px == x and py == y for px, py in node.points):
+                return True
+        else:
+            stats.record_node_read()
+            stack.extend(node.children)
+    return False
+
+
+def rtree_window_query(root: RTreeNode, window: Rect, stats: AccessStats) -> np.ndarray:
+    """All points under ``root`` inside ``window`` (exact)."""
+    found: list[tuple[float, float]] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.mbr is None or not window.intersects(node.mbr):
+            continue
+        if node.is_leaf:
+            stats.record_block_read()
+            found.extend((px, py) for px, py in node.points if window.contains_point(px, py))
+        else:
+            stats.record_node_read()
+            stack.extend(node.children)
+    return np.asarray(found, dtype=float).reshape(-1, 2)
+
+
+def rtree_knn_query(
+    root: RTreeNode, x: float, y: float, k: int, stats: AccessStats
+) -> np.ndarray:
+    """The exact ``k`` nearest stored points, ordered by distance (best-first)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    counter = itertools.count()
+    heap: list[tuple[float, int, str, object]] = [(0.0, next(counter), "node", root)]
+    results: list[tuple[float, float]] = []
+    while heap and len(results) < k:
+        distance, _, kind, payload = heapq.heappop(heap)
+        if kind == "point":
+            results.append(payload)  # type: ignore[arg-type]
+            continue
+        node: RTreeNode = payload  # type: ignore[assignment]
+        if node.mbr is None:
+            continue
+        if node.is_leaf:
+            stats.record_block_read()
+            for px, py in node.points:
+                heapq.heappush(heap, (euclidean(x, y, px, py), next(counter), "point", (px, py)))
+        else:
+            stats.record_node_read()
+            for child in node.children:
+                if child.mbr is None:
+                    continue
+                heapq.heappush(
+                    heap, (mindist_point_rect(x, y, child.mbr), next(counter), "node", child)
+                )
+    return np.asarray(results, dtype=float).reshape(-1, 2)
+
+
+def rtree_iter_leaves(root: RTreeNode):
+    """Yield every leaf node under ``root`` (no access accounting)."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            yield node
+        else:
+            stack.extend(node.children)

@@ -1,0 +1,95 @@
+"""Configuration of the RSMI build."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nn import TrainingConfig
+
+__all__ = ["RSMIConfig"]
+
+
+@dataclass(frozen=True)
+class RSMIConfig:
+    """Build parameters of the Recursive Spatial Model Index.
+
+    Attributes
+    ----------
+    block_capacity:
+        ``B`` — number of points per disk block (paper default 100).
+    partition_threshold:
+        ``N`` — the largest point set a single leaf model handles (paper
+        default 10 000).  Larger partitions are recursively split.
+    curve:
+        Space-filling curve used to order points: ``"hilbert"`` (paper
+        default, better query performance) or ``"z"``.
+    training:
+        Hyper-parameters for training every sub-model MLP.
+    hidden_size:
+        Fixed hidden-layer width.  When ``None`` the paper's rule is used:
+        ``(n_inputs + n_output_classes) / 2`` capped at ``hidden_size_cap``.
+    hidden_size_cap:
+        Upper bound on the hidden width so very large partitions do not blow
+        up the pure-NumPy training time.
+    max_height:
+        Safety bound on the recursion depth; partitions that cannot be split
+        further fall back to (larger) leaf models.
+    knn_delta:
+        ``Δ`` used when estimating the skew parameters αx/αy from the
+        piecewise CDFs (paper uses 0.01).
+    pmf_partitions:
+        ``γ`` — number of pieces of the piecewise mapping function
+        approximating each per-dimension CDF (paper uses 100).
+    knn_max_expansions:
+        Safety bound on the number of search-region expansions of the
+        approximate kNN algorithm.
+    seed:
+        Seed for model-weight initialisation (reproducible builds).
+    """
+
+    block_capacity: int = 100
+    partition_threshold: int = 10_000
+    curve: str = "hilbert"
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    hidden_size: int | None = None
+    hidden_size_cap: int = 64
+    max_height: int = 16
+    knn_delta: float = 0.01
+    pmf_partitions: int = 100
+    knn_max_expansions: int = 40
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block_capacity < 1:
+            raise ValueError("block_capacity must be >= 1")
+        if self.partition_threshold < self.block_capacity:
+            raise ValueError(
+                "partition_threshold must be at least block_capacity "
+                f"({self.partition_threshold} < {self.block_capacity})"
+            )
+        if self.curve.lower() not in ("hilbert", "z", "zcurve", "z-curve", "morton", "h"):
+            raise ValueError(f"unknown curve: {self.curve!r}")
+        if self.hidden_size is not None and self.hidden_size < 1:
+            raise ValueError("hidden_size must be positive when given")
+        if self.hidden_size_cap < 1:
+            raise ValueError("hidden_size_cap must be positive")
+        if self.max_height < 1:
+            raise ValueError("max_height must be >= 1")
+        if self.knn_delta <= 0:
+            raise ValueError("knn_delta must be positive")
+        if self.pmf_partitions < 1:
+            raise ValueError("pmf_partitions must be >= 1")
+        if self.knn_max_expansions < 1:
+            raise ValueError("knn_max_expansions must be >= 1")
+
+    def hidden_width_for(self, n_output_classes: int) -> int:
+        """Hidden-layer width for a sub-model with ``n_output_classes`` outputs.
+
+        Implements the paper's sizing rule (Section 6.1): the hidden layer has
+        ``(#inputs + #output classes) / 2`` neurons, e.g. 51 when the input is
+        two coordinates and there are 100 distinct block ids.
+        """
+        if self.hidden_size is not None:
+            return self.hidden_size
+        width = max(4, (2 + int(n_output_classes)) // 2)
+        return min(width, self.hidden_size_cap)

@@ -1,0 +1,103 @@
+"""Approximate kNN queries on the RSMI (Algorithm 3 of the paper).
+
+The algorithm expands a rectangular search region centred on the query point
+until it provably covers the k nearest neighbours found so far.  The initial
+region size assumes ``k/n`` of the space is needed under a uniform
+distribution and corrects for skew with the parameters ``αx`` and ``αy``
+estimated from piecewise CDF approximations (Equation 6).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+import numpy as np
+
+from repro.core.results import KNNQueryResult
+from repro.core.window import window_block_range
+from repro.geometry import Rect, euclidean, mindist_point_rect
+
+__all__ = ["initial_search_region", "knn_query"]
+
+
+def initial_search_region(index, x: float, y: float, k: int) -> tuple[float, float]:
+    """Width and height of the initial search region (paper Section 4.3)."""
+    n = max(index.n_points, 1)
+    base = math.sqrt(k / n)
+    delta = index.config.knn_delta
+    alpha_x = index.pmf_x.skew_parameter(x, delta) if index.pmf_x is not None else 1.0
+    alpha_y = index.pmf_y.skew_parameter(y, delta) if index.pmf_y is not None else 1.0
+    return alpha_x * base, alpha_y * base
+
+
+def knn_query(index, x: float, y: float, k: int) -> KNNQueryResult:
+    """Algorithm 3: expanding-window approximate kNN search."""
+    index._require_built()
+    if k < 1:
+        raise ValueError("k must be >= 1")
+
+    width, height = initial_search_region(index, x, y, k)
+    width = max(width, 1e-9)
+    height = max(height, 1e-9)
+
+    space = index.data_space()
+    space_diagonal = math.hypot(space.width, space.height) or 1.0
+
+    # sorted list of (distance, px, py); the k-th entry bounds the search
+    best: list[tuple[float, float, float]] = []
+    visited_positions: set[int] = set()
+    blocks_scanned = 0
+    expansions = 0
+
+    def kth_distance() -> float:
+        return best[k - 1][0] if len(best) >= k else float("inf")
+
+    while True:
+        expansions += 1
+        region = Rect.from_center(x, y, width, height)
+        begin, end = window_block_range(index, region)
+
+        for position in range(begin, end + 1):
+            if position in visited_positions:
+                continue
+            visited_positions.add(position)
+            for block in index.store.iter_chain(position):
+                blocks_scanned += 1
+                block_mbr = block.mbr()
+                if block_mbr is None:
+                    continue
+                if len(best) >= k and mindist_point_rect(x, y, block_mbr) >= kth_distance():
+                    continue
+                for px, py in block.iter_points():
+                    distance = euclidean(x, y, px, py)
+                    if len(best) < k or distance < kth_distance():
+                        bisect.insort(best, (distance, px, py))
+
+        covered_everything = begin == 0 and end == index.store.n_base_blocks - 1
+        region_covers_space = width >= space_diagonal * 2 and height >= space_diagonal * 2
+
+        if len(best) < k:
+            if covered_everything and region_covers_space:
+                break  # fewer than k live points exist
+            width *= 2.0
+            height *= 2.0
+        elif kth_distance() > math.hypot(width, height) / 2.0:
+            width = 2.0 * kth_distance()
+            height = 2.0 * kth_distance()
+        else:
+            break
+
+        if expansions >= index.config.knn_max_expansions:
+            break
+
+    top = best[:k]
+    points = np.asarray([(px, py) for _, px, py in top], dtype=float).reshape(-1, 2)
+    distances = np.asarray([d for d, _, _ in top], dtype=float)
+    return KNNQueryResult(
+        points=points,
+        distances=distances,
+        blocks_scanned=blocks_scanned,
+        expansions=expansions,
+        exact=False,
+    )

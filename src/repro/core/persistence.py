@@ -1,0 +1,108 @@
+"""Saving and loading built indices.
+
+Training an RSMI is the expensive part of its life cycle (the paper reports
+hours of construction time at full scale), so a production deployment builds
+the index once and serves queries from the stored artefact.  This module
+provides a small, versioned persistence layer for any of the indices in this
+package (RSMI and the baselines alike): the whole structure — models, blocks,
+error bounds, PMFs — is serialised with :mod:`pickle` inside an envelope that
+records a format version and the creating library version, so stale artefacts
+are rejected with a clear error instead of failing obscurely.
+
+Only load artefacts you created yourself: like any pickle-based format the
+file can execute code when loaded.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = ["IndexArtifact", "save_index", "load_index", "PersistenceError"]
+
+#: bump when the on-disk layout of the envelope changes
+FORMAT_VERSION = 1
+
+_MAGIC = b"RSMIREPRO"
+
+
+class PersistenceError(RuntimeError):
+    """Raised when an artefact cannot be read back."""
+
+
+@dataclass
+class IndexArtifact:
+    """The envelope stored on disk around a serialised index."""
+
+    format_version: int
+    library_version: str
+    index_type: str
+    payload: Any
+
+    def describe(self) -> str:
+        return (
+            f"{self.index_type} artefact (format v{self.format_version}, "
+            f"written by repro {self.library_version})"
+        )
+
+
+def save_index(index: Any, path: str | Path) -> Path:
+    """Serialise a built index to ``path`` and return the path written.
+
+    Works for :class:`~repro.core.rsmi.RSMI` and every baseline index; the
+    object is stored as-is, so anything reachable from it (block store,
+    models, statistics counters) is preserved.
+    """
+    from repro import __version__
+
+    path = Path(path)
+    artifact = IndexArtifact(
+        format_version=FORMAT_VERSION,
+        library_version=__version__,
+        index_type=type(index).__name__,
+        payload=index,
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as handle:
+        handle.write(_MAGIC)
+        pickle.dump(artifact, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_index(path: str | Path, expected_type: type | None = None) -> Any:
+    """Load an index previously written by :func:`save_index`.
+
+    Parameters
+    ----------
+    path:
+        File written by :func:`save_index`.
+    expected_type:
+        When given, the loaded index must be an instance of this type;
+        otherwise a :class:`PersistenceError` is raised.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no such artefact: {path}")
+    with path.open("rb") as handle:
+        magic = handle.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise PersistenceError(f"{path} is not a repro index artefact")
+        try:
+            artifact: IndexArtifact = pickle.load(handle)
+        except Exception as exc:  # pragma: no cover - corrupt file path
+            raise PersistenceError(f"failed to unpickle {path}: {exc}") from exc
+    if not isinstance(artifact, IndexArtifact):
+        raise PersistenceError(f"{path} does not contain an IndexArtifact envelope")
+    if artifact.format_version != FORMAT_VERSION:
+        raise PersistenceError(
+            f"{path} uses format v{artifact.format_version}, "
+            f"this library reads v{FORMAT_VERSION}"
+        )
+    index = artifact.payload
+    if expected_type is not None and not isinstance(index, expected_type):
+        raise PersistenceError(
+            f"{path} holds a {artifact.index_type}, expected {expected_type.__name__}"
+        )
+    return index

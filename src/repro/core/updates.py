@@ -1,0 +1,105 @@
+"""Update handling for the RSMI (paper Section 5) and the RSMIr rebuild policy.
+
+Insertions route the new point to its leaf model exactly like a point query.
+The point goes into the predicted block (or its overflow chain) if there is
+room; otherwise a new overflow block is linked right after the chain.  Because
+overflow blocks never shift the curve-order positions of base blocks, the
+learned error bounds stay valid and query correctness for previously indexed
+points is unaffected.  MBRs along the routing path are expanded so the exact
+(RSMIa) query variants keep finding inserted points.
+
+Deletions locate the point with a point query and flag its slot as deleted;
+blocks are never removed, which also preserves the error bounds.
+"""
+
+from __future__ import annotations
+
+__all__ = ["insert_point", "delete_point", "PeriodicRebuilder"]
+
+
+def insert_point(index, x: float, y: float) -> None:
+    """Insert ``(x, y)`` into ``index`` (an :class:`~repro.core.rsmi.RSMI`)."""
+    index._require_built()
+    leaf, _, path = index.route_to_leaf(x, y)
+
+    # expand MBRs along the path so RSMIa queries keep seeing the new point
+    for node in path:
+        node.mbr = node.mbr.expand_to_point(x, y) if node.mbr is not None else None
+    leaf.mbr = leaf.mbr.expand_to_point(x, y)
+
+    position = index.store.clamp_position(leaf.predict_position(x, y))
+    local_offset = position - leaf.first_position
+    if 0 <= local_offset < len(leaf.block_mbrs):
+        leaf.block_mbrs[local_offset] = leaf.block_mbrs[local_offset].expand_to_point(x, y)
+
+    target = None
+    last_block = None
+    for block in index.store.iter_chain(position):
+        last_block = block
+        if not block.is_full:
+            target = block
+            break
+    if target is None:
+        target = index.store.allocate_overflow(last_block.block_id)
+    target.append(x, y)
+    index.stats.record_block_write()
+
+    leaf.n_inserted += 1
+    index._n_points += 1
+
+
+def delete_point(index, x: float, y: float) -> bool:
+    """Delete the stored point equal to ``(x, y)``; returns True on success."""
+    index._require_built()
+    result = index.point_query(x, y)
+    if not result.found or result.block_id is None:
+        return False
+    block = index.store.peek(result.block_id)
+    removed = block.delete(x, y)
+    if removed:
+        index.stats.record_block_write()
+        index._n_points -= 1
+    return removed
+
+
+class PeriodicRebuilder:
+    """The RSMIr policy: rebuild the index after a fraction of insertions.
+
+    The paper's RSMIr rebuilds the sub-models whose partitions exceeded the
+    partition threshold after every ``10% * n`` insertions.  This wrapper
+    applies the same trigger; the rebuild itself re-runs the bulk build over
+    all live points, which subsumes the per-sub-model rebuild (every oversized
+    sub-model is re-learned) at the cost of also re-learning the others.  The
+    amortised insertion cost it reports is therefore an upper bound on the
+    paper's variant.
+    """
+
+    def __init__(self, index, rebuild_fraction: float = 0.10):
+        if rebuild_fraction <= 0:
+            raise ValueError("rebuild_fraction must be positive")
+        self.index = index
+        self.rebuild_fraction = float(rebuild_fraction)
+        self._base_size = index.n_points
+        self._inserted_since_rebuild = 0
+        self.n_rebuilds = 0
+
+    def insert(self, x: float, y: float) -> bool:
+        """Insert a point; returns True when the insertion triggered a rebuild."""
+        self.index.insert(x, y)
+        self._inserted_since_rebuild += 1
+        threshold = max(1, int(self.rebuild_fraction * max(self._base_size, 1)))
+        if self._inserted_since_rebuild >= threshold:
+            self.rebuild()
+            return True
+        return False
+
+    def rebuild(self) -> None:
+        """Force a rebuild from the currently stored live points."""
+        self.index.rebuild()
+        self._base_size = self.index.n_points
+        self._inserted_since_rebuild = 0
+        self.n_rebuilds += 1
+
+    def __getattr__(self, item):
+        # delegate queries (contains, window_query, ...) to the wrapped index
+        return getattr(self.index, item)

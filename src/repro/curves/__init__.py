@@ -1,0 +1,21 @@
+"""Space-filling curves (SFCs).
+
+The paper orders points by mapping their (rank-space) grid coordinates to
+one-dimensional curve values with an SFC (Section 3.1).  Two curves are
+supported, matching the paper:
+
+* :class:`~repro.curves.zcurve.ZCurve` — the Z-curve (Morton order) obtained
+  by interleaving the bits of the two coordinates,
+* :class:`~repro.curves.hilbert.HilbertCurve` — the Hilbert curve, which the
+  paper reports as giving better query performance for RSMI.
+
+Both expose the same interface: ``encode(x, y) -> value`` and
+``decode(value) -> (x, y)`` over a ``2**order x 2**order`` grid, plus
+vectorised ``encode_many`` over NumPy arrays.
+"""
+
+from repro.curves.base import SpaceFillingCurve, curve_by_name
+from repro.curves.zcurve import ZCurve
+from repro.curves.hilbert import HilbertCurve
+
+__all__ = ["SpaceFillingCurve", "ZCurve", "HilbertCurve", "curve_by_name"]

@@ -1,0 +1,110 @@
+"""Common interface for two-dimensional space-filling curves."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["SpaceFillingCurve", "curve_by_name"]
+
+
+class SpaceFillingCurve(abc.ABC):
+    """A bijection between a ``2**order x 2**order`` grid and ``[0, 4**order)``.
+
+    Subclasses implement :meth:`encode` (cell coordinates to curve value) and
+    :meth:`decode` (curve value back to cell coordinates).  The vectorised
+    :meth:`encode_many` has a generic NumPy implementation that subclasses may
+    override for speed.
+    """
+
+    #: short name used in configuration ("hilbert" / "z")
+    name: str = "abstract"
+
+    def __init__(self, order: int):
+        if order < 1:
+            raise ValueError(f"curve order must be >= 1, got {order}")
+        if order > 31:
+            raise ValueError(f"curve order too large for 64-bit curve values: {order}")
+        self.order = int(order)
+        #: number of cells along each axis
+        self.side = 1 << self.order
+        #: total number of cells (and distinct curve values)
+        self.n_cells = self.side * self.side
+
+    # -- abstract API ------------------------------------------------------
+
+    @abc.abstractmethod
+    def encode(self, x: int, y: int) -> int:
+        """Curve value of grid cell ``(x, y)``, both in ``[0, side)``."""
+
+    @abc.abstractmethod
+    def decode(self, value: int) -> tuple[int, int]:
+        """Grid cell ``(x, y)`` of curve value ``value`` in ``[0, n_cells)``."""
+
+    # -- vectorised helpers -------------------------------------------------
+
+    def encode_many(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Curve values for parallel arrays of cell coordinates."""
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        if xs.shape != ys.shape:
+            raise ValueError("xs and ys must have the same shape")
+        self._check_bounds(xs, ys)
+        out = np.empty(xs.shape, dtype=np.int64)
+        flat_x = xs.ravel()
+        flat_y = ys.ravel()
+        flat_out = out.ravel()
+        for i in range(flat_x.size):
+            flat_out[i] = self.encode(int(flat_x[i]), int(flat_y[i]))
+        return out
+
+    def decode_many(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Cell coordinates for an array of curve values."""
+        values = np.asarray(values, dtype=np.int64)
+        xs = np.empty(values.shape, dtype=np.int64)
+        ys = np.empty(values.shape, dtype=np.int64)
+        flat_v = values.ravel()
+        flat_x = xs.ravel()
+        flat_y = ys.ravel()
+        for i in range(flat_v.size):
+            x, y = self.decode(int(flat_v[i]))
+            flat_x[i] = x
+            flat_y[i] = y
+        return xs, ys
+
+    # -- validation ---------------------------------------------------------
+
+    def _check_cell(self, x: int, y: int) -> None:
+        if not (0 <= x < self.side and 0 <= y < self.side):
+            raise ValueError(
+                f"cell ({x}, {y}) outside the {self.side}x{self.side} grid of order {self.order}"
+            )
+
+    def _check_value(self, value: int) -> None:
+        if not 0 <= value < self.n_cells:
+            raise ValueError(f"curve value {value} outside [0, {self.n_cells})")
+
+    def _check_bounds(self, xs: np.ndarray, ys: np.ndarray) -> None:
+        if xs.size == 0:
+            return
+        if xs.min() < 0 or ys.min() < 0 or xs.max() >= self.side or ys.max() >= self.side:
+            raise ValueError(
+                f"cell coordinates outside the {self.side}x{self.side} grid of order {self.order}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(order={self.order})"
+
+
+def curve_by_name(name: str, order: int) -> SpaceFillingCurve:
+    """Instantiate a curve from its configuration name (``"hilbert"`` or ``"z"``)."""
+    from repro.curves.hilbert import HilbertCurve
+    from repro.curves.zcurve import ZCurve
+
+    normalized = name.strip().lower()
+    if normalized in ("hilbert", "h"):
+        return HilbertCurve(order)
+    if normalized in ("z", "zcurve", "z-curve", "morton"):
+        return ZCurve(order)
+    raise ValueError(f"unknown space-filling curve: {name!r}")

@@ -1,0 +1,80 @@
+"""Z-curve (Morton order).
+
+The Z-value of a cell is obtained by interleaving the bits of its x and y
+coordinates (x bits occupy the even positions, y bits the odd positions).
+This is the ordering used by the ZM baseline [46] and one of the two
+orderings supported inside RSMI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve
+
+__all__ = ["ZCurve", "interleave_bits", "deinterleave_bits"]
+
+
+def _part1by1(value: np.ndarray | int) -> np.ndarray | int:
+    """Spread the lower 32 bits of ``value`` so that a zero sits between each bit."""
+    v = np.array(value, dtype=np.uint64, copy=True)
+    v &= np.uint64(0x00000000FFFFFFFF)
+    v = (v | (v << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0x00FF00FF00FF00FF)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x3333333333333333)
+    v = (v | (v << np.uint64(1))) & np.uint64(0x5555555555555555)
+    return v
+
+
+def _compact1by1(value: np.ndarray | int) -> np.ndarray | int:
+    """Inverse of :func:`_part1by1`: collect the even-position bits."""
+    v = np.array(value, dtype=np.uint64, copy=True)
+    v &= np.uint64(0x5555555555555555)
+    v = (v | (v >> np.uint64(1))) & np.uint64(0x3333333333333333)
+    v = (v | (v >> np.uint64(2))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    v = (v | (v >> np.uint64(4))) & np.uint64(0x00FF00FF00FF00FF)
+    v = (v | (v >> np.uint64(8))) & np.uint64(0x0000FFFF0000FFFF)
+    v = (v | (v >> np.uint64(16))) & np.uint64(0x00000000FFFFFFFF)
+    return v
+
+
+def interleave_bits(x: int, y: int) -> int:
+    """Morton code of ``(x, y)``: x bits in even positions, y bits in odd positions."""
+    return int(_part1by1(x)) | (int(_part1by1(y)) << 1)
+
+
+def deinterleave_bits(code: int) -> tuple[int, int]:
+    """Invert :func:`interleave_bits`."""
+    x = int(_compact1by1(np.uint64(code)))
+    y = int(_compact1by1(np.uint64(code) >> np.uint64(1)))
+    return x, y
+
+
+class ZCurve(SpaceFillingCurve):
+    """Z-curve over a ``2**order x 2**order`` grid."""
+
+    name = "z"
+
+    def encode(self, x: int, y: int) -> int:
+        self._check_cell(x, y)
+        return interleave_bits(x, y)
+
+    def decode(self, value: int) -> tuple[int, int]:
+        self._check_value(value)
+        return deinterleave_bits(value)
+
+    def encode_many(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        if xs.shape != ys.shape:
+            raise ValueError("xs and ys must have the same shape")
+        self._check_bounds(xs, ys)
+        codes = _part1by1(xs.astype(np.uint64)) | (_part1by1(ys.astype(np.uint64)) << np.uint64(1))
+        return codes.astype(np.int64)
+
+    def decode_many(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        values = np.asarray(values, dtype=np.uint64)
+        xs = _compact1by1(values)
+        ys = _compact1by1(values >> np.uint64(1))
+        return xs.astype(np.int64), ys.astype(np.int64)

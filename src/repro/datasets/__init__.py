@@ -1,0 +1,28 @@
+"""Data-set generators used by the evaluation (paper Section 6.1).
+
+The paper evaluates on two real data sets (Tiger, OSM) and three families of
+synthetic data (Uniform, Normal, Skewed).  The real data is not available
+offline, so :mod:`repro.datasets.real_like` provides clustered surrogates that
+reproduce the skew characteristics driving the reported effects (see
+DESIGN.md, "Substitutions").  All generators return ``(n, 2)`` float arrays
+inside the unit square and are deterministic given a seed.
+"""
+
+from repro.datasets.synthetic import (
+    generate_normal,
+    generate_skewed,
+    generate_uniform,
+)
+from repro.datasets.real_like import generate_osm_like, generate_tiger_like
+from repro.datasets.registry import DATASET_GENERATORS, dataset_by_name, deduplicate_points
+
+__all__ = [
+    "generate_uniform",
+    "generate_normal",
+    "generate_skewed",
+    "generate_tiger_like",
+    "generate_osm_like",
+    "dataset_by_name",
+    "deduplicate_points",
+    "DATASET_GENERATORS",
+]

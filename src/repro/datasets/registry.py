@@ -1,0 +1,75 @@
+"""Name-based access to the data-set generators used by the experiments."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.real_like import generate_osm_like, generate_tiger_like
+from repro.datasets.synthetic import generate_normal, generate_skewed, generate_uniform
+
+__all__ = ["DATASET_GENERATORS", "dataset_by_name", "deduplicate_points"]
+
+#: The five distributions of the paper's evaluation (Table 2 / Section 6.1).
+DATASET_GENERATORS: dict[str, Callable[..., np.ndarray]] = {
+    "uniform": generate_uniform,
+    "normal": generate_normal,
+    "skewed": generate_skewed,
+    "tiger": generate_tiger_like,
+    "osm": generate_osm_like,
+}
+
+
+def dataset_by_name(name: str, n: int, seed: int = 0, unique: bool = True) -> np.ndarray:
+    """Generate ``n`` points of the named distribution.
+
+    When ``unique`` is True duplicate coordinate pairs are removed and
+    replaced (the paper assumes no two points share both coordinates,
+    Section 3.1), so the returned array always has exactly ``n`` rows of
+    distinct points.
+    """
+    normalized = name.strip().lower()
+    aliases = {
+        "uni": "uniform",
+        "uni.": "uniform",
+        "nor": "normal",
+        "nor.": "normal",
+        "ske": "skewed",
+        "ske.": "skewed",
+        "tig": "tiger",
+        "tig.": "tiger",
+        "osm.": "osm",
+    }
+    normalized = aliases.get(normalized, normalized)
+    if normalized not in DATASET_GENERATORS:
+        raise ValueError(
+            f"unknown data set {name!r}; available: {sorted(DATASET_GENERATORS)}"
+        )
+    generator = DATASET_GENERATORS[normalized]
+    points = generator(n, seed=seed)
+    if unique:
+        points = deduplicate_points(points, generator, n, seed)
+    return points
+
+
+def deduplicate_points(
+    points: np.ndarray,
+    generator: Callable[..., np.ndarray],
+    n: int,
+    seed: int,
+    max_rounds: int = 8,
+) -> np.ndarray:
+    """Ensure exactly ``n`` distinct points by topping up with fresh draws."""
+    unique = np.unique(np.asarray(points, dtype=float), axis=0)
+    round_number = 1
+    while unique.shape[0] < n and round_number <= max_rounds:
+        extra = generator(n, seed=seed + 1000 * round_number)
+        unique = np.unique(np.vstack([unique, extra]), axis=0)
+        round_number += 1
+    if unique.shape[0] < n:
+        raise RuntimeError(f"could not generate {n} distinct points")
+    # shuffle deterministically so truncation does not bias toward sorted order
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(unique.shape[0])
+    return unique[order][:n]

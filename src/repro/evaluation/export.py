@@ -1,0 +1,70 @@
+"""Exporting experiment results to CSV and JSON.
+
+The benchmark harness prints aligned text tables; downstream analysis
+(plotting the figures, diffing runs) is easier from machine-readable files.
+These helpers write any :class:`~repro.experiments.base.ExperimentResult` (or
+a plain header+rows pair) to CSV or JSON, and can dump a whole collection of
+results into a directory in one call.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["write_csv", "write_json", "export_results"]
+
+
+def write_csv(path: str | Path, header: Sequence[str], rows: Iterable[Sequence]) -> Path:
+    """Write ``rows`` under ``header`` as a CSV file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(header))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def write_json(path: str | Path, result) -> Path:
+    """Write an ExperimentResult-like object as JSON (header, rows, notes, metadata)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "experiment_id": getattr(result, "experiment_id", None),
+        "title": getattr(result, "title", None),
+        "paper_reference": getattr(result, "paper_reference", None),
+        "header": list(result.header),
+        "rows": [list(row) for row in result.rows],
+        "notes": list(getattr(result, "notes", [])),
+    }
+    path.write_text(json.dumps(document, indent=2, default=_jsonify), encoding="utf-8")
+    return path
+
+
+def export_results(results: Iterable, directory: str | Path, formats: Sequence[str] = ("csv", "json")) -> list[Path]:
+    """Export several experiment results into ``directory``.
+
+    One file per result and format is written, named after the experiment id.
+    Returns the list of paths written.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for result in results:
+        experiment_id = getattr(result, "experiment_id", "experiment")
+        if "csv" in formats:
+            written.append(write_csv(directory / f"{experiment_id}.csv", result.header, result.rows))
+        if "json" in formats:
+            written.append(write_json(directory / f"{experiment_id}.json", result))
+    return written
+
+
+def _jsonify(value):
+    """Fallback serialiser for NumPy scalars and other non-JSON-native values."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)

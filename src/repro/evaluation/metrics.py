@@ -1,0 +1,46 @@
+"""Accuracy metrics: window recall and kNN recall.
+
+The paper reports *recall* for the approximate learned-index answers: for
+window queries the fraction of true result points returned (there are never
+false positives), for kNN queries the fraction of true k nearest neighbours
+returned (equal to precision since both sets have size k), see
+Sections 6.2.3–6.2.4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["window_recall", "knn_recall", "points_to_set"]
+
+
+def points_to_set(points: np.ndarray, decimals: int = 12) -> set[tuple[float, float]]:
+    """A hashable set of (rounded) coordinate pairs for set-based comparison."""
+    points = np.asarray(points, dtype=float).reshape(-1, 2)
+    rounded = np.round(points, decimals)
+    return {(float(x), float(y)) for x, y in rounded}
+
+
+def window_recall(reported: np.ndarray, ground_truth: np.ndarray) -> float:
+    """Fraction of the true window result that was reported.
+
+    An empty ground truth yields recall 1.0 (there was nothing to find).
+    """
+    truth = points_to_set(ground_truth)
+    if not truth:
+        return 1.0
+    found = points_to_set(reported)
+    return len(found & truth) / len(truth)
+
+
+def knn_recall(reported: np.ndarray, ground_truth: np.ndarray) -> float:
+    """Fraction of the true k nearest neighbours that was reported.
+
+    Ties at the k-th distance are treated generously: a reported point counts
+    as correct if it appears in the ground-truth set.
+    """
+    truth = points_to_set(ground_truth)
+    if not truth:
+        return 1.0
+    found = points_to_set(reported)
+    return len(found & truth) / len(truth)

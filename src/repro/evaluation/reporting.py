@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment produces a header and a list of rows; :func:`format_table`
+renders them as an aligned monospace table so the benchmark harness can print
+the same rows/series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Human-readable cell formatting (floats trimmed, None blank)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    header: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render ``rows`` under ``header`` as an aligned text table."""
+    rendered_rows = [[format_value(cell, precision) for cell in row] for row in rows]
+    widths = [len(str(column)) for column in header]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [str(cell).ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|" + "|".join("-" * (width + 2) for width in widths) + "|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(column) for column in header]))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)

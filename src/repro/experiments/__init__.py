@@ -1,0 +1,50 @@
+"""Experiment modules — one per table/figure of the paper's evaluation.
+
+Importing this package registers every experiment in
+:data:`~repro.experiments.base.EXPERIMENT_REGISTRY`.  Run them through the
+``repro-experiment`` console script, by calling
+``EXPERIMENT_REGISTRY["fig6"].run("tiny")``, or through the pytest benchmarks
+in ``benchmarks/``.
+"""
+
+from repro.experiments.base import (
+    EXPERIMENT_REGISTRY,
+    ExperimentResult,
+    ExperimentSpec,
+    iter_experiments,
+    register_experiment,
+)
+from repro.experiments.profiles import PROFILES, ScaleProfile, profile_by_name
+
+# importing the modules registers their experiments
+from repro.experiments import (  # noqa: F401  (imported for registration side effects)
+    ablation_curve_choice,
+    ablation_rank_space,
+    fig6_point_query_distribution,
+    fig7_size_build_distribution,
+    fig8_point_query_size,
+    fig9_size_build_size,
+    fig10_window_distribution,
+    fig11_window_size,
+    fig12_window_query_size,
+    fig13_window_aspect,
+    fig14_knn_distribution,
+    fig15_knn_size,
+    fig16_knn_k,
+    fig17_insertions,
+    fig18_window_after_insert,
+    fig19_knn_after_insert,
+    table3_partition_threshold,
+    table4_error_bounds,
+)
+
+__all__ = [
+    "EXPERIMENT_REGISTRY",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ScaleProfile",
+    "PROFILES",
+    "profile_by_name",
+    "iter_experiments",
+    "register_experiment",
+]

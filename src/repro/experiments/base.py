@@ -1,0 +1,91 @@
+"""Experiment framework: result records, specifications and the registry.
+
+Every table and figure of the paper's evaluation section has a corresponding
+experiment module that registers an :class:`ExperimentSpec`.  Running a spec
+produces an :class:`ExperimentResult` whose header/rows mirror the structure
+of the original table or figure (one row per data series point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.evaluation.reporting import format_table
+from repro.experiments.profiles import ScaleProfile, profile_by_name
+
+__all__ = ["ExperimentResult", "ExperimentSpec", "register_experiment", "EXPERIMENT_REGISTRY"]
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated rows of one paper table/figure."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    header: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render the result as an aligned text table (plus notes)."""
+        table = format_table(self.header, self.rows, title=f"{self.experiment_id}: {self.title}")
+        if not self.notes:
+            return table
+        notes = "\n".join(f"  note: {note}" for note in self.notes)
+        return f"{table}\n{notes}"
+
+    def column(self, name: str) -> list:
+        """The values of one named column across all rows."""
+        try:
+            index = self.header.index(name)
+        except ValueError as exc:
+            raise KeyError(f"no column named {name!r}; available: {self.header}") from exc
+        return [row[index] for row in self.rows]
+
+    def rows_where(self, column: str, value) -> list[list]:
+        """All rows whose ``column`` equals ``value``."""
+        index = self.header.index(column)
+        return [row for row in self.rows if row[index] == value]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: metadata plus its runner function."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    runner: Callable[[ScaleProfile], ExperimentResult]
+
+    def run(self, profile: ScaleProfile | str = "tiny") -> ExperimentResult:
+        if isinstance(profile, str):
+            profile = profile_by_name(profile)
+        return self.runner(profile)
+
+
+#: experiment id -> spec, populated by the @register_experiment decorator
+EXPERIMENT_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(experiment_id: str, title: str, paper_reference: str):
+    """Decorator registering a runner function as an experiment."""
+
+    def decorator(runner: Callable[[ScaleProfile], ExperimentResult]):
+        if experiment_id in EXPERIMENT_REGISTRY:
+            raise ValueError(f"duplicate experiment id: {experiment_id}")
+        EXPERIMENT_REGISTRY[experiment_id] = ExperimentSpec(
+            experiment_id=experiment_id,
+            title=title,
+            paper_reference=paper_reference,
+            runner=runner,
+        )
+        return runner
+
+    return decorator
+
+
+def iter_experiments() -> Iterable[ExperimentSpec]:
+    """All registered experiments in id order."""
+    return (EXPERIMENT_REGISTRY[key] for key in sorted(EXPERIMENT_REGISTRY))

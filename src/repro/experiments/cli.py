@@ -1,0 +1,75 @@
+"""Command-line entry point: ``repro-experiment <id>|all [--profile tiny|small|paper]``.
+
+Examples::
+
+    repro-experiment --list
+    repro-experiment fig6
+    repro-experiment table3 fig10 --profile small
+    repro-experiment all --profile tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments import EXPERIMENT_REGISTRY, profile_by_name
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate tables/figures of 'Effectively Learning Spatial Indices'",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e.g. fig6 table3), or 'all'",
+    )
+    parser.add_argument(
+        "--profile",
+        default="tiny",
+        choices=("tiny", "small", "paper"),
+        help="workload scale (default: tiny)",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("Available experiments:")
+        for experiment_id in sorted(EXPERIMENT_REGISTRY):
+            spec = EXPERIMENT_REGISTRY[experiment_id]
+            print(f"  {experiment_id:16s} {spec.title}  [{spec.paper_reference}]")
+        return 0
+
+    requested = list(args.experiments)
+    if len(requested) == 1 and requested[0].lower() == "all":
+        requested = sorted(EXPERIMENT_REGISTRY)
+
+    unknown = [name for name in requested if name not in EXPERIMENT_REGISTRY]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(EXPERIMENT_REGISTRY))}", file=sys.stderr)
+        return 2
+
+    profile = profile_by_name(args.profile)
+    for name in requested:
+        spec = EXPERIMENT_REGISTRY[name]
+        start = time.perf_counter()
+        result = spec.run(profile)
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"  ({name} completed in {elapsed:.1f}s at profile '{profile.name}')")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

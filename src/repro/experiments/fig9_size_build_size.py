@@ -1,0 +1,54 @@
+"""Figure 9 — index size and construction time vs. data set size (Skewed data).
+
+Both grow with the data-set size.  RSMI stays among the smallest structures
+while its construction time grows roughly linearly (dominated by per-partition
+model training), exactly the scalability argument of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, register_experiment
+from repro.experiments.profiles import ScaleProfile
+from repro.experiments.sweeps import make_points, make_suite
+
+HEADER = ["n_points", "index", "index_size_mb", "construction_time_s"]
+
+BUILD_INDICES = ("Grid", "HRR", "KDB", "RR*", "RSMI", "ZM")
+
+
+@register_experiment(
+    "fig9",
+    "Index size and construction time vs. data set size",
+    "Figure 9",
+)
+def run(profile: ScaleProfile) -> ExperimentResult:
+    index_names = tuple(n for n in profile.index_names if n in BUILD_INDICES)
+    rows: list[list] = []
+    for n_points in profile.size_sweep:
+        points = make_points(profile, n_points=n_points)
+        _, reports = make_suite(points, profile, index_names=index_names)
+        for name in index_names:
+            rows.append([n_points, name, reports[name].size_mb, reports[name].build_time_s])
+
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Index size and construction time vs. data set size",
+        paper_reference="Figure 9",
+        header=HEADER,
+        rows=rows,
+        notes=[
+            f"profile={profile.name}, distribution={profile.default_distribution}",
+            "expected shape: size and build time grow with n; learned indices smallest, "
+            "slowest to construct together with RR*",
+        ],
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    from repro.experiments.profiles import profile_by_name
+
+    print(run(profile_by_name("tiny")).to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,124 @@
+"""Scale profiles for the experiments.
+
+The paper evaluates on 1–128 million points with ``B = 100`` and
+``N = 10 000``.  A pure-Python reproduction cannot train models over millions
+of points within a benchmark run, so every experiment accepts a
+:class:`ScaleProfile` that fixes the workload scale.  Three profiles ship by
+default:
+
+* ``tiny`` — seconds per experiment; used by the test and benchmark suites,
+* ``small`` — a few minutes per experiment; a more faithful laptop run,
+* ``paper`` — the paper's parameters (documented; running it in pure Python
+  is possible but takes hours/days and is not exercised by the benches).
+
+All profiles keep the paper's *ratios* (e.g. ``N/B`` and query counts scale
+together) so the qualitative shapes of the results are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ScaleProfile", "PROFILES", "profile_by_name"]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Workload scale for one experiment run."""
+
+    name: str
+    #: default number of points per data set
+    n_points: int
+    #: data-set sizes for the "vary the data set size" sweeps (Figures 8, 9, 11, 15)
+    size_sweep: tuple[int, ...]
+    #: block capacity B
+    block_capacity: int
+    #: RSMI partition threshold N
+    partition_threshold: int
+    #: values of N for the Table 3 sweep
+    threshold_sweep: tuple[int, ...]
+    #: MLP training epochs per sub-model
+    training_epochs: int
+    #: number of point / window / kNN queries per measurement
+    n_point_queries: int
+    n_window_queries: int
+    n_knn_queries: int
+    #: window sizes (fraction of the data-space area) for Figure 12
+    window_area_fractions: tuple[float, ...] = (0.000006, 0.000025, 0.0001, 0.0004, 0.0016)
+    #: default window size used everywhere else (the paper's boldfaced 0.01 %)
+    default_window_area: float = 0.0001
+    #: aspect ratios for Figure 13
+    aspect_ratios: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0)
+    #: k values for Figure 16 and default k
+    k_values: tuple[int, ...] = (1, 5, 25, 125)
+    default_k: int = 25
+    #: insertion/deletion fractions for Figures 17-19
+    update_fractions: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
+    #: data distributions for the "vary the distribution" sweeps
+    distributions: tuple[str, ...] = ("uniform", "normal", "skewed", "tiger", "osm")
+    #: default distribution for single-distribution sweeps (paper: Skewed)
+    default_distribution: str = "skewed"
+    #: indices included in the sweeps
+    index_names: tuple[str, ...] = ("Grid", "HRR", "KDB", "RR*", "RSMI", "RSMIa", "ZM")
+    seed: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def with_overrides(self, **kwargs) -> "ScaleProfile":
+        """A copy of this profile with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+PROFILES: dict[str, ScaleProfile] = {
+    "tiny": ScaleProfile(
+        name="tiny",
+        n_points=2_500,
+        size_sweep=(1_000, 2_000, 4_000),
+        block_capacity=25,
+        partition_threshold=500,
+        threshold_sweep=(125, 250, 500, 1_000, 2_000),
+        training_epochs=120,
+        n_point_queries=100,
+        n_window_queries=15,
+        n_knn_queries=15,
+        k_values=(1, 5, 25),
+        update_fractions=(0.1, 0.3, 0.5),
+    ),
+    "small": ScaleProfile(
+        name="small",
+        n_points=20_000,
+        size_sweep=(5_000, 10_000, 20_000, 40_000),
+        block_capacity=50,
+        partition_threshold=2_000,
+        threshold_sweep=(500, 1_000, 2_000, 4_000, 8_000),
+        training_epochs=80,
+        n_point_queries=500,
+        n_window_queries=50,
+        n_knn_queries=50,
+        k_values=(1, 5, 25, 125),
+        update_fractions=(0.1, 0.2, 0.3, 0.4, 0.5),
+    ),
+    "paper": ScaleProfile(
+        name="paper",
+        n_points=16_000_000,
+        size_sweep=(1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000,
+                    32_000_000, 64_000_000, 128_000_000),
+        block_capacity=100,
+        partition_threshold=10_000,
+        threshold_sweep=(2_500, 5_000, 10_000, 20_000, 40_000),
+        training_epochs=500,
+        n_point_queries=10_000,
+        n_window_queries=1_000,
+        n_knn_queries=1_000,
+        window_area_fractions=(0.000006, 0.000025, 0.0001, 0.0004, 0.0016),
+        k_values=(1, 5, 25, 125, 625),
+        update_fractions=(0.1, 0.2, 0.3, 0.4, 0.5),
+    ),
+}
+
+
+def profile_by_name(name: str) -> ScaleProfile:
+    """Look up a profile by name (``tiny``, ``small`` or ``paper``)."""
+    normalized = name.strip().lower()
+    if normalized not in PROFILES:
+        raise ValueError(f"unknown profile {name!r}; available: {sorted(PROFILES)}")
+    return PROFILES[normalized]

@@ -1,0 +1,45 @@
+"""Distance metrics used by the kNN query algorithms.
+
+The paper's kNN algorithms (Section 4.3) rank candidate blocks by the
+``MINDIST`` metric of Roussopoulos et al. [40]: the smallest Euclidean
+distance between the query point and any point of a rectangle.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+__all__ = ["euclidean", "euclidean_many", "mindist_point_rect"]
+
+
+def euclidean(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(x1 - x2, y1 - y2)
+
+
+def euclidean_many(query: tuple[float, float] | np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Euclidean distances from ``query`` to every row of ``points`` (shape ``(n, 2)``)."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must have shape (n, 2)")
+    qx, qy = float(query[0]), float(query[1])
+    return np.hypot(points[:, 0] - qx, points[:, 1] - qy)
+
+
+def mindist_point_rect(x: float, y: float, rect: Rect) -> float:
+    """MINDIST between a point and a rectangle (0 when the point is inside)."""
+    dx = 0.0
+    if x < rect.xlo:
+        dx = rect.xlo - x
+    elif x > rect.xhi:
+        dx = x - rect.xhi
+    dy = 0.0
+    if y < rect.ylo:
+        dy = rect.ylo - y
+    elif y > rect.yhi:
+        dy = y - rect.yhi
+    return math.hypot(dx, dy)

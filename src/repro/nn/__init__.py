@@ -1,0 +1,44 @@
+"""Minimal feed-forward neural network substrate (NumPy only).
+
+The paper trains its learned index models with PyTorch 1.4 (multilayer
+perceptrons with one hidden layer, sigmoid activation, L2 loss, SGD).  No
+deep-learning framework is available offline, so this package provides an
+equivalent substrate built on NumPy:
+
+* :mod:`repro.nn.activations` — sigmoid / relu / tanh / identity,
+* :mod:`repro.nn.layers` — dense layers with Xavier initialisation,
+* :mod:`repro.nn.losses` — mean squared error (the paper's L2 loss),
+* :mod:`repro.nn.optimizers` — SGD (with momentum) and Adam,
+* :mod:`repro.nn.mlp` — the :class:`MLPRegressor` used by RSMI and ZM,
+* :mod:`repro.nn.scaler` — min-max scaling of inputs/targets to ``[0, 1]``,
+* :mod:`repro.nn.training` — a small training loop with optional early stop.
+"""
+
+from repro.nn.activations import Activation, Identity, ReLU, Sigmoid, Tanh, activation_by_name
+from repro.nn.layers import DenseLayer
+from repro.nn.losses import Loss, MeanSquaredError
+from repro.nn.optimizers import SGD, Adam, Optimizer, optimizer_by_name
+from repro.nn.mlp import MLPRegressor
+from repro.nn.scaler import MinMaxScaler
+from repro.nn.training import TrainingConfig, TrainingResult, train_regressor
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "activation_by_name",
+    "DenseLayer",
+    "Loss",
+    "MeanSquaredError",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "optimizer_by_name",
+    "MLPRegressor",
+    "MinMaxScaler",
+    "TrainingConfig",
+    "TrainingResult",
+    "train_regressor",
+]

@@ -1,0 +1,53 @@
+"""Loss functions.
+
+The paper minimises the L2 loss between predicted and ground-truth block ids
+(Equation 3).  Mean squared error is the per-sample-averaged equivalent and
+is what the trainer optimises.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Loss", "MeanSquaredError"]
+
+
+class Loss(abc.ABC):
+    """A differentiable training loss."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Scalar loss for a batch."""
+
+    @abc.abstractmethod
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Gradient of the loss with respect to the predictions."""
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error, the L2 loss of Equation 3 averaged over the batch."""
+
+    name = "mse"
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+            )
+        diff = predictions - targets
+        return float(np.mean(diff * diff))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions = np.asarray(predictions, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+            )
+        return 2.0 * (predictions - targets)

@@ -1,0 +1,24 @@
+"""Query workload generation and brute-force ground truth.
+
+The paper generates 1 000 window / kNN queries per setting, positioned so
+that they follow the data distribution, and reports average cost and recall
+per query (Section 6.1).  This package provides the matching generators plus
+exact brute-force evaluators used to measure recall.
+"""
+
+from repro.queries.workload import (
+    QueryWorkload,
+    generate_knn_queries,
+    generate_point_queries,
+    generate_window_queries,
+)
+from repro.queries.ground_truth import brute_force_knn, brute_force_window
+
+__all__ = [
+    "QueryWorkload",
+    "generate_point_queries",
+    "generate_window_queries",
+    "generate_knn_queries",
+    "brute_force_window",
+    "brute_force_knn",
+]

@@ -1,0 +1,32 @@
+"""Brute-force ground truth for recall measurements."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Rect, euclidean_many
+
+__all__ = ["brute_force_window", "brute_force_knn"]
+
+
+def brute_force_window(points: np.ndarray, window: Rect) -> np.ndarray:
+    """All points inside ``window`` (exact answer), shape ``(m, 2)``."""
+    points = np.asarray(points, dtype=float)
+    if points.shape[0] == 0:
+        return np.empty((0, 2), dtype=float)
+    mask = window.contains_points(points)
+    return points[mask]
+
+
+def brute_force_knn(points: np.ndarray, x: float, y: float, k: int) -> np.ndarray:
+    """The exact ``k`` nearest neighbours of ``(x, y)``, ordered by distance."""
+    points = np.asarray(points, dtype=float)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if points.shape[0] == 0:
+        return np.empty((0, 2), dtype=float)
+    distances = euclidean_many((x, y), points)
+    k = min(k, points.shape[0])
+    idx = np.argpartition(distances, k - 1)[:k]
+    idx = idx[np.argsort(distances[idx], kind="stable")]
+    return points[idx]

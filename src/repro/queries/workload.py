@@ -1,0 +1,121 @@
+"""Query workload generators (point, window, kNN)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry import Rect
+
+__all__ = [
+    "generate_point_queries",
+    "generate_window_queries",
+    "generate_knn_queries",
+    "QueryWorkload",
+]
+
+
+def generate_point_queries(points: np.ndarray, n_queries: int, seed: int = 0) -> np.ndarray:
+    """Sample ``n_queries`` query points from the data set itself.
+
+    The paper uses every data point as a point query; sampling from the data
+    keeps the same "query the stored keys" semantics at configurable cost.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.shape[0] == 0:
+        raise ValueError("cannot sample queries from an empty data set")
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, points.shape[0], size=n_queries)
+    return points[idx].copy()
+
+
+def generate_window_queries(
+    points: np.ndarray,
+    n_queries: int,
+    area_fraction: float = 0.0001,
+    aspect_ratio: float = 1.0,
+    seed: int = 0,
+    data_space: Rect | None = None,
+) -> list[Rect]:
+    """Window queries of a given area fraction and aspect ratio.
+
+    Query centres are sampled from the data points so the workload follows
+    the data distribution (paper Section 6.1).  ``area_fraction`` matches the
+    paper's "query window size (%)" expressed as a fraction (e.g. 0.01 % ->
+    0.0001).  Windows are clipped to the data space.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.shape[0] == 0:
+        raise ValueError("cannot sample queries from an empty data set")
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    if area_fraction <= 0 or area_fraction > 1:
+        raise ValueError("area_fraction must lie in (0, 1]")
+    if aspect_ratio <= 0:
+        raise ValueError("aspect_ratio must be positive")
+    space = data_space if data_space is not None else Rect.unit()
+
+    area = area_fraction * space.area
+    # aspect ratio = width / height
+    height = math.sqrt(area / aspect_ratio)
+    width = area / height
+
+    rng = np.random.default_rng(seed)
+    centers = points[rng.integers(0, points.shape[0], size=n_queries)]
+    windows: list[Rect] = []
+    for cx, cy in centers:
+        window = Rect.from_center(float(cx), float(cy), width, height)
+        windows.append(window.clip_to(space))
+    return windows
+
+
+def generate_knn_queries(
+    points: np.ndarray, n_queries: int, seed: int = 0, jitter: float = 0.0
+) -> np.ndarray:
+    """kNN query points sampled from the data distribution.
+
+    ``jitter`` adds small uniform noise so query points need not coincide
+    with stored points.
+    """
+    queries = generate_point_queries(points, n_queries, seed=seed)
+    if jitter > 0:
+        rng = np.random.default_rng(seed + 1)
+        queries = queries + rng.uniform(-jitter, jitter, size=queries.shape)
+        queries = np.clip(queries, 0.0, 1.0)
+    return queries
+
+
+@dataclass
+class QueryWorkload:
+    """A bundle of point, window and kNN queries over one data set."""
+
+    point_queries: np.ndarray = field(default_factory=lambda: np.empty((0, 2)))
+    window_queries: list[Rect] = field(default_factory=list)
+    knn_queries: np.ndarray = field(default_factory=lambda: np.empty((0, 2)))
+    k: int = 25
+
+    @classmethod
+    def for_dataset(
+        cls,
+        points: np.ndarray,
+        n_point: int = 200,
+        n_window: int = 50,
+        n_knn: int = 50,
+        area_fraction: float = 0.0001,
+        aspect_ratio: float = 1.0,
+        k: int = 25,
+        seed: int = 0,
+    ) -> "QueryWorkload":
+        """Build the default mixed workload used by the experiment harness."""
+        return cls(
+            point_queries=generate_point_queries(points, n_point, seed=seed),
+            window_queries=generate_window_queries(
+                points, n_window, area_fraction=area_fraction, aspect_ratio=aspect_ratio, seed=seed + 1
+            ),
+            knn_queries=generate_knn_queries(points, n_knn, seed=seed + 2),
+            k=k,
+        )

@@ -1,0 +1,24 @@
+"""Rank-space transformation and curve-based point ordering (paper Section 3.1).
+
+The rank-space transform maps ``n`` points to an ``n x n`` grid in which every
+row and every column contains exactly one point: the grid coordinate of a
+point in each dimension is its *rank* among all points in that dimension
+(ties broken by the other dimension).  Ordering points by a space-filling
+curve over this grid produces much more even gaps between consecutive curve
+values than ordering by raw coordinates, which is what makes the learned CDF
+easy to approximate.
+"""
+
+from repro.rank_space.transform import (
+    RankSpaceOrdering,
+    curve_order_for,
+    order_points_by_curve,
+    rank_space_ranks,
+)
+
+__all__ = [
+    "RankSpaceOrdering",
+    "curve_order_for",
+    "order_points_by_curve",
+    "rank_space_ranks",
+]

@@ -1,0 +1,156 @@
+"""Rank-space transform and space-filling-curve point ordering."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.curves import SpaceFillingCurve, curve_by_name
+
+__all__ = [
+    "rank_space_ranks",
+    "curve_order_for",
+    "order_points_by_curve",
+    "RankSpaceOrdering",
+]
+
+
+def rank_space_ranks(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-dimension ranks of every point (the rank-space coordinates).
+
+    The x-rank of a point is its position when all points are sorted by
+    x-coordinate with ties broken by y-coordinate; symmetrically for the
+    y-rank.  Both arrays contain a permutation of ``0..n-1``, so every row and
+    column of the ``n x n`` rank-space grid holds exactly one point.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must have shape (n, 2)")
+    n = points.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    # np.lexsort sorts by the last key first, so (secondary, primary)
+    order_x = np.lexsort((points[:, 1], points[:, 0]))
+    order_y = np.lexsort((points[:, 0], points[:, 1]))
+    rank_x = np.empty(n, dtype=np.int64)
+    rank_y = np.empty(n, dtype=np.int64)
+    rank_x[order_x] = np.arange(n)
+    rank_y[order_y] = np.arange(n)
+    return rank_x, rank_y
+
+
+def curve_order_for(n: int) -> int:
+    """The smallest curve order whose grid side covers ``n`` distinct ranks."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return max(1, int(math.ceil(math.log2(n))) if n > 1 else 1)
+
+
+@dataclass(frozen=True)
+class RankSpaceOrdering:
+    """Result of ordering a point set in rank space by a space-filling curve.
+
+    Attributes
+    ----------
+    sorted_points:
+        The points reordered by ascending curve value, shape ``(n, 2)``.
+    sort_index:
+        ``sorted_points[i] == points[sort_index[i]]``.
+    curve_values:
+        Curve value of each *sorted* point, ascending, shape ``(n,)``.
+    rank_x, rank_y:
+        Rank-space coordinates of each *original* point.
+    curve:
+        The space-filling curve used for the ordering.
+    """
+
+    sorted_points: np.ndarray
+    sort_index: np.ndarray
+    curve_values: np.ndarray
+    rank_x: np.ndarray
+    rank_y: np.ndarray
+    curve: SpaceFillingCurve
+
+    @property
+    def n_points(self) -> int:
+        return self.sorted_points.shape[0]
+
+    def gap_statistics(self) -> dict[str, float]:
+        """Min / max / variance of gaps between consecutive curve values.
+
+        The paper motivates the rank-space ordering by showing it yields a
+        much smaller variance in these gaps than raw Z-ordering (Section 3.1,
+        Figures 2 and 3), which is what the ``ablation-rank`` experiment
+        measures.
+        """
+        if self.n_points < 2:
+            return {"min_gap": 0.0, "max_gap": 0.0, "mean_gap": 0.0, "variance": 0.0}
+        gaps = np.diff(self.curve_values.astype(float))
+        return {
+            "min_gap": float(gaps.min()),
+            "max_gap": float(gaps.max()),
+            "mean_gap": float(gaps.mean()),
+            "variance": float(gaps.var()),
+        }
+
+
+def order_points_by_curve(
+    points: np.ndarray,
+    curve: SpaceFillingCurve | str = "hilbert",
+    use_rank_space: bool = True,
+) -> RankSpaceOrdering:
+    """Order ``points`` by a space-filling curve, optionally in rank space.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, 2)``.
+    curve:
+        Either a curve instance or a curve name; when a name is given the
+        curve order is chosen automatically from ``n`` (rank space) or a fixed
+        resolution of 16 bits per dimension (raw coordinates).
+    use_rank_space:
+        When True (the paper's method) the curve runs over the rank-space
+        grid; when False it runs over a regular grid on the raw coordinates
+        (the ordering used by the ZM baseline), provided for the ablation.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must have shape (n, 2)")
+    n = points.shape[0]
+    if n == 0:
+        raise ValueError("cannot order an empty point set")
+
+    rank_x, rank_y = rank_space_ranks(points)
+
+    if use_rank_space:
+        if isinstance(curve, str):
+            curve = curve_by_name(curve, curve_order_for(n))
+        if curve.side < n:
+            raise ValueError(
+                f"curve order {curve.order} (side {curve.side}) too small for {n} ranks"
+            )
+        cell_x, cell_y = rank_x, rank_y
+    else:
+        if isinstance(curve, str):
+            curve = curve_by_name(curve, 16)
+        # quantise raw coordinates onto the curve grid
+        lo = points.min(axis=0)
+        hi = points.max(axis=0)
+        span = np.where(hi - lo == 0, 1.0, hi - lo)
+        scaled = (points - lo) / span
+        cell = np.clip((scaled * curve.side).astype(np.int64), 0, curve.side - 1)
+        cell_x, cell_y = cell[:, 0], cell[:, 1]
+
+    curve_values = curve.encode_many(cell_x, cell_y)
+    sort_index = np.argsort(curve_values, kind="stable")
+    return RankSpaceOrdering(
+        sorted_points=points[sort_index],
+        sort_index=sort_index,
+        curve_values=curve_values[sort_index],
+        rank_x=rank_x,
+        rank_y=rank_y,
+        curve=curve,
+    )

@@ -1,0 +1,20 @@
+"""Simulated external-memory block storage.
+
+The paper stores data points in fixed-capacity disk blocks (``B = 100``
+points per block, Section 6.1) and reports the number of block accesses per
+query as a hardware-independent cost metric.  This package simulates that
+storage layer in main memory:
+
+* :class:`~repro.storage.block.Block` — a fixed-capacity container of points
+  with deletion flags and previous/next links,
+* :class:`~repro.storage.block_store.BlockStore` — the collection of blocks
+  with global block ids, overflow-block insertion and access accounting,
+* :class:`~repro.storage.stats.AccessStats` — counters shared by every index
+  so experiments can report block accesses uniformly.
+"""
+
+from repro.storage.block import Block
+from repro.storage.block_store import BlockStore
+from repro.storage.stats import AccessStats
+
+__all__ = ["Block", "BlockStore", "AccessStats"]

@@ -1,0 +1,141 @@
+"""A fixed-capacity block of spatial points."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.geometry import Rect, mbr_of_points
+
+__all__ = ["Block"]
+
+
+class Block:
+    """A disk block holding at most ``capacity`` two-dimensional points.
+
+    Points are stored in insertion order.  Deletions flag a slot rather than
+    compacting the block (the paper keeps deleted slots so that the learned
+    error bounds stay valid; the slot may later be reused by an insertion).
+    """
+
+    def __init__(self, block_id: int, capacity: int, is_overflow: bool = False):
+        if capacity < 1:
+            raise ValueError("block capacity must be >= 1")
+        self.block_id = int(block_id)
+        self.capacity = int(capacity)
+        #: True for blocks created by insertions after the initial build.
+        #: Overflow blocks do not count towards the learned error bounds.
+        self.is_overflow = bool(is_overflow)
+        self._coords = np.empty((capacity, 2), dtype=float)
+        self._deleted = np.zeros(capacity, dtype=bool)
+        self._count = 0
+        #: id of the block that precedes / follows this one in curve order
+        self.prev_id: Optional[int] = None
+        self.next_id: Optional[int] = None
+
+    # -- size & occupancy --------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of live (non-deleted) points."""
+        return int(self._count - self._deleted[: self._count].sum())
+
+    @property
+    def slot_count(self) -> int:
+        """Number of occupied slots, including deleted ones."""
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        """True when no slot can accept an insertion (no free or deleted slot)."""
+        return self._count >= self.capacity and not self._deleted[: self._count].any()
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    # -- contents -----------------------------------------------------------------
+
+    def points(self) -> np.ndarray:
+        """Live points as an ``(m, 2)`` array (copy)."""
+        live = ~self._deleted[: self._count]
+        return self._coords[: self._count][live].copy()
+
+    def all_slots(self) -> np.ndarray:
+        """All occupied slots including deleted ones (used by rebuild logic)."""
+        return self._coords[: self._count].copy()
+
+    def iter_points(self) -> Iterator[tuple[float, float]]:
+        for i in range(self._count):
+            if not self._deleted[i]:
+                yield (float(self._coords[i, 0]), float(self._coords[i, 1]))
+
+    def mbr(self) -> Optional[Rect]:
+        """MBR of the live points, or ``None`` when the block is empty."""
+        live = self.points()
+        if live.shape[0] == 0:
+            return None
+        return mbr_of_points(live)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def append(self, x: float, y: float) -> None:
+        """Add a point, reusing a deleted slot if the block is otherwise full."""
+        if self._count < self.capacity:
+            self._coords[self._count] = (x, y)
+            self._deleted[self._count] = False
+            self._count += 1
+            return
+        deleted_slots = np.nonzero(self._deleted[: self._count])[0]
+        if deleted_slots.size == 0:
+            raise ValueError(f"block {self.block_id} is full")
+        slot = int(deleted_slots[0])
+        self._coords[slot] = (x, y)
+        self._deleted[slot] = False
+
+    def bulk_fill(self, points: np.ndarray) -> None:
+        """Fill an empty block with up to ``capacity`` points at once."""
+        points = np.asarray(points, dtype=float)
+        if self._count != 0:
+            raise ValueError("bulk_fill requires an empty block")
+        if points.shape[0] > self.capacity:
+            raise ValueError(
+                f"cannot fill block of capacity {self.capacity} with {points.shape[0]} points"
+            )
+        count = points.shape[0]
+        self._coords[:count] = points
+        self._deleted[:count] = False
+        self._count = count
+
+    def delete(self, x: float, y: float, tolerance: float = 0.0) -> bool:
+        """Flag the first live point equal to ``(x, y)`` as deleted.
+
+        Returns True when a point was deleted.  ``tolerance`` allows matching
+        under floating-point round-off.
+        """
+        for i in range(self._count):
+            if self._deleted[i]:
+                continue
+            if (
+                abs(self._coords[i, 0] - x) <= tolerance
+                and abs(self._coords[i, 1] - y) <= tolerance
+            ):
+                self._deleted[i] = True
+                return True
+        return False
+
+    def contains(self, x: float, y: float, tolerance: float = 0.0) -> bool:
+        """True when a live point equal to ``(x, y)`` is stored in this block."""
+        for i in range(self._count):
+            if self._deleted[i]:
+                continue
+            if (
+                abs(self._coords[i, 0] - x) <= tolerance
+                and abs(self._coords[i, 1] - y) <= tolerance
+            ):
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "overflow" if self.is_overflow else "base"
+        return f"Block(id={self.block_id}, {len(self)}/{self.capacity} points, {kind})"

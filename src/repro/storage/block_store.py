@@ -1,0 +1,202 @@
+"""Block store: global block ids, curve-ordered base blocks, overflow chains."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.storage.block import Block
+from repro.storage.stats import AccessStats
+
+__all__ = ["BlockStore"]
+
+
+class BlockStore:
+    """A collection of fixed-capacity blocks simulating external storage.
+
+    Two kinds of blocks exist:
+
+    * **base blocks** are created during the initial bulk build.  They are
+      numbered consecutively by their *position* in curve order; a learned
+      model predicts such positions.
+    * **overflow blocks** are created by insertions when a base block is
+      full.  They are linked after their base block (paper Section 5) and do
+      not shift the positions of base blocks, so the learned error bounds
+      remain valid.
+
+    All reads go through :meth:`read`, which feeds the shared
+    :class:`~repro.storage.stats.AccessStats` counters used by the
+    experiments.
+    """
+
+    def __init__(self, capacity: int, stats: Optional[AccessStats] = None):
+        if capacity < 1:
+            raise ValueError("block capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.stats = stats if stats is not None else AccessStats()
+        self._blocks: list[Block] = []
+        #: position in curve order -> block id of the base block
+        self._base_order: list[int] = []
+        self._n_overflow = 0
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        """Total number of blocks (base + overflow)."""
+        return len(self._blocks)
+
+    @property
+    def n_base_blocks(self) -> int:
+        return len(self._base_order)
+
+    @property
+    def n_overflow_blocks(self) -> int:
+        return self._n_overflow
+
+    @property
+    def n_points(self) -> int:
+        """Total number of live points across all blocks."""
+        return sum(len(block) for block in self._blocks)
+
+    def size_bytes(self) -> int:
+        """Approximate storage footprint: 16 bytes per point slot plus per-block header."""
+        per_block = self.capacity * 16 + 32
+        return self.n_blocks * per_block
+
+    # -- allocation ---------------------------------------------------------------
+
+    def allocate_base(self) -> Block:
+        """Create the next base block in curve order and link it after the previous one."""
+        block = Block(len(self._blocks), self.capacity, is_overflow=False)
+        self._blocks.append(block)
+        if self._base_order:
+            # link after the tail of the previous base block's overflow chain
+            previous_tail = self._chain_tail(self._base_order[-1])
+            previous_tail.next_id = block.block_id
+            block.prev_id = previous_tail.block_id
+        self._base_order.append(block.block_id)
+        return block
+
+    def allocate_overflow(self, after_block_id: int) -> Block:
+        """Create an overflow block linked immediately after ``after_block_id``."""
+        predecessor = self._block_by_id(after_block_id)
+        block = Block(len(self._blocks), self.capacity, is_overflow=True)
+        self._blocks.append(block)
+        self._n_overflow += 1
+        block.next_id = predecessor.next_id
+        block.prev_id = predecessor.block_id
+        if predecessor.next_id is not None:
+            self._block_by_id(predecessor.next_id).prev_id = block.block_id
+        predecessor.next_id = block.block_id
+        self.stats.record_block_write()
+        return block
+
+    # -- access -------------------------------------------------------------------
+
+    def read(self, block_id: int) -> Block:
+        """Read a block by id, recording a block access."""
+        block = self._block_by_id(block_id)
+        self.stats.record_block_read()
+        return block
+
+    def peek(self, block_id: int) -> Block:
+        """Read a block without recording an access (for build/maintenance code)."""
+        return self._block_by_id(block_id)
+
+    def base_block_id(self, position: int) -> int:
+        """Block id of the base block at ``position`` in curve order."""
+        if not 0 <= position < len(self._base_order):
+            raise IndexError(
+                f"base block position {position} outside [0, {len(self._base_order)})"
+            )
+        return self._base_order[position]
+
+    def clamp_position(self, position: int) -> int:
+        """Clamp a (possibly out-of-range predicted) position into the valid range."""
+        if not self._base_order:
+            raise RuntimeError("block store has no base blocks")
+        return max(0, min(position, len(self._base_order) - 1))
+
+    # -- scanning ------------------------------------------------------------------
+
+    def iter_chain(self, position: int) -> Iterator[Block]:
+        """Yield the base block at ``position`` followed by its overflow blocks."""
+        block = self.read(self.base_block_id(position))
+        yield block
+        next_id = block.next_id
+        while next_id is not None:
+            candidate = self._block_by_id(next_id)
+            if not candidate.is_overflow:
+                break
+            self.stats.record_block_read()
+            yield candidate
+            next_id = candidate.next_id
+
+    def scan_positions(self, begin: int, end: int) -> Iterator[Block]:
+        """Yield every block whose chain starts at positions ``begin..end`` inclusive."""
+        begin = self.clamp_position(begin)
+        end = self.clamp_position(end)
+        for position in range(begin, end + 1):
+            yield from self.iter_chain(position)
+
+    def all_points(self) -> np.ndarray:
+        """Every live point in curve order (base blocks followed by their overflows)."""
+        chunks: list[np.ndarray] = []
+        for position in range(self.n_base_blocks):
+            block = self._block_by_id(self.base_block_id(position))
+            chunks.append(block.points())
+            next_id = block.next_id
+            while next_id is not None:
+                candidate = self._block_by_id(next_id)
+                if not candidate.is_overflow:
+                    break
+                chunks.append(candidate.points())
+                next_id = candidate.next_id
+        if not chunks:
+            return np.empty((0, 2), dtype=float)
+        return np.vstack(chunks)
+
+    # -- bulk building ----------------------------------------------------------------
+
+    def pack_points(self, points: np.ndarray) -> tuple[int, int]:
+        """Pack ``points`` (already in curve order) into consecutive base blocks.
+
+        Returns ``(first_position, last_position)`` of the blocks created.
+        Packing every ``B`` consecutive points into one block implements
+        Equation 1 of the paper (``p.blk = floor(p.rank * n / B)``).
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError("points must have shape (n, 2)")
+        if points.shape[0] == 0:
+            raise ValueError("cannot pack an empty point set")
+        first_position = self.n_base_blocks
+        for start in range(0, points.shape[0], self.capacity):
+            block = self.allocate_base()
+            block.bulk_fill(points[start : start + self.capacity])
+            self.stats.record_block_write()
+        return first_position, self.n_base_blocks - 1
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _block_by_id(self, block_id: int) -> Block:
+        if not 0 <= block_id < len(self._blocks):
+            raise IndexError(f"unknown block id {block_id}")
+        return self._blocks[block_id]
+
+    def _chain_tail(self, base_block_id: int) -> Block:
+        block = self._block_by_id(base_block_id)
+        while block.next_id is not None:
+            candidate = self._block_by_id(block.next_id)
+            if not candidate.is_overflow:
+                break
+            block = candidate
+        return block
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlockStore(capacity={self.capacity}, base={self.n_base_blocks}, "
+            f"overflow={self.n_overflow_blocks}, points={self.n_points})"
+        )

@@ -1,0 +1,54 @@
+"""Access accounting shared by all indices.
+
+Every index in the evaluation reports two cost numbers per query: wall-clock
+time and the number of blocks (data blocks plus index nodes) touched.  The
+latter is hardware independent, so it is the metric this reproduction tracks
+most carefully.  :class:`AccessStats` is a tiny counter object that indices
+increment whenever they read a data block or an internal node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AccessStats"]
+
+
+@dataclass
+class AccessStats:
+    """Counters of storage accesses performed since the last reset."""
+
+    block_reads: int = 0
+    block_writes: int = 0
+    node_reads: int = 0
+
+    def record_block_read(self, count: int = 1) -> None:
+        self.block_reads += count
+
+    def record_block_write(self, count: int = 1) -> None:
+        self.block_writes += count
+
+    def record_node_read(self, count: int = 1) -> None:
+        self.node_reads += count
+
+    @property
+    def total_reads(self) -> int:
+        """Data-block reads plus index-node reads (the paper's "# block accesses")."""
+        return self.block_reads + self.node_reads
+
+    def reset(self) -> None:
+        self.block_reads = 0
+        self.block_writes = 0
+        self.node_reads = 0
+
+    def snapshot(self) -> "AccessStats":
+        """A copy of the current counters (useful for per-query deltas)."""
+        return AccessStats(self.block_reads, self.block_writes, self.node_reads)
+
+    def delta_since(self, earlier: "AccessStats") -> "AccessStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return AccessStats(
+            self.block_reads - earlier.block_reads,
+            self.block_writes - earlier.block_writes,
+            self.node_reads - earlier.node_reads,
+        )

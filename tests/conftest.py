@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite.
+
+Built indices are expensive (each sub-model is trained), so the fixtures that
+build them are session-scoped and use small data sets and few epochs.  Tests
+that mutate an index build their own instance instead of using these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RSMI, RSMIConfig
+from repro.datasets import dataset_by_name
+from repro.nn import TrainingConfig
+
+
+FAST_TRAINING = TrainingConfig(epochs=25, seed=0)
+
+
+@pytest.fixture(scope="session")
+def fast_training() -> TrainingConfig:
+    return FAST_TRAINING
+
+
+@pytest.fixture(scope="session")
+def small_rsmi_config() -> RSMIConfig:
+    return RSMIConfig(
+        block_capacity=20,
+        partition_threshold=400,
+        training=FAST_TRAINING,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def uniform_points() -> np.ndarray:
+    return dataset_by_name("uniform", 800, seed=11)
+
+
+@pytest.fixture(scope="session")
+def skewed_points() -> np.ndarray:
+    return dataset_by_name("skewed", 1_200, seed=13)
+
+
+@pytest.fixture(scope="session")
+def clustered_points() -> np.ndarray:
+    return dataset_by_name("osm", 1_000, seed=17)
+
+
+@pytest.fixture(scope="session")
+def built_rsmi(skewed_points, small_rsmi_config) -> RSMI:
+    """A read-only RSMI over the skewed data set; do not mutate in tests."""
+    return RSMI(small_rsmi_config).build(skewed_points)
+
+
+@pytest.fixture(scope="session")
+def built_rsmi_uniform(uniform_points, small_rsmi_config) -> RSMI:
+    """A read-only RSMI over the uniform data set; do not mutate in tests."""
+    return RSMI(small_rsmi_config).build(uniform_points)

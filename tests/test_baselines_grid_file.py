@@ -1,0 +1,97 @@
+"""Tests of the Grid File baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GridFile
+from repro.geometry import Rect
+from repro.queries import brute_force_knn, brute_force_window, generate_window_queries
+
+
+@pytest.fixture(scope="module")
+def grid(skewed_points):
+    return GridFile(block_capacity=20).build(skewed_points)
+
+
+class TestGridBuild:
+    def test_grid_side_follows_paper_rule(self, grid, skewed_points):
+        """The paper uses a sqrt(n/B) x sqrt(n/B) grid."""
+        expected = int(np.ceil(np.sqrt(skewed_points.shape[0] / 20)))
+        assert grid.grid_side == expected
+
+    def test_all_points_assigned(self, grid, skewed_points):
+        assert grid.n_points == skewed_points.shape[0]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            GridFile(block_capacity=0)
+
+    def test_explicit_grid_side(self, uniform_points):
+        custom = GridFile(block_capacity=20, grid_side=5).build(uniform_points)
+        assert custom.grid_side == 5
+
+    def test_size_bytes_positive(self, grid):
+        assert grid.size_bytes() > 0
+        assert grid.n_blocks >= grid.n_points / 20
+
+
+class TestGridQueries:
+    def test_contains_all_points(self, grid, skewed_points):
+        for x, y in skewed_points[:300]:
+            assert grid.contains(float(x), float(y))
+
+    def test_contains_missing(self, grid):
+        assert not grid.contains(0.123123, 0.456456)
+
+    def test_window_query_exact(self, grid, skewed_points):
+        windows = generate_window_queries(skewed_points, 20, area_fraction=0.002, seed=1)
+        for window in windows:
+            truth = brute_force_window(skewed_points, window)
+            reported = grid.window_query(window)
+            assert reported.shape[0] == truth.shape[0]
+
+    def test_knn_exact(self, grid, skewed_points):
+        for x, y in skewed_points[:20]:
+            truth = brute_force_knn(skewed_points, float(x), float(y), 7)
+            reported = grid.knn_query(float(x), float(y), 7)
+            truth_dists = np.sort(np.hypot(truth[:, 0] - x, truth[:, 1] - y))
+            reported_dists = np.sort(np.hypot(reported[:, 0] - x, reported[:, 1] - y))
+            assert np.allclose(truth_dists, reported_dists)
+
+    def test_knn_k_larger_than_dataset(self, uniform_points):
+        small = GridFile(block_capacity=10).build(uniform_points[:30])
+        assert small.knn_query(0.5, 0.5, 100).shape[0] == 30
+
+    def test_skewed_data_creates_long_block_chains(self, grid, skewed_points):
+        """The paper's key observation: on skewed data dense Grid File cells hold
+        long block chains, so unsuccessful lookups in the dense band must scan
+        several blocks."""
+        nonempty_cells = sum(
+            1 for row in grid._buckets for bucket in row if bucket.n_points > 0
+        )
+        assert grid.n_blocks > nonempty_cells  # at least one cell overflows one block
+        grid.stats.reset()
+        rng = np.random.default_rng(0)
+        misses = np.column_stack([rng.random(100), rng.random(100) ** 6])  # dense band
+        for x, y in misses:
+            grid.contains(float(x), float(y))
+        assert grid.stats.block_reads / 100 > 1.0
+
+    def test_invalid_k(self, grid):
+        with pytest.raises(ValueError):
+            grid.knn_query(0.5, 0.5, 0)
+
+
+class TestGridUpdates:
+    def test_insert_and_delete(self, uniform_points):
+        grid = GridFile(block_capacity=10).build(uniform_points)
+        grid.insert(0.111, 0.222)
+        assert grid.contains(0.111, 0.222)
+        assert grid.delete(0.111, 0.222)
+        assert not grid.contains(0.111, 0.222)
+        assert not grid.delete(0.111, 0.222)
+
+    def test_insert_outside_original_space_is_clamped_to_border_cell(self, uniform_points):
+        grid = GridFile(block_capacity=10).build(uniform_points)
+        grid.insert(1.5, 1.5)
+        assert grid.contains(1.5, 1.5)

@@ -1,0 +1,124 @@
+"""Tests of the K-D-B-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KDBTree
+from repro.geometry import Rect
+from repro.queries import brute_force_knn, brute_force_window, generate_window_queries
+
+
+@pytest.fixture(scope="module")
+def kdb(skewed_points):
+    return KDBTree(block_capacity=20, fanout=10).build(skewed_points)
+
+
+class TestKDBBuild:
+    def test_all_points_stored(self, kdb, skewed_points):
+        assert kdb.n_points == skewed_points.shape[0]
+
+    def test_leaf_capacity_respected(self, kdb):
+        stack = [kdb.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert len(node.points) <= 20
+            else:
+                assert len(node.children) >= 1
+                stack.extend(node.children)
+
+    def test_regions_cover_their_points(self, kdb):
+        stack = [kdb.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for x, y in node.points:
+                    assert node.region.contains_point(x, y)
+            else:
+                stack.extend(node.children)
+
+    def test_height_positive(self, kdb):
+        assert kdb.height >= 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KDBTree(block_capacity=0)
+        with pytest.raises(ValueError):
+            KDBTree(block_capacity=10, fanout=1)
+
+    def test_size_bytes(self, kdb):
+        assert kdb.size_bytes() > 0
+
+
+class TestKDBQueries:
+    def test_contains_all(self, kdb, skewed_points):
+        for x, y in skewed_points[:300]:
+            assert kdb.contains(float(x), float(y))
+
+    def test_contains_missing(self, kdb):
+        assert not kdb.contains(0.32111, 0.64222)
+
+    def test_window_query_exact(self, kdb, skewed_points):
+        windows = generate_window_queries(skewed_points, 20, area_fraction=0.002, seed=4)
+        for window in windows:
+            truth = brute_force_window(skewed_points, window)
+            reported = kdb.window_query(window)
+            assert reported.shape[0] == truth.shape[0]
+
+    def test_knn_exact(self, kdb, skewed_points):
+        for x, y in skewed_points[:20]:
+            truth = brute_force_knn(skewed_points, float(x), float(y), 6)
+            reported = kdb.knn_query(float(x), float(y), 6)
+            truth_dists = np.sort(np.hypot(truth[:, 0] - x, truth[:, 1] - y))
+            reported_dists = np.sort(np.hypot(reported[:, 0] - x, reported[:, 1] - y))
+            assert np.allclose(truth_dists, reported_dists)
+
+    def test_invalid_k(self, kdb):
+        with pytest.raises(ValueError):
+            kdb.knn_query(0.5, 0.5, 0)
+
+
+class TestKDBUpdates:
+    @pytest.fixture()
+    def mutable_kdb(self, uniform_points):
+        return KDBTree(block_capacity=10, fanout=6).build(uniform_points)
+
+    def test_insert_and_find(self, mutable_kdb):
+        rng = np.random.default_rng(7)
+        new_points = rng.random((150, 2))
+        for x, y in new_points:
+            mutable_kdb.insert(float(x), float(y))
+        for x, y in new_points:
+            assert mutable_kdb.contains(float(x), float(y))
+
+    def test_insert_splits_leaves(self, mutable_kdb):
+        """Dense insertions must trigger leaf splits rather than oversized leaves."""
+        for i in range(100):
+            mutable_kdb.insert(0.5 + i * 1e-6, 0.5 + i * 1e-6)
+        stack = [mutable_kdb.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert len(node.points) <= 10
+            else:
+                stack.extend(node.children)
+
+    def test_insert_outside_original_region(self, mutable_kdb):
+        mutable_kdb.insert(1.5, -0.5)
+        assert mutable_kdb.contains(1.5, -0.5)
+
+    def test_window_query_correct_after_insertions(self, mutable_kdb, uniform_points):
+        rng = np.random.default_rng(8)
+        extra = rng.random((200, 2))
+        for x, y in extra:
+            mutable_kdb.insert(float(x), float(y))
+        all_points = np.vstack([uniform_points, extra])
+        window = Rect(0.4, 0.4, 0.6, 0.6)
+        truth = brute_force_window(all_points, window)
+        assert mutable_kdb.window_query(window).shape[0] == truth.shape[0]
+
+    def test_delete(self, mutable_kdb, uniform_points):
+        x, y = map(float, uniform_points[5])
+        assert mutable_kdb.delete(x, y)
+        assert not mutable_kdb.contains(x, y)
+        assert not mutable_kdb.delete(x, y)

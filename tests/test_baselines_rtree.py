@@ -1,0 +1,202 @@
+"""Tests of the R-tree node structure, generic queries, HRR and the R*-tree."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HRRTree, RStarTree
+from repro.baselines.rtree import RTreeNode
+from repro.baselines.rtree.queries import rtree_iter_leaves
+from repro.geometry import Rect
+from repro.queries import brute_force_knn, brute_force_window, generate_window_queries
+from repro.storage import AccessStats
+
+
+class TestRTreeNode:
+    def test_leaf_from_points(self):
+        node = RTreeNode.leaf_from_points(np.array([[0.1, 0.2], [0.3, 0.4]]))
+        assert node.is_leaf
+        assert node.n_entries == 2
+        assert node.mbr.as_tuple() == (0.1, 0.2, 0.3, 0.4)
+
+    def test_internal_from_children(self):
+        leaf_a = RTreeNode.leaf_from_points(np.array([[0.0, 0.0]]))
+        leaf_b = RTreeNode.leaf_from_points(np.array([[1.0, 1.0]]))
+        parent = RTreeNode.internal_from_children([leaf_a, leaf_b])
+        assert not parent.is_leaf
+        assert parent.mbr.as_tuple() == (0.0, 0.0, 1.0, 1.0)
+
+    def test_expand_mbr_from_empty(self):
+        node = RTreeNode(is_leaf=True)
+        node.expand_mbr(0.5, 0.5)
+        assert node.mbr.as_tuple() == (0.5, 0.5, 0.5, 0.5)
+
+    def test_recompute_mbr_empty_leaf(self):
+        node = RTreeNode(is_leaf=True)
+        node.recompute_mbr()
+        assert node.mbr is None
+
+
+@pytest.fixture(scope="module")
+def hrr(skewed_points):
+    return HRRTree(block_capacity=20, fanout=10).build(skewed_points)
+
+
+@pytest.fixture(scope="module")
+def rstar(skewed_points):
+    return RStarTree(block_capacity=20, fanout=10).build(skewed_points)
+
+
+class TestHRRStructure:
+    def test_all_points_stored(self, hrr, skewed_points):
+        assert hrr.n_points == skewed_points.shape[0]
+        total = sum(len(leaf.points) for leaf in rtree_iter_leaves(hrr.root))
+        assert total == skewed_points.shape[0]
+
+    def test_leaves_are_packed_full(self, hrr, skewed_points):
+        """Bulk loading packs every B consecutive points into a leaf, so every
+        leaf except possibly the last is full."""
+        sizes = [len(leaf.points) for leaf in rtree_iter_leaves(hrr.root)]
+        assert sizes.count(20) >= len(sizes) - 1
+
+    def test_fanout_respected(self, hrr):
+        stack = [hrr.root]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                assert len(node.children) <= 10
+                stack.extend(node.children)
+
+    def test_mbrs_contain_children(self, hrr):
+        stack = [hrr.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for x, y in node.points:
+                    assert node.mbr.contains_point(x, y)
+            else:
+                for child in node.children:
+                    assert node.mbr.contains_rect(child.mbr)
+                stack.extend(node.children)
+
+    def test_height(self, hrr):
+        assert hrr.height >= 1
+        assert hrr.n_leaves >= 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HRRTree(block_capacity=0)
+        with pytest.raises(ValueError):
+            HRRTree(block_capacity=10, fanout=1)
+
+    def test_size_accounts_for_rank_btrees(self, hrr, skewed_points):
+        """HRR carries two auxiliary rank B-trees (paper Section 6.2.2)."""
+        assert hrr.size_bytes() > 2 * skewed_points.shape[0] * 16
+
+
+@pytest.mark.parametrize("fixture_name", ["hrr", "rstar"])
+class TestRTreeQueries:
+    def test_contains_all(self, fixture_name, request, skewed_points):
+        tree = request.getfixturevalue(fixture_name)
+        for x, y in skewed_points[:300]:
+            assert tree.contains(float(x), float(y))
+
+    def test_contains_missing(self, fixture_name, request):
+        tree = request.getfixturevalue(fixture_name)
+        assert not tree.contains(0.313233, 0.646566)
+
+    def test_window_query_exact(self, fixture_name, request, skewed_points):
+        tree = request.getfixturevalue(fixture_name)
+        windows = generate_window_queries(skewed_points, 15, area_fraction=0.002, seed=9)
+        for window in windows:
+            truth = brute_force_window(skewed_points, window)
+            assert tree.window_query(window).shape[0] == truth.shape[0]
+
+    def test_knn_exact(self, fixture_name, request, skewed_points):
+        tree = request.getfixturevalue(fixture_name)
+        for x, y in skewed_points[:15]:
+            truth = brute_force_knn(skewed_points, float(x), float(y), 5)
+            reported = tree.knn_query(float(x), float(y), 5)
+            truth_dists = np.sort(np.hypot(truth[:, 0] - x, truth[:, 1] - y))
+            reported_dists = np.sort(np.hypot(reported[:, 0] - x, reported[:, 1] - y))
+            assert np.allclose(truth_dists, reported_dists)
+
+    def test_block_accesses_counted(self, fixture_name, request, skewed_points):
+        tree = request.getfixturevalue(fixture_name)
+        tree.stats.reset()
+        tree.window_query(Rect(0.2, 0.0, 0.3, 0.05))
+        assert tree.stats.total_reads >= 1
+
+
+class TestRStarStructure:
+    def test_node_capacities_respected(self, rstar):
+        stack = [rstar.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert len(node.points) <= 20
+            else:
+                assert len(node.children) <= 10
+                stack.extend(node.children)
+
+    def test_mbrs_contain_children(self, rstar):
+        stack = [rstar.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for x, y in node.points:
+                    assert node.mbr.contains_point(x, y)
+            else:
+                for child in node.children:
+                    assert node.mbr.contains_rect(child.mbr)
+                stack.extend(node.children)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RStarTree(block_capacity=1)
+        with pytest.raises(ValueError):
+            RStarTree(reinsert_fraction=1.0)
+
+    def test_build_via_insertion_counts_points(self, rstar, skewed_points):
+        assert rstar.n_points == skewed_points.shape[0]
+
+    def test_height_grows_with_data(self, uniform_points):
+        small = RStarTree(block_capacity=10, fanout=5).build(uniform_points[:50])
+        large = RStarTree(block_capacity=10, fanout=5).build(uniform_points)
+        assert large.height >= small.height
+
+
+class TestRTreeUpdates:
+    @pytest.mark.parametrize("factory", [
+        lambda: HRRTree(block_capacity=10, fanout=5),
+        lambda: RStarTree(block_capacity=10, fanout=5),
+    ])
+    def test_insert_and_delete(self, factory, uniform_points):
+        tree = factory().build(uniform_points)
+        rng = np.random.default_rng(10)
+        new_points = rng.random((120, 2))
+        for x, y in new_points:
+            tree.insert(float(x), float(y))
+        for x, y in new_points:
+            assert tree.contains(float(x), float(y))
+        # capacity still respected after splits
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert len(node.points) <= 10
+            else:
+                stack.extend(node.children)
+        x, y = map(float, new_points[0])
+        assert tree.delete(x, y)
+        assert not tree.contains(x, y)
+
+    def test_window_query_after_insertions(self, uniform_points):
+        tree = HRRTree(block_capacity=10, fanout=5).build(uniform_points)
+        rng = np.random.default_rng(11)
+        extra = rng.random((100, 2))
+        for x, y in extra:
+            tree.insert(float(x), float(y))
+        all_points = np.vstack([uniform_points, extra])
+        window = Rect(0.3, 0.3, 0.7, 0.7)
+        truth = brute_force_window(all_points, window)
+        assert tree.window_query(window).shape[0] == truth.shape[0]

@@ -1,0 +1,131 @@
+"""Tests of the ZM (Z-order model) learned baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ZMConfig, ZMIndex
+from repro.geometry import Rect
+from repro.nn import TrainingConfig
+from repro.queries import brute_force_knn, brute_force_window, generate_window_queries
+
+
+@pytest.fixture(scope="module")
+def zm_index(skewed_points):
+    config = ZMConfig(block_capacity=20, training=TrainingConfig(epochs=25), seed=0)
+    return ZMIndex(config).build(skewed_points)
+
+
+class TestZMConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZMConfig(block_capacity=0)
+        with pytest.raises(ValueError):
+            ZMConfig(curve_order=0)
+        with pytest.raises(ValueError):
+            ZMConfig(hidden_size=0)
+
+
+class TestZMBuild:
+    def test_three_level_hierarchy(self, zm_index, skewed_points):
+        """The paper's ZM has 1, sqrt(n/B^2), n/B^2 sub-models per level."""
+        n = skewed_points.shape[0]
+        capacity = zm_index.config.block_capacity
+        expected_leaf_models = int(np.ceil(n / (capacity * capacity)))
+        assert len(zm_index._levels) == 3
+        assert len(zm_index._levels[0]) == 1
+        assert len(zm_index._levels[2]) == expected_leaf_models
+        assert zm_index.n_models == sum(len(level) for level in zm_index._levels)
+
+    def test_points_packed_in_z_order(self, zm_index):
+        stored = zm_index.store.all_points()
+        z_values = zm_index._z_values(stored)
+        assert np.all(np.diff(z_values) >= 0)
+
+    def test_error_bounds_nonnegative(self, zm_index):
+        err_below, err_above = zm_index.error_bounds()
+        assert err_below >= 0 and err_above >= 0
+
+    def test_size_bytes(self, zm_index):
+        assert zm_index.size_bytes() > zm_index.store.size_bytes()
+
+    def test_empty_build_raises(self):
+        with pytest.raises(ValueError):
+            ZMIndex().build(np.empty((0, 2)))
+
+
+class TestZMQueries:
+    def test_all_indexed_points_found(self, zm_index, skewed_points):
+        for x, y in skewed_points:
+            assert zm_index.contains(float(x), float(y))
+
+    def test_missing_point_not_found(self, zm_index):
+        assert not zm_index.contains(0.31415926, 0.2718281)
+
+    def test_window_query_no_false_positives(self, zm_index, skewed_points):
+        windows = generate_window_queries(skewed_points, 15, area_fraction=0.001, seed=2)
+        for window in windows:
+            reported = zm_index.window_query(window)
+            if reported.shape[0]:
+                assert np.all(window.contains_points(reported))
+
+    def test_window_query_recall(self, zm_index, skewed_points):
+        windows = generate_window_queries(skewed_points, 20, area_fraction=0.002, seed=3)
+        recalls = []
+        for window in windows:
+            truth = brute_force_window(skewed_points, window)
+            if truth.shape[0] == 0:
+                continue
+            reported = zm_index.window_query(window)
+            truth_set = {tuple(p) for p in np.round(truth, 12)}
+            found = {tuple(p) for p in np.round(reported, 12)}
+            recalls.append(len(found & truth_set) / len(truth_set))
+        assert np.mean(recalls) >= 0.6
+
+    def test_knn_query_returns_k_points(self, zm_index):
+        result = zm_index.knn_query(0.4, 0.05, 10)
+        assert result.shape == (10, 2)
+
+    def test_knn_query_recall(self, zm_index, skewed_points):
+        recalls = []
+        for x, y in skewed_points[:20]:
+            truth = brute_force_knn(skewed_points, float(x), float(y), 5)
+            reported = zm_index.knn_query(float(x), float(y), 5)
+            truth_set = {tuple(p) for p in np.round(truth, 12)}
+            found = {tuple(p) for p in np.round(reported, 12)}
+            recalls.append(len(found & truth_set) / len(truth_set))
+        assert np.mean(recalls) >= 0.6
+
+    def test_block_accesses_counted(self, zm_index, skewed_points):
+        zm_index.stats.reset()
+        zm_index.contains(*map(float, skewed_points[0]))
+        assert zm_index.stats.total_reads >= 1
+
+
+class TestZMUpdates:
+    @pytest.fixture()
+    def mutable_zm(self, skewed_points):
+        config = ZMConfig(block_capacity=20, training=TrainingConfig(epochs=25), seed=0)
+        return ZMIndex(config).build(skewed_points)
+
+    def test_insert_then_found(self, mutable_zm):
+        rng = np.random.default_rng(5)
+        new_points = rng.random((60, 2))
+        for x, y in new_points:
+            mutable_zm.insert(float(x), float(y))
+        for x, y in new_points:
+            assert mutable_zm.contains(float(x), float(y))
+
+    def test_insert_does_not_break_existing(self, mutable_zm, skewed_points):
+        for x, y in np.random.default_rng(6).random((50, 2)):
+            mutable_zm.insert(float(x), float(y))
+        for x, y in skewed_points[:100]:
+            assert mutable_zm.contains(float(x), float(y))
+
+    def test_delete(self, mutable_zm, skewed_points):
+        x, y = map(float, skewed_points[11])
+        assert mutable_zm.delete(x, y)
+        assert not mutable_zm.contains(x, y)
+        assert not mutable_zm.delete(x, y)
+
+    def test_z_value_monotone_in_quadrant(self, mutable_zm):
+        assert mutable_zm.z_value(0.1, 0.1) < mutable_zm.z_value(0.9, 0.9)

@@ -1,0 +1,64 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core import RSMIConfig
+from repro.nn import TrainingConfig
+
+
+class TestRSMIConfigValidation:
+    def test_defaults_match_paper(self):
+        config = RSMIConfig()
+        assert config.block_capacity == 100
+        assert config.partition_threshold == 10_000
+        assert config.curve == "hilbert"
+        assert config.knn_delta == 0.01
+        assert config.pmf_partitions == 100
+
+    def test_invalid_block_capacity(self):
+        with pytest.raises(ValueError):
+            RSMIConfig(block_capacity=0)
+
+    def test_threshold_below_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RSMIConfig(block_capacity=100, partition_threshold=50)
+
+    def test_unknown_curve_rejected(self):
+        with pytest.raises(ValueError):
+            RSMIConfig(curve="peano")
+
+    def test_z_curve_accepted(self):
+        assert RSMIConfig(curve="z").curve == "z"
+
+    def test_invalid_hidden_size(self):
+        with pytest.raises(ValueError):
+            RSMIConfig(hidden_size=0)
+
+    def test_invalid_knn_delta(self):
+        with pytest.raises(ValueError):
+            RSMIConfig(knn_delta=0)
+
+    def test_invalid_max_height(self):
+        with pytest.raises(ValueError):
+            RSMIConfig(max_height=0)
+
+    def test_custom_training_config(self):
+        training = TrainingConfig(epochs=10)
+        assert RSMIConfig(training=training).training.epochs == 10
+
+
+class TestHiddenWidthRule:
+    def test_paper_example(self):
+        """(2 inputs + 100 block ids) / 2 = 51 hidden neurons (Section 6.1)."""
+        config = RSMIConfig(hidden_size_cap=128)
+        assert config.hidden_width_for(100) == 51
+
+    def test_cap_applies(self):
+        config = RSMIConfig(hidden_size_cap=32)
+        assert config.hidden_width_for(1_000) == 32
+
+    def test_minimum_width(self):
+        assert RSMIConfig().hidden_width_for(1) == 4
+
+    def test_fixed_hidden_size_overrides_rule(self):
+        assert RSMIConfig(hidden_size=7).hidden_width_for(100) == 7

@@ -1,0 +1,148 @@
+"""Tests of the extended-object (rectangle) index built via query expansion."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExtendedObjectIndex, RSMIConfig
+from repro.core.extent import rects_to_arrays
+from repro.geometry import Rect
+from repro.nn import TrainingConfig
+
+
+def make_rects(n: int, seed: int = 0, max_extent: float = 0.02) -> list[Rect]:
+    rng = np.random.default_rng(seed)
+    centers = rng.random((n, 2))
+    half_w = rng.uniform(0.001, max_extent, n)
+    half_h = rng.uniform(0.001, max_extent, n)
+    return [
+        Rect(
+            float(np.clip(cx - w, 0, 1)),
+            float(np.clip(cy - h, 0, 1)),
+            float(np.clip(cx + w, 0, 1)),
+            float(np.clip(cy + h, 0, 1)),
+        )
+        for (cx, cy), w, h in zip(centers, half_w, half_h)
+    ]
+
+
+def brute_force_intersections(rects: list[Rect], window: Rect) -> set[tuple]:
+    return {r.as_tuple() for r in rects if window.intersects(r)}
+
+
+@pytest.fixture(scope="module")
+def extent_config():
+    return RSMIConfig(block_capacity=20, partition_threshold=400, training=TrainingConfig(epochs=25))
+
+
+@pytest.fixture(scope="module")
+def rect_data():
+    return make_rects(700, seed=3)
+
+
+@pytest.fixture(scope="module")
+def extent_index(extent_config, rect_data):
+    return ExtendedObjectIndex(extent_config).build(rect_data)
+
+
+class TestRectsToArrays:
+    def test_from_rect_list(self):
+        array = rects_to_arrays([Rect(0, 0, 1, 1), Rect(0.2, 0.3, 0.4, 0.5)])
+        assert array.shape == (2, 4)
+
+    def test_from_array(self):
+        array = rects_to_arrays(np.array([[0.0, 0.0, 0.5, 0.5]]))
+        assert array.shape == (1, 4)
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            rects_to_arrays(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            rects_to_arrays(np.array([[1.0, 0.0, 0.0, 1.0]]))  # xlo > xhi
+
+
+class TestBuild:
+    def test_counts_and_extents(self, extent_index, rect_data):
+        assert extent_index.n_objects == len(rect_data)
+        assert extent_index.max_half_width <= 0.02 + 1e-9
+        assert extent_index.max_half_height <= 0.02 + 1e-9
+        assert extent_index.size_bytes() > 0
+
+    def test_empty_build_raises(self, extent_config):
+        with pytest.raises(ValueError):
+            ExtendedObjectIndex(extent_config).build([])
+
+
+class TestWindowQueries:
+    def test_exact_matches_brute_force(self, extent_index, rect_data):
+        rng = np.random.default_rng(5)
+        for _ in range(15):
+            cx, cy = rng.random(2)
+            window = Rect.from_center(float(cx), float(cy), 0.1, 0.1).clip_to(Rect.unit())
+            truth = brute_force_intersections(rect_data, window)
+            reported = {r.as_tuple() for r in extent_index.window_query(window, exact=True)}
+            assert reported == truth
+
+    def test_approximate_has_no_false_positives(self, extent_index, rect_data):
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            cx, cy = rng.random(2)
+            window = Rect.from_center(float(cx), float(cy), 0.08, 0.08).clip_to(Rect.unit())
+            truth = brute_force_intersections(rect_data, window)
+            reported = {r.as_tuple() for r in extent_index.window_query(window)}
+            assert reported.issubset(truth)
+
+    def test_stabbing_query(self, extent_index, rect_data):
+        target = rect_data[0]
+        cx, cy = target.center
+        reported = extent_index.stabbing_query(cx, cy, exact=True)
+        assert target in reported
+        for rect in reported:
+            assert rect.contains_point(cx, cy)
+
+    def test_knn_query_returns_nearby_objects(self, extent_index, rect_data):
+        results = extent_index.knn_query(0.5, 0.5, 5, exact=True)
+        assert len(results) == 5
+        centers = np.array([r.center for r in rect_data])
+        dists = np.sort(np.hypot(centers[:, 0] - 0.5, centers[:, 1] - 0.5))
+        worst_reported = max(
+            np.hypot(r.center[0] - 0.5, r.center[1] - 0.5) for r in results
+        )
+        assert worst_reported <= dists[4] + 1e-9
+
+    def test_knn_invalid_k(self, extent_index):
+        with pytest.raises(ValueError):
+            extent_index.knn_query(0.5, 0.5, 0)
+
+
+class TestExtentUpdates:
+    @pytest.fixture()
+    def mutable_index(self, extent_config):
+        return ExtendedObjectIndex(extent_config).build(make_rects(300, seed=9))
+
+    def test_insert_then_query(self, mutable_index):
+        new_rect = Rect(0.701, 0.701, 0.709, 0.709)
+        mutable_index.insert(new_rect)
+        window = Rect(0.7, 0.7, 0.71, 0.71)
+        assert new_rect in mutable_index.window_query(window, exact=True)
+        assert mutable_index.n_objects == 301
+
+    def test_insert_grows_expansion_margin(self, mutable_index):
+        huge = Rect(0.1, 0.1, 0.5, 0.5)
+        mutable_index.insert(huge)
+        assert mutable_index.max_half_width >= 0.2
+        # a window far from the centre but overlapping the big rectangle is found
+        assert huge in mutable_index.window_query(Rect(0.11, 0.11, 0.12, 0.12), exact=True)
+
+    def test_delete(self, mutable_index):
+        victim = Rect(0.801, 0.801, 0.809, 0.809)
+        mutable_index.insert(victim)
+        assert mutable_index.delete(victim)
+        assert victim not in mutable_index.window_query(Rect(0.8, 0.8, 0.81, 0.81), exact=True)
+        assert not mutable_index.delete(victim)
+
+    def test_duplicate_centers_supported(self, extent_config):
+        rects = [Rect(0.4, 0.4, 0.6, 0.6), Rect(0.45, 0.45, 0.55, 0.55)] + make_rects(200, seed=11)
+        index = ExtendedObjectIndex(extent_config).build(rects)
+        reported = index.window_query(Rect(0.49, 0.49, 0.51, 0.51), exact=True)
+        assert Rect(0.4, 0.4, 0.6, 0.6) in reported
+        assert Rect(0.45, 0.45, 0.55, 0.55) in reported

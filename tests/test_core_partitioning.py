@@ -1,0 +1,109 @@
+"""Unit tests for the learned grid partitioning (paper Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RSMIConfig
+from repro.core.partitioning import (
+    build_partitioning,
+    compute_grid_cells,
+    grid_side_for,
+)
+from repro.nn import TrainingConfig
+
+
+class TestGridSide:
+    def test_paper_default(self):
+        """N = 10 000, B = 100 -> N/B = 100 -> 2^floor(log4 100) = 2^3 = 8."""
+        assert grid_side_for(10_000, 100) == 8
+
+    def test_small_ratio_still_splits(self):
+        assert grid_side_for(100, 100) == 2
+        assert grid_side_for(200, 100) == 2
+
+    def test_figure4_example(self):
+        """N = 8, B = 2 -> 2 x 2 grid (paper Figure 4)."""
+        assert grid_side_for(8, 2) == 2
+
+    def test_larger_ratios(self):
+        assert grid_side_for(1_600, 100) == 4
+        assert grid_side_for(6_400, 100) == 8
+
+
+class TestComputeGridCells:
+    def test_cells_in_range(self):
+        points = np.random.default_rng(0).random((100, 2))
+        columns, rows = compute_grid_cells(points, 4)
+        assert columns.min() >= 0 and columns.max() < 4
+        assert rows.min() >= 0 and rows.max() < 4
+
+    def test_columns_have_balanced_counts(self):
+        """The non-regular grid follows the data: every column gets ~n/g points."""
+        points = np.random.default_rng(1).random((400, 2))
+        points[:, 0] = points[:, 0] ** 3  # skew x
+        columns, _ = compute_grid_cells(points, 4)
+        counts = np.bincount(columns, minlength=4)
+        assert counts.min() >= 90 and counts.max() <= 110
+
+    def test_cells_have_balanced_counts_within_column(self):
+        points = np.random.default_rng(2).random((400, 2))
+        points[:, 1] = points[:, 1] ** 4  # heavy y skew
+        columns, rows = compute_grid_cells(points, 4)
+        for column in range(4):
+            member_rows = rows[columns == column]
+            counts = np.bincount(member_rows, minlength=4)
+            assert counts.max() - counts.min() <= 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compute_grid_cells(np.empty((0, 2)), 2)
+
+    def test_single_point(self):
+        columns, rows = compute_grid_cells(np.array([[0.5, 0.5]]), 2)
+        assert columns.tolist() == [0]
+        assert rows.tolist() == [0]
+
+
+class TestBuildPartitioning:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return RSMIConfig(
+            block_capacity=20, partition_threshold=400, training=TrainingConfig(epochs=25)
+        )
+
+    def test_groups_cover_all_points(self, config):
+        points = np.random.default_rng(3).random((600, 2))
+        _, groups = build_partitioning(points, config, np.random.default_rng(0))
+        total = sum(len(indices) for indices in groups.values())
+        assert total == 600
+        all_indices = np.concatenate(list(groups.values()))
+        assert sorted(all_indices.tolist()) == list(range(600))
+
+    def test_grouping_is_consistent_with_prediction(self, config):
+        """Every point must be grouped under the cell the model predicts for it,
+        which is what makes query-time routing correct (Section 3.2)."""
+        points = np.random.default_rng(4).random((500, 2))
+        partitioning, groups = build_partitioning(points, config, np.random.default_rng(0))
+        for cell, indices in groups.items():
+            for index in indices[:20]:
+                x, y = points[index]
+                assert partitioning.predict_cell(float(x), float(y)) == cell
+
+    def test_predict_cells_matches_scalar(self, config):
+        points = np.random.default_rng(5).random((200, 2))
+        partitioning, _ = build_partitioning(points, config, np.random.default_rng(0))
+        vectorised = partitioning.predict_cells(points)
+        scalar = [partitioning.predict_cell(float(x), float(y)) for x, y in points]
+        assert vectorised.tolist() == scalar
+
+    def test_prediction_in_cell_range(self, config):
+        points = np.random.default_rng(6).random((300, 2))
+        partitioning, _ = build_partitioning(points, config, np.random.default_rng(0))
+        predictions = partitioning.predict_cells(np.random.default_rng(7).random((100, 2)))
+        assert predictions.min() >= 0
+        assert predictions.max() < partitioning.n_cells
+
+    def test_size_bytes_positive(self, config):
+        points = np.random.default_rng(8).random((200, 2))
+        partitioning, _ = build_partitioning(points, config, np.random.default_rng(0))
+        assert partitioning.size_bytes() > 0

@@ -1,0 +1,85 @@
+"""Tests of index persistence (save_index / load_index)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.baselines import GridFile
+from repro.core import RSMI, load_index, save_index
+from repro.core.persistence import FORMAT_VERSION, IndexArtifact, PersistenceError
+from repro.geometry import Rect
+
+
+class TestSaveLoadRoundtrip:
+    def test_rsmi_roundtrip_preserves_queries(self, built_rsmi, skewed_points, tmp_path):
+        path = save_index(built_rsmi, tmp_path / "rsmi.idx")
+        loaded = load_index(path, expected_type=RSMI)
+        assert loaded.n_points == built_rsmi.n_points
+        assert loaded.height == built_rsmi.height
+        assert loaded.error_bounds() == built_rsmi.error_bounds()
+        for x, y in skewed_points[:100]:
+            assert loaded.contains(float(x), float(y))
+        window = Rect(0.2, 0.0, 0.4, 0.05)
+        assert loaded.window_query_exact(window).count == built_rsmi.window_query_exact(window).count
+
+    def test_loaded_index_supports_updates(self, built_rsmi, tmp_path):
+        loaded = load_index(save_index(built_rsmi, tmp_path / "rsmi.idx"))
+        loaded.insert(0.404, 0.505)
+        assert loaded.contains(0.404, 0.505)
+        # the original in-memory index is unaffected (deep copy through pickling)
+        assert not built_rsmi.contains(0.404, 0.505)
+
+    def test_baseline_roundtrip(self, uniform_points, tmp_path):
+        grid = GridFile(block_capacity=20).build(uniform_points)
+        loaded = load_index(save_index(grid, tmp_path / "grid.idx"), expected_type=GridFile)
+        assert loaded.n_points == grid.n_points
+        assert loaded.contains(*map(float, uniform_points[0]))
+
+    def test_parent_directories_created(self, built_rsmi, tmp_path):
+        path = save_index(built_rsmi, tmp_path / "nested" / "deep" / "rsmi.idx")
+        assert path.exists()
+
+
+class TestPersistenceErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_index(tmp_path / "does-not-exist.idx")
+
+    def test_not_an_artifact(self, tmp_path):
+        path = tmp_path / "garbage.idx"
+        path.write_bytes(b"hello world, definitely not an index")
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_wrong_expected_type(self, built_rsmi, tmp_path):
+        path = save_index(built_rsmi, tmp_path / "rsmi.idx")
+        with pytest.raises(PersistenceError):
+            load_index(path, expected_type=GridFile)
+
+    def test_future_format_version_rejected(self, built_rsmi, tmp_path):
+        path = tmp_path / "future.idx"
+        artifact = IndexArtifact(
+            format_version=FORMAT_VERSION + 1,
+            library_version="99.0",
+            index_type="RSMI",
+            payload=built_rsmi,
+        )
+        with path.open("wb") as handle:
+            handle.write(b"RSMIREPRO")
+            pickle.dump(artifact, handle)
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_envelope_missing_rejected(self, tmp_path):
+        path = tmp_path / "raw.idx"
+        with path.open("wb") as handle:
+            handle.write(b"RSMIREPRO")
+            pickle.dump({"not": "an artifact"}, handle)
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_describe(self, built_rsmi):
+        artifact = IndexArtifact(FORMAT_VERSION, "1.0.0", "RSMI", built_rsmi)
+        assert "RSMI" in artifact.describe()
+        assert "1.0.0" in artifact.describe()

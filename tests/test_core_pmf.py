@@ -1,0 +1,80 @@
+"""Unit tests for the piecewise mapping function (CDF approximation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PiecewiseMappingFunction
+
+
+class TestPMFBasics:
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            PiecewiseMappingFunction(np.array([]))
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            PiecewiseMappingFunction(np.array([1.0, 2.0]), n_partitions=0)
+
+    def test_bounds_clamp_to_zero_one(self):
+        pmf = PiecewiseMappingFunction(np.linspace(0, 1, 100), n_partitions=10)
+        assert pmf.evaluate(-0.5) == 0.0
+        assert pmf.evaluate(1.5) == 1.0
+
+    def test_uniform_sample_is_roughly_identity(self):
+        values = np.linspace(0, 1, 1_001)
+        pmf = PiecewiseMappingFunction(values, n_partitions=100)
+        for x in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert pmf.evaluate(x) == pytest.approx(x, abs=0.02)
+
+    def test_monotone_non_decreasing(self):
+        rng = np.random.default_rng(0)
+        pmf = PiecewiseMappingFunction(rng.random(500) ** 3, n_partitions=50)
+        xs = np.linspace(-0.1, 1.1, 200)
+        values = [pmf.evaluate(x) for x in xs]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_partitions_capped_at_sample_size(self):
+        pmf = PiecewiseMappingFunction(np.array([1.0, 2.0, 3.0]), n_partitions=100)
+        assert pmf.n_partitions == 3
+
+
+class TestSkewParameter:
+    def test_uniform_data_alpha_near_one(self):
+        """Equation 6: for uniform data the slope of the CDF is 1, so alpha ~ 1."""
+        values = np.linspace(0, 1, 2_001)
+        pmf = PiecewiseMappingFunction(values, n_partitions=100)
+        assert pmf.skew_parameter(0.5, delta=0.01) == pytest.approx(1.0, rel=0.1)
+
+    def test_dense_region_has_small_alpha(self):
+        """In a dense region the CDF rises steeply, so alpha < 1 (smaller search box)."""
+        rng = np.random.default_rng(1)
+        values = np.concatenate([rng.normal(0.5, 0.01, 5_000), rng.random(500)])
+        values = np.clip(values, 0, 1)
+        pmf = PiecewiseMappingFunction(values, n_partitions=100)
+        assert pmf.skew_parameter(0.5, delta=0.01) < 0.5
+
+    def test_sparse_region_has_large_alpha(self):
+        rng = np.random.default_rng(2)
+        values = np.concatenate([rng.normal(0.1, 0.01, 5_000), rng.random(100)])
+        values = np.clip(values, 0, 1)
+        pmf = PiecewiseMappingFunction(values, n_partitions=100)
+        assert pmf.skew_parameter(0.8, delta=0.01) > 1.0
+
+    def test_flat_region_alpha_is_clamped(self):
+        pmf = PiecewiseMappingFunction(np.array([0.0, 0.001, 0.002, 1.0]), n_partitions=4)
+        alpha = pmf.skew_parameter(0.5, delta=0.001)
+        assert np.isfinite(alpha)
+
+    def test_invalid_delta(self):
+        pmf = PiecewiseMappingFunction(np.linspace(0, 1, 10))
+        with pytest.raises(ValueError):
+            pmf.slope(0.5, delta=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000), query=st.floats(0, 1))
+    def test_evaluate_always_in_unit_interval(self, seed, query):
+        values = np.random.default_rng(seed).random(200)
+        pmf = PiecewiseMappingFunction(values, n_partitions=20)
+        assert 0.0 <= pmf.evaluate(query) <= 1.0
+        assert pmf.skew_parameter(query) > 0

@@ -1,0 +1,69 @@
+"""Tests of the RSMI point query (Algorithm 1)."""
+
+import numpy as np
+
+from repro.core import RSMI
+
+
+class TestPointQueryCorrectness:
+    def test_every_indexed_point_is_found(self, built_rsmi, skewed_points):
+        """Algorithm 1 guarantees no false negatives for indexed points."""
+        for x, y in skewed_points:
+            assert built_rsmi.contains(float(x), float(y))
+
+    def test_uniform_data_also_fully_found(self, built_rsmi_uniform, uniform_points):
+        for x, y in uniform_points[:300]:
+            assert built_rsmi_uniform.contains(float(x), float(y))
+
+    def test_non_indexed_point_not_found(self, built_rsmi):
+        assert not built_rsmi.contains(0.123456789, 0.987654321)
+        assert not built_rsmi.contains(-0.5, 0.5)
+
+    def test_result_fields(self, built_rsmi, skewed_points):
+        x, y = map(float, skewed_points[0])
+        result = built_rsmi.point_query(x, y)
+        assert result.found
+        assert result.block_id is not None
+        assert result.position is not None
+        assert result.predicted_position is not None
+        assert 1 <= result.depth <= built_rsmi.height
+        assert result.blocks_scanned >= 1
+
+    def test_not_found_result_fields(self, built_rsmi):
+        result = built_rsmi.point_query(0.5, 1.5)
+        assert not result.found
+        assert result.block_id is None
+
+    def test_blocks_scanned_within_error_bounds(self, built_rsmi, skewed_points):
+        err_below, err_above = built_rsmi.error_bounds()
+        upper_bound = err_below + err_above + 1 + built_rsmi.store.n_overflow_blocks
+        for x, y in skewed_points[:200]:
+            result = built_rsmi.point_query(float(x), float(y))
+            assert result.blocks_scanned <= upper_bound
+
+    def test_average_block_accesses_is_small(self, built_rsmi, skewed_points):
+        """The paper reports ~1.3-1.5 block accesses per point query; the outward
+        scan from the predicted block should keep the average well below the
+        worst-case error bound."""
+        built_rsmi.stats.reset()
+        sample = skewed_points[:300]
+        for x, y in sample:
+            built_rsmi.point_query(float(x), float(y))
+        average = built_rsmi.stats.block_reads / len(sample)
+        err_below, err_above = built_rsmi.error_bounds()
+        assert average < max(err_below + err_above + 1, 2)
+        assert average >= 1.0
+
+
+class TestPointQueryStats:
+    def test_stats_accumulate_per_query(self, built_rsmi, skewed_points):
+        built_rsmi.stats.reset()
+        x, y = map(float, skewed_points[10])
+        result = built_rsmi.point_query(x, y)
+        assert built_rsmi.stats.block_reads == result.blocks_scanned
+
+    def test_depth_matches_average_depth_bound(self, built_rsmi, skewed_points):
+        depths = [
+            built_rsmi.point_query(float(x), float(y)).depth for x, y in skewed_points[:50]
+        ]
+        assert max(depths) <= built_rsmi.height

@@ -1,0 +1,54 @@
+"""Unit tests of the window-query internals (corner routing and block ranges)."""
+
+import numpy as np
+
+from repro.core.window import window_block_range, window_corner_points
+from repro.geometry import Rect
+from repro.queries import brute_force_window
+
+
+class TestWindowBlockRange:
+    def test_range_is_within_store(self, built_rsmi):
+        begin, end = window_block_range(built_rsmi, Rect(0.1, 0.0, 0.3, 0.05))
+        assert 0 <= begin <= end < built_rsmi.store.n_base_blocks
+
+    def test_degenerate_window_is_supported(self, built_rsmi, skewed_points):
+        x, y = map(float, skewed_points[0])
+        begin, end = window_block_range(built_rsmi, Rect(x, y, x, y))
+        assert begin <= end
+
+    def test_range_grows_with_window(self, built_rsmi):
+        small_begin, small_end = window_block_range(built_rsmi, Rect(0.4, 0.0, 0.45, 0.02))
+        large_begin, large_end = window_block_range(built_rsmi, Rect(0.1, 0.0, 0.9, 0.4))
+        assert (large_end - large_begin) >= (small_end - small_begin)
+
+    def test_range_covers_most_window_points(self, built_rsmi, skewed_points):
+        """The corner-bounded block range is the mechanism behind the paper's high
+        recall: the blocks between the corner predictions hold (almost) all of the
+        window's points."""
+        window = Rect(0.3, 0.0, 0.5, 0.06)
+        begin, end = window_block_range(built_rsmi, window)
+        truth = brute_force_window(skewed_points, window)
+        covered = 0
+        positions_points = []
+        for position in range(begin, end + 1):
+            for block in built_rsmi.store.iter_chain(position):
+                positions_points.extend(block.iter_points())
+        stored = {tuple(np.round(p, 12)) for p in positions_points}
+        for point in np.round(truth, 12):
+            covered += tuple(point) in stored
+        assert covered >= 0.7 * truth.shape[0]
+
+
+class TestCornerSelection:
+    def test_corner_count_by_curve(self):
+        window = Rect(0.0, 0.0, 0.5, 0.5)
+        assert len(window_corner_points(window, "z")) == 2
+        assert len(window_corner_points(window, "Z-curve")) == 2
+        assert len(window_corner_points(window, "hilbert")) == 4
+
+    def test_z_corners_are_extremes(self):
+        window = Rect(0.2, 0.3, 0.6, 0.7)
+        (xlo, ylo), (xhi, yhi) = window_corner_points(window, "z")
+        assert (xlo, ylo) == (0.2, 0.3)
+        assert (xhi, yhi) == (0.6, 0.7)

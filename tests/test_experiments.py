@@ -1,0 +1,142 @@
+"""Tests of the experiment framework (registry, profiles, CLI, smoke runs)."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_REGISTRY,
+    PROFILES,
+    iter_experiments,
+    profile_by_name,
+)
+from repro.experiments.base import ExperimentResult, register_experiment
+from repro.experiments.cli import main as cli_main
+
+#: every table/figure of the paper's evaluation section must have an experiment
+PAPER_EXPERIMENTS = {
+    "table3", "table4",
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+}
+
+
+class TestRegistry:
+    def test_every_paper_table_and_figure_is_registered(self):
+        assert PAPER_EXPERIMENTS.issubset(set(EXPERIMENT_REGISTRY))
+
+    def test_ablations_registered(self):
+        assert "ablation-curve" in EXPERIMENT_REGISTRY
+        assert "ablation-rank" in EXPERIMENT_REGISTRY
+
+    def test_specs_have_metadata(self):
+        for spec in iter_experiments():
+            assert spec.title
+            assert spec.paper_reference
+            assert callable(spec.runner)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_experiment("fig6", "dup", "dup")(lambda profile: None)
+
+
+class TestProfiles:
+    def test_three_profiles_exist(self):
+        assert set(PROFILES) == {"tiny", "small", "paper"}
+
+    def test_paper_profile_matches_paper_parameters(self):
+        paper = profile_by_name("paper")
+        assert paper.block_capacity == 100
+        assert paper.partition_threshold == 10_000
+        assert paper.training_epochs == 500
+        assert 128_000_000 in paper.size_sweep
+        assert paper.k_values == (1, 5, 25, 125, 625)
+
+    def test_tiny_profile_is_small(self):
+        tiny = profile_by_name("tiny")
+        assert tiny.n_points <= 5_000
+        assert tiny.partition_threshold >= tiny.block_capacity
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError):
+            profile_by_name("huge")
+
+    def test_with_overrides(self):
+        custom = profile_by_name("tiny").with_overrides(n_points=123)
+        assert custom.n_points == 123
+        assert custom.block_capacity == profile_by_name("tiny").block_capacity
+
+
+class TestExperimentResult:
+    def test_column_and_rows_where(self):
+        result = ExperimentResult(
+            experiment_id="demo",
+            title="demo",
+            paper_reference="none",
+            header=["a", "b"],
+            rows=[[1, "x"], [2, "y"], [1, "z"]],
+        )
+        assert result.column("b") == ["x", "y", "z"]
+        assert result.rows_where("a", 1) == [[1, "x"], [1, "z"]]
+        with pytest.raises(KeyError):
+            result.column("missing")
+
+    def test_to_text_contains_notes(self):
+        result = ExperimentResult("demo", "demo", "none", ["a"], [[1]], notes=["hello"])
+        assert "hello" in result.to_text()
+
+
+class TestSmokeRuns:
+    """End-to-end runs of representative experiments at a stripped-down profile."""
+
+    @pytest.fixture(scope="class")
+    def micro_profile(self):
+        return profile_by_name("tiny").with_overrides(
+            n_points=600,
+            size_sweep=(300, 600),
+            threshold_sweep=(100, 200),
+            training_epochs=15,
+            n_point_queries=40,
+            n_window_queries=6,
+            n_knn_queries=6,
+            k_values=(1, 5),
+            update_fractions=(0.1, 0.2),
+            distributions=("uniform", "skewed"),
+            index_names=("Grid", "RSMI", "RSMIa"),
+        )
+
+    def test_table3_smoke(self, micro_profile):
+        result = EXPERIMENT_REGISTRY["table3"].run(micro_profile)
+        assert len(result.rows) == 2
+        assert set(result.header) >= {"N", "height", "point_query_time_us"}
+
+    def test_fig6_smoke(self, micro_profile):
+        result = EXPERIMENT_REGISTRY["fig6"].run(micro_profile)
+        indices = {row[1] for row in result.rows}
+        assert indices == {"Grid", "RSMI"}
+        assert all(row[2] > 0 for row in result.rows)
+
+    def test_fig10_smoke(self, micro_profile):
+        result = EXPERIMENT_REGISTRY["fig10"].run(micro_profile)
+        recalls = {(row[0], row[1]): row[4] for row in result.rows}
+        for distribution in micro_profile.distributions:
+            assert recalls[(distribution, "RSMIa")] == 1.0
+            assert recalls[(distribution, "Grid")] == 1.0
+
+    def test_ablation_rank_smoke(self, micro_profile):
+        result = EXPERIMENT_REGISTRY["ablation-rank"].run(micro_profile)
+        by_label = {row[0]: row[1] for row in result.rows}
+        assert by_label["rank-space"] <= by_label["raw-coordinates"]
+
+
+class TestCLI:
+    def test_list_option(self, capsys):
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table3" in out
+
+    def test_no_arguments_lists(self, capsys):
+        assert cli_main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,100 @@
+"""Unit tests of the experiment sweep helpers (repro.experiments.sweeps / update_sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.runner import measure_deletions
+from repro.experiments.profiles import profile_by_name
+from repro.experiments.sweeps import (
+    make_points,
+    make_suite,
+    run_knn_workload,
+    run_point_workload,
+    run_window_workload,
+    suite_config,
+)
+from repro.experiments.update_sweeps import run_update_sweep
+
+
+@pytest.fixture(scope="module")
+def micro_profile():
+    return profile_by_name("tiny").with_overrides(
+        n_points=500,
+        training_epochs=15,
+        n_point_queries=30,
+        n_window_queries=5,
+        n_knn_queries=5,
+        update_fractions=(0.1, 0.2),
+        index_names=("Grid", "RSMI", "RSMIa"),
+        distributions=("uniform",),
+        default_distribution="uniform",
+    )
+
+
+class TestSweepHelpers:
+    def test_make_points_defaults(self, micro_profile):
+        points = make_points(micro_profile)
+        assert points.shape == (500, 2)
+
+    def test_make_points_overrides(self, micro_profile):
+        points = make_points(micro_profile, distribution="skewed", n_points=123, seed=9)
+        assert points.shape == (123, 2)
+
+    def test_suite_config_translation(self, micro_profile):
+        config = suite_config(micro_profile, partition_threshold=250)
+        assert config.block_capacity == micro_profile.block_capacity
+        assert config.partition_threshold == 250
+        assert config.index_names == micro_profile.index_names
+
+    def test_make_suite_and_workloads(self, micro_profile):
+        points = make_points(micro_profile)
+        adapters, reports = make_suite(points, micro_profile)
+        assert set(adapters) == set(micro_profile.index_names)
+        assert set(reports) == set(micro_profile.index_names)
+
+        point_metrics = run_point_workload(adapters, points, micro_profile)
+        assert all(m.n_queries == 30 for m in point_metrics.values())
+
+        window_metrics = run_window_workload(adapters, points, micro_profile)
+        assert window_metrics["RSMIa"].recall == 1.0
+
+        knn_metrics = run_knn_workload(adapters, points, micro_profile, k=3)
+        assert knn_metrics["Grid"].recall == 1.0
+
+
+class TestUpdateSweep:
+    def test_unknown_query_kind(self, micro_profile):
+        with pytest.raises(ValueError):
+            run_update_sweep(micro_profile, query_kind="join")
+
+    def test_point_sweep_structure(self, micro_profile):
+        steps = run_update_sweep(micro_profile, query_kind="point", include_rsmir=True)
+        names = {step.index_name for step in steps}
+        assert names == {"Grid", "RSMI", "RSMIa", "RSMIr"}
+        fractions = sorted({step.fraction for step in steps})
+        assert fractions == [0.1, 0.2]
+        # shared RSMI/RSMIa structure: their per-batch insertion metrics are identical
+        for fraction in fractions:
+            rsmi_step = next(
+                s for s in steps if s.fraction == fraction and s.index_name == "RSMI"
+            )
+            rsmia_step = next(
+                s for s in steps if s.fraction == fraction and s.index_name == "RSMIa"
+            )
+            assert rsmi_step.insertion.avg_time_ms == rsmia_step.insertion.avg_time_ms
+
+    def test_window_sweep_exact_recall_after_insertions(self, micro_profile):
+        steps = run_update_sweep(micro_profile, query_kind="window", include_rsmir=False)
+        for step in steps:
+            if step.index_name in ("Grid", "RSMIa"):
+                assert step.query.recall == 1.0, step
+
+
+class TestDeletionMeasurement:
+    def test_measure_deletions(self, micro_profile):
+        points = make_points(micro_profile)
+        adapters, _ = make_suite(points, micro_profile, index_names=("Grid",))
+        metrics = measure_deletions(adapters["Grid"], points[:20])
+        assert metrics.n_queries == 20
+        for x, y in points[:20]:
+            assert not adapters["Grid"].point_query(float(x), float(y))

@@ -1,0 +1,58 @@
+"""Unit tests for repro.geometry.distance."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Rect, euclidean, euclidean_many, mindist_point_rect
+
+
+class TestEuclidean:
+    def test_simple_distance(self):
+        assert euclidean(0, 0, 3, 4) == pytest.approx(5.0)
+
+    def test_zero_distance(self):
+        assert euclidean(0.3, 0.7, 0.3, 0.7) == 0.0
+
+    def test_symmetry(self):
+        assert euclidean(1, 2, 5, 9) == euclidean(5, 9, 1, 2)
+
+    def test_euclidean_many_matches_scalar(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]])
+        distances = euclidean_many((0.0, 0.0), points)
+        assert distances.tolist() == pytest.approx([0.0, 5.0, math.sqrt(2)])
+
+    def test_euclidean_many_bad_shape(self):
+        with pytest.raises(ValueError):
+            euclidean_many((0, 0), np.array([1.0, 2.0, 3.0]))
+
+
+class TestMindist:
+    def test_point_inside_rect_is_zero(self):
+        assert mindist_point_rect(0.5, 0.5, Rect.unit()) == 0.0
+
+    def test_point_on_boundary_is_zero(self):
+        assert mindist_point_rect(1.0, 0.5, Rect.unit()) == 0.0
+
+    def test_point_left_of_rect(self):
+        assert mindist_point_rect(-1.0, 0.5, Rect.unit()) == pytest.approx(1.0)
+
+    def test_point_diagonal_from_corner(self):
+        assert mindist_point_rect(2.0, 2.0, Rect.unit()) == pytest.approx(math.sqrt(2))
+
+    @given(
+        px=st.floats(-5, 5), py=st.floats(-5, 5),
+        xlo=st.floats(-2, 2), ylo=st.floats(-2, 2),
+        w=st.floats(0, 3), h=st.floats(0, 3),
+    )
+    def test_mindist_is_lower_bound_on_distance_to_corners(self, px, py, xlo, ylo, w, h):
+        rect = Rect(xlo, ylo, xlo + w, ylo + h)
+        lower_bound = mindist_point_rect(px, py, rect)
+        for cx, cy in rect.corners:
+            assert lower_bound <= euclidean(px, py, cx, cy) + 1e-9
+
+    @given(px=st.floats(-5, 5), py=st.floats(-5, 5))
+    def test_mindist_nonnegative(self, px, py):
+        assert mindist_point_rect(px, py, Rect.unit()) >= 0.0

@@ -1,0 +1,167 @@
+"""Unit tests for repro.geometry.rect."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Rect, mbr_of_points, union_rects
+
+
+class TestRectConstruction:
+    def test_valid_rectangle(self):
+        rect = Rect(0.0, 0.1, 1.0, 0.9)
+        assert rect.xlo == 0.0
+        assert rect.yhi == 0.9
+
+    def test_degenerate_point_rectangle_is_allowed(self):
+        rect = Rect(0.5, 0.5, 0.5, 0.5)
+        assert rect.area == 0.0
+        assert rect.contains_point(0.5, 0.5)
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 1.0, 1.0, 0.0)
+
+    def test_from_center(self):
+        rect = Rect.from_center(0.5, 0.5, 0.2, 0.4)
+        assert rect.xlo == pytest.approx(0.4)
+        assert rect.xhi == pytest.approx(0.6)
+        assert rect.ylo == pytest.approx(0.3)
+        assert rect.yhi == pytest.approx(0.7)
+
+    def test_from_center_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(0.5, 0.5, -0.1, 0.1)
+
+    def test_unit_square(self):
+        unit = Rect.unit()
+        assert unit.as_tuple() == (0.0, 0.0, 1.0, 1.0)
+        assert unit.area == 1.0
+
+
+class TestRectMeasures:
+    def test_width_height_area(self):
+        rect = Rect(0.0, 0.0, 2.0, 3.0)
+        assert rect.width == 2.0
+        assert rect.height == 3.0
+        assert rect.area == 6.0
+
+    def test_center(self):
+        assert Rect(0.0, 0.0, 2.0, 4.0).center == (1.0, 2.0)
+
+    def test_corners_order(self):
+        corners = Rect(0.0, 0.0, 1.0, 2.0).corners
+        assert corners == [(0.0, 0.0), (1.0, 0.0), (0.0, 2.0), (1.0, 2.0)]
+
+
+class TestRectPredicates:
+    def test_contains_point_interior_and_boundary(self):
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        assert rect.contains_point(0.5, 0.5)
+        assert rect.contains_point(0.0, 0.0)
+        assert rect.contains_point(1.0, 1.0)
+        assert not rect.contains_point(1.0001, 0.5)
+
+    def test_contains_rect(self):
+        outer = Rect(0.0, 0.0, 1.0, 1.0)
+        inner = Rect(0.2, 0.2, 0.8, 0.8)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+
+    def test_intersects_and_intersection(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(0.5, 0.5, 1.5, 1.5)
+        c = Rect(2.0, 2.0, 3.0, 3.0)
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        overlap = a.intersection(b)
+        assert overlap.as_tuple() == (0.5, 0.5, 1.0, 1.0)
+        assert a.intersection(c) is None
+
+    def test_touching_rectangles_intersect(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(1.0, 0.0, 2.0, 1.0)
+        assert a.intersects(b)
+        assert a.intersection(b).area == 0.0
+
+
+class TestRectCombination:
+    def test_union(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(2.0, 2.0, 3.0, 3.0)
+        assert a.union(b).as_tuple() == (0.0, 0.0, 3.0, 3.0)
+
+    def test_expand_to_point(self):
+        rect = Rect(0.0, 0.0, 1.0, 1.0).expand_to_point(2.0, -1.0)
+        assert rect.as_tuple() == (0.0, -1.0, 2.0, 1.0)
+
+    def test_expand_to_interior_point_is_noop(self):
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        assert rect.expand_to_point(0.5, 0.5) == rect
+
+    def test_clip_to(self):
+        rect = Rect(-0.5, -0.5, 0.5, 0.5).clip_to(Rect.unit())
+        assert rect.as_tuple() == (0.0, 0.0, 0.5, 0.5)
+
+    def test_clip_to_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            Rect(2.0, 2.0, 3.0, 3.0).clip_to(Rect.unit())
+
+
+class TestVectorisedHelpers:
+    def test_contains_points_mask(self):
+        rect = Rect(0.0, 0.0, 0.5, 0.5)
+        points = np.array([[0.1, 0.1], [0.6, 0.1], [0.5, 0.5], [0.9, 0.9]])
+        mask = rect.contains_points(points)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_contains_points_shape_validation(self):
+        with pytest.raises(ValueError):
+            Rect.unit().contains_points(np.array([1.0, 2.0, 3.0]))
+
+    def test_mbr_of_points(self):
+        points = np.array([[0.1, 0.9], [0.5, 0.2], [0.3, 0.4]])
+        mbr = mbr_of_points(points)
+        assert mbr.as_tuple() == (0.1, 0.2, 0.5, 0.9)
+
+    def test_mbr_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            mbr_of_points(np.empty((0, 2)))
+
+    def test_union_rects(self):
+        rects = [Rect(0, 0, 1, 1), Rect(0.5, 0.5, 2, 2), Rect(-1, 0, 0, 0.5)]
+        assert union_rects(rects).as_tuple() == (-1.0, 0.0, 2.0, 2.0)
+
+    def test_union_rects_empty_raises(self):
+        with pytest.raises(ValueError):
+            union_rects([])
+
+
+class TestRectProperties:
+    @given(
+        x1=st.floats(-10, 10), y1=st.floats(-10, 10),
+        w=st.floats(0, 5), h=st.floats(0, 5),
+        px=st.floats(-20, 20), py=st.floats(-20, 20),
+    )
+    def test_expand_to_point_always_contains_point(self, x1, y1, w, h, px, py):
+        rect = Rect(x1, y1, x1 + w, y1 + h)
+        expanded = rect.expand_to_point(px, py)
+        assert expanded.contains_point(px, py)
+        assert expanded.contains_rect(rect)
+
+    @given(
+        x1=st.floats(-5, 5), y1=st.floats(-5, 5), w1=st.floats(0, 5), h1=st.floats(0, 5),
+        x2=st.floats(-5, 5), y2=st.floats(-5, 5), w2=st.floats(0, 5), h2=st.floats(0, 5),
+    )
+    def test_intersection_is_contained_in_both(self, x1, y1, w1, h1, x2, y2, w2, h2):
+        a = Rect(x1, y1, x1 + w1, y1 + h1)
+        b = Rect(x2, y2, x2 + w2, y2 + h2)
+        overlap = a.intersection(b)
+        if overlap is not None:
+            assert a.contains_rect(overlap)
+            assert b.contains_rect(overlap)
+        union = a.union(b)
+        assert union.contains_rect(a)
+        assert union.contains_rect(b)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.nn.activations."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Identity, ReLU, Sigmoid, Tanh, activation_by_name
+
+
+class TestSigmoid:
+    def test_known_values(self):
+        sigmoid = Sigmoid()
+        z = np.array([0.0, 100.0, -100.0])
+        out = sigmoid.forward(z)
+        assert out[0] == pytest.approx(0.5)
+        assert out[1] == pytest.approx(1.0)
+        assert out[2] == pytest.approx(0.0)
+
+    def test_no_overflow_for_large_negative(self):
+        out = Sigmoid().forward(np.array([-1e6, 1e6]))
+        assert np.all(np.isfinite(out))
+
+    def test_derivative_matches_numerical(self):
+        sigmoid = Sigmoid()
+        z = np.linspace(-3, 3, 13)
+        activated = sigmoid.forward(z)
+        analytic = sigmoid.derivative(z, activated)
+        eps = 1e-6
+        numerical = (sigmoid.forward(z + eps) - sigmoid.forward(z - eps)) / (2 * eps)
+        assert np.allclose(analytic, numerical, atol=1e-6)
+
+
+class TestReLU:
+    def test_forward(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.5]))
+        assert out.tolist() == [0.0, 0.0, 2.5]
+
+    def test_derivative(self):
+        relu = ReLU()
+        z = np.array([-1.0, 0.5])
+        assert relu.derivative(z, relu.forward(z)).tolist() == [0.0, 1.0]
+
+
+class TestTanh:
+    def test_derivative_matches_numerical(self):
+        tanh = Tanh()
+        z = np.linspace(-2, 2, 9)
+        analytic = tanh.derivative(z, tanh.forward(z))
+        eps = 1e-6
+        numerical = (tanh.forward(z + eps) - tanh.forward(z - eps)) / (2 * eps)
+        assert np.allclose(analytic, numerical, atol=1e-6)
+
+
+class TestIdentity:
+    def test_forward_is_passthrough(self):
+        z = np.array([1.0, -2.0])
+        assert Identity().forward(z).tolist() == z.tolist()
+
+    def test_derivative_is_one(self):
+        identity = Identity()
+        z = np.array([3.0, -4.0])
+        assert identity.derivative(z, z).tolist() == [1.0, 1.0]
+
+
+class TestActivationRegistry:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("sigmoid", Sigmoid), ("relu", ReLU), ("tanh", Tanh), ("identity", Identity),
+         ("linear", Identity), ("SIGMOID", Sigmoid)],
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(activation_by_name(name), cls)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            activation_by_name("swish")

@@ -1,0 +1,84 @@
+"""Unit tests for repro.nn.layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import DenseLayer, Sigmoid
+
+
+class TestDenseLayerForward:
+    def test_output_shape(self):
+        layer = DenseLayer(3, 5, rng=np.random.default_rng(0))
+        out = layer.forward(np.zeros((7, 3)))
+        assert out.shape == (7, 5)
+
+    def test_identity_activation_is_affine(self):
+        layer = DenseLayer(2, 1, rng=np.random.default_rng(0))
+        layer.weights = np.array([[2.0], [3.0]])
+        layer.bias = np.array([1.0])
+        out = layer.forward(np.array([[1.0, 1.0], [0.0, 2.0]]))
+        assert out.ravel().tolist() == [6.0, 7.0]
+
+    def test_wrong_input_width_raises(self):
+        layer = DenseLayer(2, 2)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((4, 3)))
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            DenseLayer(0, 3)
+
+
+class TestDenseLayerBackward:
+    def test_backward_before_forward_raises(self):
+        layer = DenseLayer(2, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_gradient_shapes(self):
+        layer = DenseLayer(2, 3, activation=Sigmoid(), rng=np.random.default_rng(1))
+        inputs = np.random.default_rng(2).random((5, 2))
+        layer.forward(inputs)
+        grad_in = layer.backward(np.ones((5, 3)))
+        assert grad_in.shape == (5, 2)
+        assert layer.grad_weights.shape == (2, 3)
+        assert layer.grad_bias.shape == (3,)
+
+    def test_gradients_match_numerical(self):
+        """Finite-difference check of the analytic weight gradients."""
+        rng = np.random.default_rng(3)
+        layer = DenseLayer(2, 2, activation=Sigmoid(), rng=rng)
+        inputs = rng.random((4, 2))
+        targets = rng.random((4, 2))
+
+        batch = inputs.shape[0]
+
+        def loss_value():
+            predictions = layer.forward(inputs, remember=False)
+            return 0.5 * np.sum((predictions - targets) ** 2) / batch
+
+        predictions = layer.forward(inputs)
+        # backward() averages over the batch internally, so pass the per-sample
+        # gradient of 0.5 * (pred - target)^2, which is simply (pred - target)
+        grad_output = predictions - targets
+        layer.backward(grad_output)
+        analytic = layer.grad_weights.copy()
+
+        eps = 1e-6
+        numerical = np.zeros_like(layer.weights)
+        for i in range(layer.weights.shape[0]):
+            for j in range(layer.weights.shape[1]):
+                original = layer.weights[i, j]
+                layer.weights[i, j] = original + eps
+                plus = loss_value()
+                layer.weights[i, j] = original - eps
+                minus = loss_value()
+                layer.weights[i, j] = original
+                numerical[i, j] = (plus - minus) / (2 * eps)
+        assert np.allclose(analytic, numerical, atol=1e-5)
+
+    def test_parameter_accounting(self):
+        layer = DenseLayer(2, 5)
+        assert layer.n_parameters == 2 * 5 + 5
+        assert len(layer.parameters()) == 2
+        assert len(layer.gradients()) == 2

@@ -1,0 +1,95 @@
+"""Unit tests for repro.nn.losses and repro.nn.optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, MeanSquaredError, SGD, optimizer_by_name
+
+
+class TestMeanSquaredError:
+    def test_zero_for_perfect_prediction(self):
+        loss = MeanSquaredError()
+        values = np.array([[1.0], [2.0]])
+        assert loss.value(values, values) == 0.0
+
+    def test_known_value(self):
+        loss = MeanSquaredError()
+        assert loss.value(np.array([[0.0], [2.0]]), np.array([[1.0], [0.0]])) == pytest.approx(2.5)
+
+    def test_gradient_direction(self):
+        loss = MeanSquaredError()
+        grad = loss.gradient(np.array([[2.0]]), np.array([[1.0]]))
+        assert grad[0, 0] == pytest.approx(2.0)
+
+    def test_shape_mismatch_raises(self):
+        loss = MeanSquaredError()
+        with pytest.raises(ValueError):
+            loss.value(np.zeros((2, 1)), np.zeros((3, 1)))
+        with pytest.raises(ValueError):
+            loss.gradient(np.zeros((2, 1)), np.zeros((3, 1)))
+
+
+class TestSGD:
+    def test_basic_step(self):
+        param = np.array([1.0, 2.0])
+        SGD(learning_rate=0.1).step([param], [np.array([1.0, -1.0])])
+        assert param.tolist() == pytest.approx([0.9, 2.1])
+
+    def test_momentum_accumulates(self):
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        param = np.array([0.0])
+        grad = np.array([1.0])
+        optimizer.step([param], [grad])
+        first = param.copy()
+        optimizer.step([param], [grad])
+        second_step = param - first
+        assert abs(second_step[0]) > 0.1  # momentum makes the second step larger
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            SGD().step([np.zeros(1)], [])
+
+    def test_reset_clears_velocity(self):
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        param = np.array([0.0])
+        optimizer.step([param], [np.array([1.0])])
+        optimizer.reset()
+        assert optimizer._velocity is None
+
+
+class TestAdam:
+    def test_step_moves_towards_minimum(self):
+        """Adam minimises a simple quadratic f(w) = (w - 3)^2."""
+        optimizer = Adam(learning_rate=0.1)
+        weight = np.array([0.0])
+        for _ in range(300):
+            grad = 2 * (weight - 3.0)
+            optimizer.step([weight], [grad])
+        assert weight[0] == pytest.approx(3.0, abs=0.05)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+
+    def test_reset(self):
+        optimizer = Adam()
+        weight = np.array([0.0])
+        optimizer.step([weight], [np.array([1.0])])
+        optimizer.reset()
+        assert optimizer._m is None
+
+
+class TestOptimizerRegistry:
+    def test_lookup(self):
+        assert isinstance(optimizer_by_name("sgd"), SGD)
+        assert isinstance(optimizer_by_name("adam", 0.005), Adam)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            optimizer_by_name("rmsprop")

@@ -1,0 +1,106 @@
+"""Tests of the query workload generators and brute-force ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.queries import (
+    QueryWorkload,
+    brute_force_knn,
+    brute_force_window,
+    generate_knn_queries,
+    generate_point_queries,
+    generate_window_queries,
+)
+
+
+class TestPointQueryGeneration:
+    def test_queries_are_data_points(self, uniform_points):
+        queries = generate_point_queries(uniform_points, 50, seed=1)
+        stored = {tuple(p) for p in np.round(uniform_points, 12)}
+        assert all(tuple(q) in stored for q in np.round(queries, 12))
+
+    def test_deterministic(self, uniform_points):
+        a = generate_point_queries(uniform_points, 30, seed=2)
+        b = generate_point_queries(uniform_points, 30, seed=2)
+        assert np.allclose(a, b)
+
+    def test_invalid_inputs(self, uniform_points):
+        with pytest.raises(ValueError):
+            generate_point_queries(np.empty((0, 2)), 10)
+        with pytest.raises(ValueError):
+            generate_point_queries(uniform_points, 0)
+
+
+class TestWindowQueryGeneration:
+    def test_window_area_matches_fraction(self, uniform_points):
+        windows = generate_window_queries(uniform_points, 20, area_fraction=0.01, seed=3)
+        for window in windows:
+            # clipping to the data space can only shrink the window
+            assert window.area <= 0.01 + 1e-9
+
+    def test_aspect_ratio_respected(self, uniform_points):
+        windows = generate_window_queries(
+            uniform_points, 20, area_fraction=0.001, aspect_ratio=4.0, seed=4
+        )
+        unclipped = [w for w in windows if w.xlo > 0 and w.xhi < 1 and w.ylo > 0 and w.yhi < 1]
+        assert unclipped, "expected at least one window fully inside the space"
+        for window in unclipped:
+            assert window.width / window.height == pytest.approx(4.0, rel=1e-6)
+
+    def test_windows_inside_data_space(self, uniform_points):
+        windows = generate_window_queries(uniform_points, 50, area_fraction=0.0004, seed=5)
+        space = Rect.unit()
+        for window in windows:
+            assert space.contains_rect(window)
+
+    def test_centers_follow_data_distribution(self, skewed_points):
+        """With skewed data (mass near y=0) most query centres lie near y=0 too."""
+        windows = generate_window_queries(skewed_points, 200, area_fraction=0.0001, seed=6)
+        centers_y = np.array([w.center[1] for w in windows])
+        assert np.median(centers_y) < 0.2
+
+    def test_invalid_parameters(self, uniform_points):
+        with pytest.raises(ValueError):
+            generate_window_queries(uniform_points, 10, area_fraction=0)
+        with pytest.raises(ValueError):
+            generate_window_queries(uniform_points, 10, area_fraction=0.01, aspect_ratio=0)
+
+
+class TestKnnQueryGeneration:
+    def test_jitter_moves_points(self, uniform_points):
+        no_jitter = generate_knn_queries(uniform_points, 20, seed=7)
+        jittered = generate_knn_queries(uniform_points, 20, seed=7, jitter=0.01)
+        assert not np.allclose(no_jitter, jittered)
+        assert jittered.min() >= 0 and jittered.max() <= 1
+
+    def test_workload_bundle(self, uniform_points):
+        workload = QueryWorkload.for_dataset(uniform_points, n_point=10, n_window=5, n_knn=7, k=3)
+        assert workload.point_queries.shape == (10, 2)
+        assert len(workload.window_queries) == 5
+        assert workload.knn_queries.shape == (7, 2)
+        assert workload.k == 3
+
+
+class TestBruteForce:
+    def test_window_ground_truth(self):
+        points = np.array([[0.1, 0.1], [0.5, 0.5], [0.9, 0.9]])
+        result = brute_force_window(points, Rect(0.0, 0.0, 0.6, 0.6))
+        assert result.shape[0] == 2
+
+    def test_window_empty_points(self):
+        assert brute_force_window(np.empty((0, 2)), Rect.unit()).shape == (0, 2)
+
+    def test_knn_ground_truth_ordering(self):
+        points = np.array([[0.0, 0.0], [0.5, 0.0], [1.0, 0.0]])
+        result = brute_force_knn(points, 0.1, 0.0, 2)
+        assert np.allclose(result[0], [0.0, 0.0])
+        assert np.allclose(result[1], [0.5, 0.0])
+
+    def test_knn_k_capped_at_dataset_size(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert brute_force_knn(points, 0.5, 0.5, 10).shape[0] == 2
+
+    def test_knn_invalid_k(self):
+        with pytest.raises(ValueError):
+            brute_force_knn(np.array([[0.0, 0.0]]), 0.5, 0.5, 0)

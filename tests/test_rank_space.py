@@ -1,0 +1,121 @@
+"""Unit and property tests for the rank-space transform (paper Section 3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.curves import HilbertCurve, ZCurve
+from repro.rank_space import (
+    curve_order_for,
+    order_points_by_curve,
+    rank_space_ranks,
+)
+
+
+class TestRankSpaceRanks:
+    def test_ranks_are_permutations(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((50, 2))
+        rank_x, rank_y = rank_space_ranks(points)
+        assert sorted(rank_x.tolist()) == list(range(50))
+        assert sorted(rank_y.tolist()) == list(range(50))
+
+    def test_rank_follows_coordinate_order(self):
+        points = np.array([[0.9, 0.1], [0.1, 0.9], [0.5, 0.5]])
+        rank_x, rank_y = rank_space_ranks(points)
+        assert rank_x.tolist() == [2, 0, 1]
+        assert rank_y.tolist() == [0, 2, 1]
+
+    def test_tie_broken_by_other_dimension(self):
+        """Points sharing an x-coordinate are ranked by their y-coordinate (paper Fig. 3)."""
+        points = np.array([[0.5, 0.2], [0.5, 0.8], [0.1, 0.5]])
+        rank_x, _ = rank_space_ranks(points)
+        assert rank_x[0] < rank_x[1]  # same x, smaller y ranks first
+        assert rank_x[2] == 0
+
+    def test_empty_input(self):
+        rank_x, rank_y = rank_space_ranks(np.empty((0, 2)))
+        assert rank_x.size == 0 and rank_y.size == 0
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ValueError):
+            rank_space_ranks(np.zeros((3, 3)))
+
+    @settings(max_examples=30)
+    @given(
+        points=npst.arrays(
+            float, (20, 2), elements=st.floats(0, 1, allow_nan=False, width=32)
+        )
+    )
+    def test_ranks_always_permutations(self, points):
+        rank_x, rank_y = rank_space_ranks(points)
+        assert sorted(rank_x.tolist()) == list(range(20))
+        assert sorted(rank_y.tolist()) == list(range(20))
+
+
+class TestCurveOrderFor:
+    def test_small_values(self):
+        assert curve_order_for(1) == 1
+        assert curve_order_for(2) == 1
+        assert curve_order_for(3) == 2
+        assert curve_order_for(1024) == 10
+        assert curve_order_for(1025) == 11
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            curve_order_for(0)
+
+
+class TestOrderPointsByCurve:
+    def test_sorted_by_curve_value(self):
+        rng = np.random.default_rng(1)
+        points = rng.random((64, 2))
+        ordering = order_points_by_curve(points, curve="hilbert")
+        assert np.all(np.diff(ordering.curve_values) >= 0)
+        assert ordering.n_points == 64
+        # sort_index maps back to the original points
+        assert np.allclose(points[ordering.sort_index], ordering.sorted_points)
+
+    def test_accepts_curve_instance(self):
+        points = np.random.default_rng(2).random((10, 2))
+        ordering = order_points_by_curve(points, curve=HilbertCurve(4))
+        assert ordering.curve.order == 4
+
+    def test_too_small_curve_raises(self):
+        points = np.random.default_rng(3).random((100, 2))
+        with pytest.raises(ValueError):
+            order_points_by_curve(points, curve=ZCurve(2))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            order_points_by_curve(np.empty((0, 2)))
+
+    def test_rank_space_gaps_more_even_than_raw(self):
+        """The paper's core motivation (Figures 2-3): rank-space ordering yields a
+        much smaller variance of gaps between consecutive curve values on skewed data."""
+        rng = np.random.default_rng(4)
+        points = rng.random((500, 2))
+        points[:, 1] = points[:, 1] ** 4  # skewed
+        rank_gaps = order_points_by_curve(points, "z", use_rank_space=True).gap_statistics()
+        raw_gaps = order_points_by_curve(points, "z", use_rank_space=False).gap_statistics()
+        assert rank_gaps["variance"] < raw_gaps["variance"]
+
+    def test_rank_space_curve_values_unique(self):
+        points = np.random.default_rng(5).random((128, 2))
+        ordering = order_points_by_curve(points, curve="hilbert", use_rank_space=True)
+        assert len(np.unique(ordering.curve_values)) == 128
+
+    def test_gap_statistics_single_point(self):
+        ordering = order_points_by_curve(np.array([[0.5, 0.5]]), curve="hilbert")
+        stats = ordering.gap_statistics()
+        assert stats["variance"] == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), curve_name=st.sampled_from(["hilbert", "z"]))
+    def test_ordering_is_a_permutation(self, seed, curve_name):
+        points = np.random.default_rng(seed).random((40, 2))
+        ordering = order_points_by_curve(points, curve=curve_name)
+        recovered = ordering.sorted_points[np.argsort(ordering.sort_index, kind="stable")]
+        assert np.allclose(np.sort(recovered, axis=0), np.sort(points, axis=0))
+        assert sorted(ordering.sort_index.tolist()) == list(range(40))

@@ -1,0 +1,86 @@
+"""Unit tests of the R*-tree split and ChooseSubtree internals."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rtree.rstar import RStarTree, _margin, _overlap, _rect_of_point
+from repro.geometry import Rect
+
+
+class TestGeometryHelpers:
+    def test_rect_of_point_is_degenerate(self):
+        rect = _rect_of_point(0.3, 0.7)
+        assert rect.area == 0.0
+        assert rect.contains_point(0.3, 0.7)
+
+    def test_margin(self):
+        assert _margin(Rect(0, 0, 2, 3)) == pytest.approx(10.0)
+
+    def test_overlap_sums_intersections(self):
+        base = Rect(0, 0, 1, 1)
+        others = [Rect(0.5, 0.5, 1.5, 1.5), Rect(2, 2, 3, 3), Rect(0, 0, 0.5, 0.5)]
+        assert _overlap(base, others) == pytest.approx(0.25 + 0.0 + 0.25)
+
+
+class TestRStarSplit:
+    @pytest.fixture()
+    def tree(self):
+        return RStarTree(block_capacity=4, fanout=4)
+
+    def test_split_separates_two_clusters(self, tree):
+        """Two well-separated point clusters must end up in different halves."""
+        left_cluster = [(0.1 + i * 0.001, 0.1) for i in range(4)]
+        right_cluster = [(0.9 + i * 0.001, 0.9) for i in range(4)]
+        entries = [(_rect_of_point(x, y), (x, y)) for x, y in left_cluster + right_cluster]
+        first, second = tree._rstar_split(entries, min_fill=2)
+        first_points = {payload for _, payload in first}
+        second_points = {payload for _, payload in second}
+        assert first_points == set(left_cluster) or first_points == set(right_cluster)
+        assert second_points == (set(left_cluster + right_cluster) - first_points)
+
+    def test_split_respects_min_fill(self, tree):
+        rng = np.random.default_rng(0)
+        entries = [(_rect_of_point(x, y), (x, y)) for x, y in rng.random((9, 2))]
+        first, second = tree._rstar_split(entries, min_fill=3)
+        assert len(first) >= 3 and len(second) >= 3
+        assert len(first) + len(second) == 9
+
+    def test_split_handles_min_fill_larger_than_half(self, tree):
+        entries = [(_rect_of_point(x, 0.5), (x, 0.5)) for x in np.linspace(0, 1, 5)]
+        first, second = tree._rstar_split(entries, min_fill=10)  # clamped internally
+        assert len(first) + len(second) == 5
+        assert len(first) >= 1 and len(second) >= 1
+
+
+class TestChooseSubtree:
+    def test_prefers_containing_child(self):
+        tree = RStarTree(block_capacity=4, fanout=4)
+        tree.build(np.array([[0.1, 0.1], [0.12, 0.12], [0.9, 0.9], [0.92, 0.92],
+                             [0.11, 0.13], [0.91, 0.89], [0.13, 0.11], [0.89, 0.91]]))
+        # after the build the root has (at least) two children around the two clusters
+        assert not tree.root.is_leaf
+        child = tree._choose_child(tree.root, 0.1, 0.1)
+        assert child.mbr.contains_point(0.1, 0.1) or (
+            child.mbr.expand_to_point(0.1, 0.1).area - child.mbr.area
+            <= min(
+                other.mbr.expand_to_point(0.1, 0.1).area - other.mbr.area
+                for other in tree.root.children
+            )
+            + 1e-12
+        )
+
+    def test_forced_reinsert_keeps_all_points(self):
+        tree = RStarTree(block_capacity=5, fanout=4, reinsert_fraction=0.4)
+        rng = np.random.default_rng(1)
+        points = rng.random((60, 2))
+        tree.build(points)
+        assert tree.n_points == 60
+        for x, y in points:
+            assert tree.contains(float(x), float(y))
+
+    def test_zero_reinsert_fraction_disables_reinsertion(self):
+        tree = RStarTree(block_capacity=5, fanout=4, reinsert_fraction=0.0)
+        points = np.random.default_rng(2).random((40, 2))
+        tree.build(points)
+        for x, y in points:
+            assert tree.contains(float(x), float(y))

@@ -1,0 +1,117 @@
+"""Unit tests for repro.storage.block."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Block
+
+
+class TestBlockBasics:
+    def test_empty_block(self):
+        block = Block(0, capacity=4)
+        assert len(block) == 0
+        assert block.is_empty
+        assert not block.is_full
+        assert block.mbr() is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Block(0, capacity=0)
+
+    def test_append_and_len(self):
+        block = Block(0, capacity=3)
+        block.append(0.1, 0.2)
+        block.append(0.3, 0.4)
+        assert len(block) == 2
+        assert block.slot_count == 2
+
+    def test_append_to_full_block_raises(self):
+        block = Block(0, capacity=1)
+        block.append(0.1, 0.2)
+        with pytest.raises(ValueError):
+            block.append(0.3, 0.4)
+
+    def test_bulk_fill(self):
+        block = Block(0, capacity=5)
+        block.bulk_fill(np.array([[0.1, 0.2], [0.3, 0.4]]))
+        assert len(block) == 2
+        assert block.points().shape == (2, 2)
+
+    def test_bulk_fill_nonempty_raises(self):
+        block = Block(0, capacity=5)
+        block.append(0.0, 0.0)
+        with pytest.raises(ValueError):
+            block.bulk_fill(np.array([[0.1, 0.2]]))
+
+    def test_bulk_fill_over_capacity_raises(self):
+        block = Block(0, capacity=2)
+        with pytest.raises(ValueError):
+            block.bulk_fill(np.zeros((3, 2)))
+
+
+class TestBlockContainsAndDelete:
+    def test_contains_exact_match(self):
+        block = Block(0, capacity=4)
+        block.append(0.25, 0.75)
+        assert block.contains(0.25, 0.75)
+        assert not block.contains(0.25, 0.7500001)
+
+    def test_contains_with_tolerance(self):
+        block = Block(0, capacity=4)
+        block.append(0.25, 0.75)
+        assert block.contains(0.2500000001, 0.75, tolerance=1e-6)
+
+    def test_delete_flags_point(self):
+        block = Block(0, capacity=4)
+        block.append(0.1, 0.1)
+        block.append(0.2, 0.2)
+        assert block.delete(0.1, 0.1)
+        assert len(block) == 1
+        assert not block.contains(0.1, 0.1)
+        assert block.contains(0.2, 0.2)
+
+    def test_delete_missing_returns_false(self):
+        block = Block(0, capacity=4)
+        block.append(0.1, 0.1)
+        assert not block.delete(0.9, 0.9)
+
+    def test_deleted_slot_is_reused_on_append(self):
+        block = Block(0, capacity=2)
+        block.append(0.1, 0.1)
+        block.append(0.2, 0.2)
+        block.delete(0.1, 0.1)
+        assert not block.is_full
+        block.append(0.3, 0.3)  # reuses the deleted slot
+        assert len(block) == 2
+        assert block.contains(0.3, 0.3)
+
+    def test_points_excludes_deleted(self):
+        block = Block(0, capacity=3)
+        block.bulk_fill(np.array([[0.1, 0.1], [0.2, 0.2], [0.3, 0.3]]))
+        block.delete(0.2, 0.2)
+        live = block.points()
+        assert live.shape == (2, 2)
+        assert [0.2, 0.2] not in live.tolist()
+
+    def test_all_slots_includes_deleted(self):
+        block = Block(0, capacity=3)
+        block.bulk_fill(np.array([[0.1, 0.1], [0.2, 0.2]]))
+        block.delete(0.2, 0.2)
+        assert block.all_slots().shape == (2, 2)
+
+
+class TestBlockMbrAndIteration:
+    def test_mbr_of_live_points(self):
+        block = Block(0, capacity=4)
+        block.bulk_fill(np.array([[0.1, 0.9], [0.4, 0.2]]))
+        mbr = block.mbr()
+        assert mbr.as_tuple() == (0.1, 0.2, 0.4, 0.9)
+
+    def test_iter_points(self):
+        block = Block(0, capacity=4)
+        block.bulk_fill(np.array([[0.1, 0.2], [0.3, 0.4]]))
+        assert list(block.iter_points()) == [(0.1, 0.2), (0.3, 0.4)]
+
+    def test_overflow_flag(self):
+        assert Block(3, capacity=2, is_overflow=True).is_overflow
+        assert not Block(3, capacity=2).is_overflow

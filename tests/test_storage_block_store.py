@@ -1,0 +1,152 @@
+"""Unit tests for repro.storage.block_store and repro.storage.stats."""
+
+import numpy as np
+import pytest
+
+from repro.storage import AccessStats, BlockStore
+
+
+class TestAccessStats:
+    def test_counters_and_total(self):
+        stats = AccessStats()
+        stats.record_block_read(3)
+        stats.record_node_read(2)
+        stats.record_block_write()
+        assert stats.block_reads == 3
+        assert stats.node_reads == 2
+        assert stats.block_writes == 1
+        assert stats.total_reads == 5
+
+    def test_reset(self):
+        stats = AccessStats()
+        stats.record_block_read()
+        stats.reset()
+        assert stats.total_reads == 0
+
+    def test_snapshot_and_delta(self):
+        stats = AccessStats()
+        stats.record_block_read(2)
+        snapshot = stats.snapshot()
+        stats.record_block_read(3)
+        delta = stats.delta_since(snapshot)
+        assert delta.block_reads == 3
+
+
+class TestBlockStorePacking:
+    def test_pack_points_creates_base_blocks(self):
+        store = BlockStore(capacity=3)
+        points = np.arange(20).reshape(10, 2) / 20.0
+        first, last = store.pack_points(points)
+        assert (first, last) == (0, 3)
+        assert store.n_base_blocks == 4
+        assert store.n_points == 10
+        assert store.n_overflow_blocks == 0
+
+    def test_pack_empty_raises(self):
+        store = BlockStore(capacity=3)
+        with pytest.raises(ValueError):
+            store.pack_points(np.empty((0, 2)))
+
+    def test_all_points_preserves_order(self):
+        store = BlockStore(capacity=4)
+        points = np.random.default_rng(0).random((11, 2))
+        store.pack_points(points)
+        assert np.allclose(store.all_points(), points)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BlockStore(capacity=0)
+
+
+class TestBlockStoreChains:
+    def test_base_blocks_are_linked_in_order(self):
+        store = BlockStore(capacity=2)
+        store.pack_points(np.random.default_rng(1).random((6, 2)))
+        first = store.peek(store.base_block_id(0))
+        second = store.peek(store.base_block_id(1))
+        assert first.next_id == second.block_id
+        assert second.prev_id == first.block_id
+
+    def test_overflow_is_linked_after_base(self):
+        store = BlockStore(capacity=2)
+        store.pack_points(np.random.default_rng(2).random((4, 2)))
+        base0 = store.peek(store.base_block_id(0))
+        overflow = store.allocate_overflow(base0.block_id)
+        overflow.append(0.5, 0.5)
+        assert base0.next_id == overflow.block_id
+        assert overflow.is_overflow
+        chain = list(store.iter_chain(0))
+        assert [b.block_id for b in chain] == [base0.block_id, overflow.block_id]
+        # the next base chain is unaffected
+        assert [b.block_id for b in store.iter_chain(1)] == [store.base_block_id(1)]
+
+    def test_all_points_includes_overflow_points(self):
+        store = BlockStore(capacity=2)
+        points = np.random.default_rng(3).random((4, 2))
+        store.pack_points(points)
+        overflow = store.allocate_overflow(store.base_block_id(0))
+        overflow.append(0.9, 0.9)
+        collected = store.all_points()
+        assert collected.shape[0] == 5
+        assert [0.9, 0.9] in collected.tolist()
+
+    def test_scan_positions_clamps_range(self):
+        store = BlockStore(capacity=2)
+        store.pack_points(np.random.default_rng(4).random((6, 2)))
+        blocks = list(store.scan_positions(-5, 100))
+        assert len(blocks) == store.n_base_blocks
+
+    def test_clamp_position(self):
+        store = BlockStore(capacity=2)
+        store.pack_points(np.random.default_rng(5).random((6, 2)))
+        assert store.clamp_position(-1) == 0
+        assert store.clamp_position(999) == store.n_base_blocks - 1
+
+    def test_clamp_on_empty_store_raises(self):
+        with pytest.raises(RuntimeError):
+            BlockStore(capacity=2).clamp_position(0)
+
+    def test_base_block_id_out_of_range(self):
+        store = BlockStore(capacity=2)
+        store.pack_points(np.random.default_rng(6).random((2, 2)))
+        with pytest.raises(IndexError):
+            store.base_block_id(5)
+
+
+class TestBlockStoreAccounting:
+    def test_read_records_access(self):
+        stats = AccessStats()
+        store = BlockStore(capacity=2, stats=stats)
+        store.pack_points(np.random.default_rng(7).random((4, 2)))
+        stats.reset()
+        store.read(store.base_block_id(0))
+        assert stats.block_reads == 1
+
+    def test_peek_does_not_record_access(self):
+        stats = AccessStats()
+        store = BlockStore(capacity=2, stats=stats)
+        store.pack_points(np.random.default_rng(8).random((4, 2)))
+        stats.reset()
+        store.peek(store.base_block_id(0))
+        assert stats.block_reads == 0
+
+    def test_iter_chain_counts_every_block(self):
+        stats = AccessStats()
+        store = BlockStore(capacity=2, stats=stats)
+        store.pack_points(np.random.default_rng(9).random((2, 2)))
+        store.allocate_overflow(store.base_block_id(0))
+        stats.reset()
+        list(store.iter_chain(0))
+        assert stats.block_reads == 2
+
+    def test_size_bytes_grows_with_blocks(self):
+        store = BlockStore(capacity=2)
+        store.pack_points(np.random.default_rng(10).random((2, 2)))
+        small = store.size_bytes()
+        store.allocate_overflow(store.base_block_id(0))
+        assert store.size_bytes() > small
+
+    def test_unknown_block_id_raises(self):
+        store = BlockStore(capacity=2)
+        with pytest.raises(IndexError):
+            store.read(0)
