@@ -17,7 +17,24 @@ import numpy as np
 
 from repro.geometry import Rect
 
-__all__ = ["BatchResult", "batch_point_queries", "batch_window_queries", "batch_knn_queries"]
+__all__ = [
+    "BatchResult",
+    "contains_callable",
+    "batch_point_queries",
+    "batch_window_queries",
+    "batch_knn_queries",
+]
+
+
+def contains_callable(index):
+    """The boolean point-membership callable of ``index``.
+
+    RSMI and the baselines expose ``contains``; the evaluation adapters answer
+    the same question through ``point_query`` (which returns a bool).  Both
+    the sequential batch helpers and the batched query engine resolve through
+    here so the two paths cannot drift.
+    """
+    return getattr(index, "contains", None) or index.point_query
 
 
 @dataclass
@@ -50,7 +67,8 @@ def batch_point_queries(index, points: np.ndarray) -> BatchResult:
     stats = _stats_of(index)
     if stats is not None:
         stats.reset()
-    found = [bool(index.contains(float(x), float(y))) for x, y in points]
+    contains = contains_callable(index)
+    found = [bool(contains(float(x), float(y))) for x, y in points]
     total = stats.total_reads if stats is not None else None
     return BatchResult(results=found, total_block_accesses=total)
 

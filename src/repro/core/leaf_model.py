@@ -146,6 +146,27 @@ class LeafModel:
         end = min(self.first_position + self.n_local_blocks - 1, predicted + self.err_above)
         return begin, end
 
+    # -- batched prediction (one model invocation per query batch) -------------------
+
+    def predict_locals(self, points: np.ndarray) -> np.ndarray:
+        """Predicted local block indices for an ``(n, 2)`` array, shape ``(n,)``."""
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        features = self.scaler.transform(points)
+        denominator = max(self.n_local_blocks - 1, 1)
+        raw = self.model.predict_chunked(features) * denominator
+        return np.clip(np.rint(raw), 0, self.n_local_blocks - 1).astype(np.int64)
+
+    def predict_positions(self, points: np.ndarray) -> np.ndarray:
+        """Predicted global base-block positions for an ``(n, 2)`` array."""
+        return self.first_position + self.predict_locals(points)
+
+    def scan_ranges(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`scan_range`: ``(begins, ends)`` arrays of shape ``(n,)``."""
+        predicted = self.predict_positions(points)
+        begins = np.maximum(self.first_position, predicted - self.err_below)
+        ends = np.minimum(self.last_position, predicted + self.err_above)
+        return begins, ends
+
     @property
     def last_position(self) -> int:
         return self.first_position + self.n_local_blocks - 1

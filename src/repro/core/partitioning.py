@@ -90,12 +90,24 @@ class LearnedPartitioning:
         raw = self.model.predict(features)[0] * denominator
         return int(np.clip(np.rint(raw), 0, self.n_cells - 1))
 
-    def predict_cells(self, points: np.ndarray) -> np.ndarray:
-        """Vectorised cell prediction for an ``(n, 2)`` array."""
+    def predict_cells(self, points: np.ndarray, ys: np.ndarray | None = None) -> np.ndarray:
+        """Vectorised cell prediction.
+
+        Accepts either an ``(n, 2)`` point array (used by the build path), or
+        two 1-D coordinate arrays ``predict_cells(xs, ys)`` (used by the
+        batched query engine's level-synchronous routing).  One model
+        invocation serves the whole batch either way.
+        """
+        if ys is not None:
+            xs = np.asarray(points, dtype=float).ravel()
+            ys = np.asarray(ys, dtype=float).ravel()
+            if xs.shape != ys.shape:
+                raise ValueError("xs and ys must have the same length")
+            points = np.column_stack((xs, ys))
         points = np.asarray(points, dtype=float)
         features = self.scaler.transform(points)
         denominator = max(self.n_cells - 1, 1)
-        raw = self.model.predict(features) * denominator
+        raw = self.model.predict_chunked(features) * denominator
         return np.clip(np.rint(raw), 0, self.n_cells - 1).astype(np.int64)
 
     def size_bytes(self) -> int:

@@ -1,0 +1,47 @@
+"""Execution strategies for the per-query fallback paths of the batch engine.
+
+Indices without a vectorised path (the traditional baselines, and query types
+whose algorithms are inherently adaptive, like the RSMI's expanding-region
+kNN) still answer a batch one query at a time.  The batch is embarrassingly
+parallel, so besides the plain sequential loop an optional thread-pool
+strategy is provided; results always come back in input order.
+
+Thread-pool caveat: the per-query block-access counters are incremented
+without locking (queries are read-only, the counters are best-effort), so
+:class:`~repro.storage.stats.AccessStats` totals under the threaded strategy
+are approximate.  Results themselves are unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["default_worker_count", "run_sequential", "run_threaded"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_worker_count() -> int:
+    """Worker count for the threaded strategy: capped so tiny hosts don't thrash."""
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+def run_sequential(fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+    """Apply ``fn`` to every item, in order, on the calling thread."""
+    return [fn(item) for item in items]
+
+
+def run_threaded(fn: Callable[[T], R], items: Sequence[T], n_workers: int | None = None) -> list[R]:
+    """Apply ``fn`` to every item on a thread pool; results keep input order."""
+    items = list(items)
+    if not items:
+        return []
+    workers = n_workers if n_workers is not None else default_worker_count()
+    workers = max(1, min(workers, len(items)))
+    if workers == 1:
+        return run_sequential(fn, items)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,90 @@
+"""Level-synchronous batched routing through the RSMI model hierarchy.
+
+The sequential point query descends the tree once per query, invoking every
+partitioning model on a single ``(1, 2)`` input.  Routing a whole batch
+level-synchronously instead groups the queries by the internal node they are
+currently at and invokes each node's partitioning model **once** on the whole
+group — the per-query Python recursion collapses into one vectorised NumPy
+call per touched internal node.
+
+The grouping must agree exactly with :meth:`InternalNode.route`: the
+predicted cell's child is used when it exists, otherwise the child with the
+nearest cell value, ties broken towards the smaller cell value (``min`` over
+the sorted keys returns the first minimiser).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LeafBatch", "resolve_child_cells", "route_batch"]
+
+
+@dataclass
+class LeafBatch:
+    """The queries of one batch that route to the same leaf model.
+
+    Attributes
+    ----------
+    leaf:
+        The :class:`~repro.core.leaf_model.LeafModel` all these queries reach.
+    indices:
+        Positions (into the batch's query array) of the queries in this group.
+    depth:
+        Number of sub-models invoked root-to-leaf (matches the ``depth``
+        returned by :meth:`RSMI.route_to_leaf`).
+    """
+
+    leaf: object
+    indices: np.ndarray
+    depth: int
+
+
+def resolve_child_cells(node, points: np.ndarray) -> np.ndarray:
+    """Child cell value each row of ``points`` routes to at ``node``.
+
+    One vectorised partitioning-model call predicts the cells of the whole
+    group; predictions without a matching child snap to the nearest existing
+    cell value (ties towards the smaller value, as in ``InternalNode.route``).
+    """
+    predicted = node.partitioning.predict_cells(points[:, 0], points[:, 1])
+    keys = np.asarray(getattr(node, "_sorted_keys", None) or sorted(node.children), dtype=np.int64)
+    if keys.size == 0:
+        raise RuntimeError("internal node has no children")
+    pos = np.searchsorted(keys, predicted)
+    left = np.clip(pos - 1, 0, keys.size - 1)
+    right = np.clip(pos, 0, keys.size - 1)
+    distance_left = np.abs(keys[left] - predicted)
+    distance_right = np.abs(keys[right] - predicted)
+    return np.where(distance_left <= distance_right, keys[left], keys[right])
+
+
+def route_batch(index, points: np.ndarray) -> list[LeafBatch]:
+    """Route every row of ``points`` to its leaf model, level-synchronously.
+
+    Returns one :class:`LeafBatch` per distinct leaf reached.  Every query
+    appears in exactly one batch, and the leaf (and depth) each query is
+    assigned to is identical to what ``index.route_to_leaf`` would return for
+    it — only the number of model invocations differs (one per touched node
+    instead of one per query per node).
+    """
+    index._require_built()
+    points = np.asarray(points, dtype=float).reshape(-1, 2)
+    n = points.shape[0]
+    leaves: list[LeafBatch] = []
+    if n == 0:
+        return leaves
+    # worklist of (node, query indices at that node, internal nodes above it)
+    work: list[tuple[object, np.ndarray, int]] = [(index.root, np.arange(n), 0)]
+    while work:
+        node, indices, n_internal = work.pop()
+        if node.is_leaf:
+            leaves.append(LeafBatch(leaf=node, indices=indices, depth=n_internal + 1))
+            continue
+        resolved = resolve_child_cells(node, points[indices])
+        for cell in np.unique(resolved):
+            subset = indices[resolved == cell]
+            work.append((node.children[int(cell)], subset, n_internal + 1))
+    return leaves

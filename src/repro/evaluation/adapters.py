@@ -39,6 +39,11 @@ class IndexAdapter(abc.ABC):
 
     name: str = "abstract"
 
+    #: True when window/kNN queries go through the exact (MBR-traversal)
+    #: algorithms; the batched query engine then keeps those on the
+    #: per-query path instead of the vectorised approximate one.
+    prefers_exact_queries: bool = False
+
     @abc.abstractmethod
     def point_query(self, x: float, y: float) -> bool:
         """True when the point is stored."""
@@ -163,6 +168,7 @@ class RSMIExactAdapter(RSMIAdapter):
     """RSMIa: the same RSMI structure answering window/kNN queries exactly via MBRs."""
 
     name = "RSMIa"
+    prefers_exact_queries = True
 
     def window_query(self, window: Rect) -> np.ndarray:
         return self._index.window_query_exact(window).points

@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.engine import BatchQueryEngine
 from repro.evaluation.adapters import IndexAdapter, build_index_suite
 from repro.evaluation.metrics import knn_recall, window_recall
 from repro.geometry import Rect
@@ -24,6 +25,8 @@ __all__ = [
     "SuiteConfig",
     "BuildReport",
     "QueryMetrics",
+    "EXECUTION_MODES",
+    "engine_for_execution",
     "build_suite_with_reports",
     "measure_point_queries",
     "measure_window_queries",
@@ -31,6 +34,18 @@ __all__ = [
     "measure_insertions",
     "measure_deletions",
 ]
+
+#: how a query workload is executed against an index
+EXECUTION_MODES = ("sequential", "batched", "threaded")
+
+
+def engine_for_execution(adapter: IndexAdapter, execution: str) -> BatchQueryEngine:
+    """A :class:`BatchQueryEngine` implementing a non-sequential execution mode."""
+    if execution == "batched":
+        return BatchQueryEngine(adapter, mode="auto")
+    if execution == "threaded":
+        return BatchQueryEngine(adapter, mode="threaded")
+    raise ValueError(f"unknown execution mode {execution!r}; available: {EXECUTION_MODES}")
 
 
 @dataclass(frozen=True)
@@ -126,15 +141,27 @@ def build_suite_with_reports(
     return adapters, reports
 
 
-def measure_point_queries(adapter: IndexAdapter, queries: np.ndarray) -> QueryMetrics:
+def measure_point_queries(
+    adapter: IndexAdapter, queries: np.ndarray, execution: str = "sequential"
+) -> QueryMetrics:
     """Average response time and block accesses of exact-match point queries."""
     queries = np.asarray(queries, dtype=float).reshape(-1, 2)
+    n = max(queries.shape[0], 1)
+    if execution != "sequential":
+        engine = engine_for_execution(adapter, execution)
+        start = time.perf_counter()
+        batch = engine.point_queries(queries)
+        elapsed = time.perf_counter() - start
+        return QueryMetrics(
+            avg_time_ms=elapsed / n * 1000.0,
+            avg_block_accesses=(batch.total_block_accesses or 0) / n,
+            n_queries=queries.shape[0],
+        )
     adapter.stats.reset()
     start = time.perf_counter()
     for x, y in queries:
         adapter.point_query(float(x), float(y))
     elapsed = time.perf_counter() - start
-    n = max(queries.shape[0], 1)
     return QueryMetrics(
         avg_time_ms=elapsed / n * 1000.0,
         avg_block_accesses=adapter.stats.total_reads / n,
@@ -146,10 +173,27 @@ def measure_window_queries(
     adapter: IndexAdapter,
     windows: Sequence[Rect],
     data_points: np.ndarray,
+    execution: str = "sequential",
 ) -> QueryMetrics:
     """Average time, block accesses and recall of window queries."""
+    n = max(len(windows), 1)
+    if execution != "sequential":
+        engine = engine_for_execution(adapter, execution)
+        start = time.perf_counter()
+        batch = engine.window_queries(windows)
+        elapsed = time.perf_counter() - start
+        recalls = [
+            window_recall(reported, brute_force_window(data_points, window))
+            for window, reported in zip(windows, batch.results)
+        ]
+        return QueryMetrics(
+            avg_time_ms=elapsed / n * 1000.0,
+            avg_block_accesses=(batch.total_block_accesses or 0) / n,
+            recall=float(np.mean(recalls)) if recalls else None,
+            n_queries=len(windows),
+        )
     adapter.stats.reset()
-    recalls: list[float] = []
+    recalls = []
     elapsed = 0.0
     for window in windows:
         start = time.perf_counter()
@@ -157,7 +201,6 @@ def measure_window_queries(
         elapsed += time.perf_counter() - start
         truth = brute_force_window(data_points, window)
         recalls.append(window_recall(reported, truth))
-    n = max(len(windows), 1)
     return QueryMetrics(
         avg_time_ms=elapsed / n * 1000.0,
         avg_block_accesses=adapter.stats.total_reads / n,
@@ -171,9 +214,26 @@ def measure_knn_queries(
     queries: np.ndarray,
     k: int,
     data_points: np.ndarray,
+    execution: str = "sequential",
 ) -> QueryMetrics:
     """Average time, block accesses and recall of kNN queries."""
     queries = np.asarray(queries, dtype=float).reshape(-1, 2)
+    if execution != "sequential":
+        n = max(queries.shape[0], 1)
+        engine = engine_for_execution(adapter, execution)
+        start = time.perf_counter()
+        batch = engine.knn_queries(queries, k)
+        elapsed = time.perf_counter() - start
+        recalls = [
+            knn_recall(reported, brute_force_knn(data_points, float(x), float(y), k))
+            for (x, y), reported in zip(queries, batch.results)
+        ]
+        return QueryMetrics(
+            avg_time_ms=elapsed / n * 1000.0,
+            avg_block_accesses=(batch.total_block_accesses or 0) / n,
+            recall=float(np.mean(recalls)) if recalls else None,
+            n_queries=queries.shape[0],
+        )
     adapter.stats.reset()
     recalls: list[float] = []
     elapsed = 0.0

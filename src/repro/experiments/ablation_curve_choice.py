@@ -15,7 +15,7 @@ from repro.evaluation.adapters import RSMIAdapter
 from repro.evaluation.runner import measure_point_queries, measure_window_queries
 from repro.experiments.base import ExperimentResult, register_experiment
 from repro.experiments.profiles import ScaleProfile
-from repro.experiments.sweeps import make_points
+from repro.experiments.sweeps import execution_mode, make_points
 from repro.nn import TrainingConfig
 from repro.queries import generate_point_queries, generate_window_queries
 
@@ -59,8 +59,9 @@ def run(profile: ScaleProfile) -> ExperimentResult:
         index = RSMI(config).build(points)
         build_time = time.perf_counter() - start
         adapter = RSMIAdapter(index)
-        point_metrics = measure_point_queries(adapter, point_queries)
-        window_metrics = measure_window_queries(adapter, windows, points)
+        execution = execution_mode(profile)
+        point_metrics = measure_point_queries(adapter, point_queries, execution=execution)
+        window_metrics = measure_window_queries(adapter, windows, points, execution=execution)
         err_below, err_above = index.error_bounds()
         rows.append(
             [

@@ -34,6 +34,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("tiny", "small", "paper"),
         help="workload scale (default: tiny)",
     )
+    parser.add_argument(
+        "--execution",
+        default="sequential",
+        choices=("sequential", "batched", "threaded"),
+        help="query execution mode: per-query loop (default), the batched "
+        "query engine, or a thread-pooled per-query loop",
+    )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     return parser
 
@@ -60,6 +67,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
     profile = profile_by_name(args.profile)
+    if args.execution != "sequential":
+        profile = profile.with_overrides(
+            extras={**profile.extras, "execution": args.execution}
+        )
     for name in requested:
         spec = EXPERIMENT_REGISTRY[name]
         start = time.perf_counter()

@@ -31,10 +31,24 @@ __all__ = [
     "make_points",
     "suite_config",
     "make_suite",
+    "execution_mode",
     "run_point_workload",
     "run_window_workload",
     "run_knn_workload",
 ]
+
+
+def execution_mode(profile: ScaleProfile, execution: Optional[str] = None) -> str:
+    """Workload execution mode: an explicit override, or the profile's choice.
+
+    Profiles opt into batched execution through their ``extras`` dict
+    (``profile.with_overrides(extras={"execution": "batched"})``), which the
+    CLI's ``--execution`` flag sets; the default stays the paper's
+    per-query sequential protocol.
+    """
+    if execution is not None:
+        return execution
+    return profile.extras.get("execution", "sequential")
 
 
 def make_points(
@@ -98,11 +112,18 @@ def make_suite(
 
 
 def run_point_workload(
-    adapters: dict[str, IndexAdapter], points: np.ndarray, profile: ScaleProfile
+    adapters: dict[str, IndexAdapter],
+    points: np.ndarray,
+    profile: ScaleProfile,
+    execution: Optional[str] = None,
 ) -> dict[str, QueryMetrics]:
     """Point-query metrics for every index in the suite."""
     queries = generate_point_queries(points, profile.n_point_queries, seed=profile.seed + 11)
-    return {name: measure_point_queries(adapter, queries) for name, adapter in adapters.items()}
+    mode = execution_mode(profile, execution)
+    return {
+        name: measure_point_queries(adapter, queries, execution=mode)
+        for name, adapter in adapters.items()
+    }
 
 
 def run_window_workload(
@@ -111,6 +132,7 @@ def run_window_workload(
     profile: ScaleProfile,
     area_fraction: Optional[float] = None,
     aspect_ratio: float = 1.0,
+    execution: Optional[str] = None,
 ) -> dict[str, QueryMetrics]:
     """Window-query metrics (time, block accesses, recall) for every index."""
     area = area_fraction if area_fraction is not None else profile.default_window_area
@@ -121,8 +143,9 @@ def run_window_workload(
         aspect_ratio=aspect_ratio,
         seed=profile.seed + 23,
     )
+    mode = execution_mode(profile, execution)
     return {
-        name: measure_window_queries(adapter, windows, points)
+        name: measure_window_queries(adapter, windows, points, execution=mode)
         for name, adapter in adapters.items()
     }
 
@@ -132,11 +155,13 @@ def run_knn_workload(
     points: np.ndarray,
     profile: ScaleProfile,
     k: Optional[int] = None,
+    execution: Optional[str] = None,
 ) -> dict[str, QueryMetrics]:
     """kNN metrics (time, block accesses, recall) for every index."""
     k = k if k is not None else profile.default_k
     queries = generate_knn_queries(points, profile.n_knn_queries, seed=profile.seed + 37)
+    mode = execution_mode(profile, execution)
     return {
-        name: measure_knn_queries(adapter, queries, k, points)
+        name: measure_knn_queries(adapter, queries, k, points, execution=mode)
         for name, adapter in adapters.items()
     }

@@ -15,7 +15,7 @@ from repro.evaluation.adapters import RSMIAdapter
 from repro.evaluation.runner import measure_point_queries
 from repro.experiments.base import ExperimentResult, register_experiment
 from repro.experiments.profiles import ScaleProfile
-from repro.experiments.sweeps import make_points
+from repro.experiments.sweeps import execution_mode, make_points
 from repro.nn import TrainingConfig
 from repro.queries import generate_point_queries
 
@@ -52,7 +52,7 @@ def run(profile: ScaleProfile) -> ExperimentResult:
         build_time = time.perf_counter() - start
 
         adapter = RSMIAdapter(index)
-        metrics = measure_point_queries(adapter, queries)
+        metrics = measure_point_queries(adapter, queries, execution=execution_mode(profile))
         rows.append(
             [
                 threshold,

@@ -25,7 +25,7 @@ from repro.evaluation.runner import (
     measure_window_queries,
 )
 from repro.experiments.profiles import ScaleProfile
-from repro.experiments.sweeps import make_points, make_suite
+from repro.experiments.sweeps import execution_mode, make_points, make_suite
 from repro.nn import TrainingConfig
 from repro.queries import generate_knn_queries, generate_point_queries, generate_window_queries
 
@@ -134,11 +134,12 @@ def _measure_queries(
     current_points: np.ndarray,
     profile: ScaleProfile,
 ) -> QueryMetrics:
+    execution = execution_mode(profile)
     if query_kind == "point":
         queries = generate_point_queries(
             current_points, profile.n_point_queries, seed=profile.seed + 11
         )
-        return measure_point_queries(adapter, queries)
+        return measure_point_queries(adapter, queries, execution=execution)
     if query_kind == "window":
         windows = generate_window_queries(
             current_points,
@@ -146,6 +147,6 @@ def _measure_queries(
             area_fraction=profile.default_window_area,
             seed=profile.seed + 23,
         )
-        return measure_window_queries(adapter, windows, current_points)
+        return measure_window_queries(adapter, windows, current_points, execution=execution)
     queries = generate_knn_queries(current_points, profile.n_knn_queries, seed=profile.seed + 37)
-    return measure_knn_queries(adapter, queries, profile.default_k, current_points)
+    return measure_knn_queries(adapter, queries, profile.default_k, current_points, execution=execution)

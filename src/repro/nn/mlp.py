@@ -76,6 +76,26 @@ class MLPRegressor:
         row = np.asarray(features, dtype=float).reshape(1, -1)
         return float(self.predict(row)[0])
 
+    def predict_chunked(self, inputs: np.ndarray, chunk_size: int = 65_536) -> np.ndarray:
+        """Batched forward pass over a query matrix, ``chunk_size`` rows at a time.
+
+        Equivalent to :meth:`predict` but bounds the size of the intermediate
+        activation matrices, so arbitrarily large query batches (the batched
+        query engine routes whole workloads through one call) cannot blow up
+        memory.  Each chunk still goes through the network as one matrix.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim == 1:
+            inputs = inputs.reshape(1, -1)
+        if inputs.shape[0] <= chunk_size:
+            return self.predict(inputs)
+        outputs = np.empty(inputs.shape[0], dtype=float)
+        for start in range(0, inputs.shape[0], chunk_size):
+            outputs[start : start + chunk_size] = self.predict(inputs[start : start + chunk_size])
+        return outputs
+
     # -- training primitives -----------------------------------------------------
 
     def train_batch(

@@ -3,6 +3,10 @@
 Built indices are expensive (each sub-model is trained), so the fixtures that
 build them are session-scoped and use small data sets and few epochs.  Tests
 that mutate an index build their own instance instead of using these.
+
+Tests marked ``@pytest.mark.slow`` (the differential harness's large
+randomized workloads) are skipped by default so the tier-1
+``python -m pytest -x -q`` run stays fast; include them with ``--runslow``.
 """
 
 from __future__ import annotations
@@ -13,6 +17,30 @@ import pytest
 from repro.core import RSMI, RSMIConfig
 from repro.datasets import dataset_by_name
 from repro.nn import TrainingConfig
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked 'slow' (large randomized differential workloads)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: large randomized workload; skipped unless --runslow is given"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 FAST_TRAINING = TrainingConfig(epochs=25, seed=0)

@@ -96,6 +96,20 @@ class TestBuildPartitioning:
         scalar = [partitioning.predict_cell(float(x), float(y)) for x, y in points]
         assert vectorised.tolist() == scalar
 
+    def test_predict_cells_two_array_form_matches_point_form(self, config):
+        """The engine routes with predict_cells(xs, ys); both forms must agree."""
+        points = np.random.default_rng(9).random((150, 2))
+        partitioning, _ = build_partitioning(points, config, np.random.default_rng(0))
+        from_points = partitioning.predict_cells(points)
+        from_arrays = partitioning.predict_cells(points[:, 0], points[:, 1])
+        assert from_arrays.tolist() == from_points.tolist()
+
+    def test_predict_cells_two_array_form_rejects_length_mismatch(self, config):
+        points = np.random.default_rng(10).random((100, 2))
+        partitioning, _ = build_partitioning(points, config, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            partitioning.predict_cells(points[:, 0], points[:5, 1])
+
     def test_prediction_in_cell_range(self, config):
         points = np.random.default_rng(6).random((300, 2))
         partitioning, _ = build_partitioning(points, config, np.random.default_rng(0))

@@ -1,0 +1,221 @@
+"""Differential harness: the batched engine vs. the sequential paths vs. truth.
+
+Randomized point / window / kNN workloads run through
+:class:`repro.engine.BatchQueryEngine` against RSMI and all four baseline
+indices (Grid, KDB, RR*, ZM) over three data distributions, asserting
+
+* **exact agreement** with the existing sequential query paths (the
+  per-query loops in :mod:`repro.core.batch`) for every index and query
+  type — the engine must be a pure execution-strategy change, and
+* consistency with :mod:`repro.queries.ground_truth`: point-query answers
+  equal set membership; window/kNN answers equal brute force for the exact
+  indices and are sound (no false positives, stored points only) for the
+  learned approximate ones (RSMI, ZM).
+
+The ``slow``-marked cases rerun the same differential properties on larger
+randomized workloads; they are skipped unless ``--runslow`` is given.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import batch_knn_queries, batch_point_queries, batch_window_queries
+from repro.engine import BatchQueryEngine
+from repro.datasets import dataset_by_name
+from repro.evaluation.adapters import build_index_suite
+from repro.nn import TrainingConfig
+from repro.queries import brute_force_knn, brute_force_window, generate_window_queries
+
+DISTRIBUTIONS = ("uniform", "skewed", "osm")
+#: RSMI plus the four baseline families behind the common SpatialIndex
+#: protocol (both R-tree variants included)
+INDEX_NAMES = ("Grid", "HRR", "KDB", "RR*", "ZM", "RSMI")
+EXACT_INDICES = ("Grid", "HRR", "KDB", "RR*")
+
+N_POINTS = 500
+K = 7
+
+
+def _build_suites(n_points: int, epochs: int, seed: int):
+    suites = {}
+    for i, distribution in enumerate(DISTRIBUTIONS):
+        points = dataset_by_name(distribution, n_points, seed=seed + i)
+        suites[distribution] = (
+            points,
+            build_index_suite(
+                points,
+                index_names=INDEX_NAMES,
+                block_capacity=16,
+                partition_threshold=150,
+                training=TrainingConfig(epochs=epochs, seed=0),
+                seed=0,
+            ),
+        )
+    return suites
+
+
+@pytest.fixture(scope="module")
+def suites():
+    return _build_suites(N_POINTS, epochs=10, seed=100)
+
+
+def _point_workload(points: np.ndarray, n_hits: int, n_misses: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    hits = points[rng.integers(0, points.shape[0], size=n_hits)]
+    misses = rng.random((n_misses, 2))
+    queries = np.vstack([hits, misses])
+    rng.shuffle(queries)
+    return queries
+
+
+def _as_point_set(points: np.ndarray) -> set:
+    return {tuple(p) for p in np.round(np.asarray(points, dtype=float).reshape(-1, 2), 12)}
+
+
+def _assert_differential(adapter, name, points, *, n_point, n_window, n_knn, seed):
+    """The shared differential property, reused by the fast and slow cases."""
+    stored = _as_point_set(points)
+
+    # -- point queries ---------------------------------------------------------
+    queries = _point_workload(points, n_point, n_point // 2, seed)
+    sequential = batch_point_queries(adapter, queries)
+    batched = BatchQueryEngine(adapter).point_queries(queries)
+    assert batched.results == sequential.results, f"{name}: batched != sequential (point)"
+    truth = [tuple(q) in stored for q in np.round(queries, 12)]
+    assert batched.results == truth, f"{name}: batched != ground truth (point)"
+
+    # -- window queries --------------------------------------------------------
+    windows = generate_window_queries(points, n_window, area_fraction=0.004, seed=seed + 1)
+    sequential_w = batch_window_queries(adapter, windows)
+    batched_w = BatchQueryEngine(adapter).window_queries(windows)
+    assert len(batched_w.results) == len(windows)
+    for window, got, want in zip(windows, batched_w.results, sequential_w.results):
+        assert np.array_equal(got, want), f"{name}: batched != sequential (window)"
+        truth_points = brute_force_window(points, window)
+        if name in EXACT_INDICES:
+            assert _as_point_set(got) == _as_point_set(truth_points), name
+        else:
+            assert _as_point_set(got) <= _as_point_set(truth_points), name
+
+    # -- kNN queries -----------------------------------------------------------
+    knn_queries = _point_workload(points, n_knn, 0, seed + 2)
+    sequential_k = batch_knn_queries(adapter, knn_queries, K)
+    batched_k = BatchQueryEngine(adapter).knn_queries(knn_queries, K)
+    for (x, y), got, want in zip(knn_queries, batched_k.results, sequential_k.results):
+        assert np.array_equal(got, want), f"{name}: batched != sequential (kNN)"
+        assert got.shape[0] == K
+        assert _as_point_set(got) <= stored, name
+        if name in EXACT_INDICES:
+            truth_knn = brute_force_knn(points, float(x), float(y), K)
+            got_dists = np.sort(np.hypot(got[:, 0] - x, got[:, 1] - y))
+            truth_dists = np.sort(np.hypot(truth_knn[:, 0] - x, truth_knn[:, 1] - y))
+            assert np.allclose(got_dists, truth_dists, atol=1e-12), name
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_differential_all_indices(suites, distribution, name):
+    points, adapters = suites[distribution]
+    _assert_differential(
+        adapters[name], name, points, n_point=60, n_window=8, n_knn=6, seed=7
+    )
+
+
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_threaded_mode_matches_sequential(suites, name):
+    """The thread-pool fallback is a pure scheduling change: identical results."""
+    points, adapters = suites["skewed"]
+    adapter = adapters[name]
+    queries = _point_workload(points, 40, 20, 31)
+    windows = generate_window_queries(points, 5, area_fraction=0.004, seed=32)
+
+    threaded = BatchQueryEngine(adapter, mode="threaded", n_workers=4)
+    assert threaded.point_queries(queries).results == batch_point_queries(adapter, queries).results
+    for got, want in zip(
+        threaded.window_queries(windows).results, batch_window_queries(adapter, windows).results
+    ):
+        assert np.array_equal(got, want)
+    knn_queries = points[:6]
+    for got, want in zip(
+        threaded.knn_queries(knn_queries, K).results,
+        batch_knn_queries(adapter, knn_queries, K).results,
+    ):
+        assert np.array_equal(got, want)
+
+
+def test_vectorized_mode_requires_rsmi(suites):
+    _, adapters = suites["uniform"]
+    with pytest.raises(ValueError):
+        BatchQueryEngine(adapters["Grid"], mode="vectorized")
+    # and on an RSMI-backed adapter it is accepted
+    BatchQueryEngine(adapters["RSMI"], mode="vectorized")
+
+
+def test_batched_point_path_saves_block_accesses(suites):
+    """The engine's reason to exist: far fewer block reads per batch."""
+    points, adapters = suites["skewed"]
+    adapter = adapters["RSMI"]
+    queries = points[::2]
+    sequential = batch_point_queries(adapter, queries)
+    batched = BatchQueryEngine(adapter).point_queries(queries)
+    assert batched.results == sequential.results
+    assert batched.total_block_accesses < sequential.total_block_accesses
+
+
+def test_exact_variant_adapter_stays_on_exact_path(suites):
+    """RSMIa: point queries vectorize, window/kNN stay on the exact algorithms.
+
+    The engine must honour ``prefers_exact_queries`` — routing RSMIa windows
+    through the vectorised *approximate* path would silently destroy its
+    recall=1.0 guarantee in the experiment results.
+    """
+    points, _ = suites["skewed"]
+    suite = build_index_suite(
+        points,
+        index_names=("RSMI", "RSMIa"),
+        block_capacity=16,
+        partition_threshold=150,
+        training=TrainingConfig(epochs=10, seed=0),
+        seed=0,
+    )
+    adapter = suite["RSMIa"]
+    engine = BatchQueryEngine(adapter)
+
+    queries = _point_workload(points, 40, 20, 53)
+    assert engine.point_queries(queries).results == batch_point_queries(adapter, queries).results
+
+    windows = generate_window_queries(points, 6, area_fraction=0.004, seed=54)
+    batched = engine.window_queries(windows)
+    sequential = batch_window_queries(adapter, windows)
+    for window, got, want in zip(windows, batched.results, sequential.results):
+        assert np.array_equal(got, want)
+        # exact recall: precisely the brute-force answer, not a subset
+        assert _as_point_set(got) == _as_point_set(brute_force_window(points, window))
+
+    knn_queries = points[:5]
+    for got, want in zip(
+        engine.knn_queries(knn_queries, K).results,
+        batch_knn_queries(adapter, knn_queries, K).results,
+    ):
+        assert np.array_equal(got, want)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_differential_large_randomized(distribution, name):
+    """The same differential property over much larger randomized workloads."""
+    points = dataset_by_name(distribution, 2_500, seed=900 + INDEX_NAMES.index(name))
+    suite = build_index_suite(
+        points,
+        index_names=[name],
+        block_capacity=25,
+        partition_threshold=400,
+        training=TrainingConfig(epochs=20, seed=1),
+        seed=1,
+    )
+    _assert_differential(
+        suite[name], name, points, n_point=400, n_window=40, n_knn=30, seed=77
+    )

@@ -6,18 +6,27 @@ These cover the invariants DESIGN.md calls out:
 2. approximate window answers contain no false positives,
 3. exact window/kNN answers equal brute force,
 4. insertions are immediately queryable and never break earlier points,
-5. block packing preserves the multiset of points.
+5. block packing preserves the multiset of points,
+
+plus the batched-execution invariants: batching is order-insensitive
+(permuting the query batch permutes the results), singleton batches equal
+single-query calls, and batch results survive an index persistence
+round-trip unchanged.
 
 Building an RSMI per example is expensive, so the strategies keep the data
 small and the number of examples modest; the deterministic tests elsewhere
 cover larger structures.
 """
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core import RSMI, RSMIConfig
+from repro.core import RSMI, RSMIConfig, load_index, save_index
+from repro.engine import BatchQueryEngine
 from repro.geometry import Rect
 from repro.nn import TrainingConfig
 from repro.queries import brute_force_knn, brute_force_window
@@ -158,6 +167,74 @@ class TestUpdateInvariants:
         assert index.delete(x, y)
         assert not index.contains(x, y)
         assert index.n_points == points.shape[0] - 1
+
+
+class TestBatchEngineInvariants:
+    """Invariants of the batched execution path (BatchQueryEngine)."""
+
+    @settings(**SETTINGS)
+    @given(points=point_sets(), perm_seed=st.integers(0, 10_000))
+    def test_batching_is_order_insensitive(self, points, perm_seed):
+        """Permuting the query batch permutes the results and nothing else."""
+        index = build_index(points)
+        engine = BatchQueryEngine(index)
+        rng = np.random.default_rng(perm_seed)
+        queries = np.vstack([points[::3], rng.random((15, 2))])
+        baseline = engine.point_queries(queries).results
+
+        perm = rng.permutation(queries.shape[0])
+        permuted = engine.point_queries(queries[perm]).results
+        assert permuted == [baseline[i] for i in perm]
+
+        windows = [
+            Rect.from_center(0.3, 0.3, 0.3, 0.2),
+            Rect.from_center(0.7, 0.5, 0.2, 0.4),
+            Rect(0.0, 0.0, 1.0, 1.0),
+        ]
+        window_baseline = engine.window_queries(windows).results
+        reordered = engine.window_queries([windows[2], windows[0], windows[1]]).results
+        for got, want in zip(reordered, [window_baseline[2], window_baseline[0], window_baseline[1]]):
+            assert np.array_equal(got, want)
+
+    @settings(**SETTINGS)
+    @given(points=point_sets(), qx=st.floats(0, 1), qy=st.floats(0, 1), k=st.integers(1, 8))
+    def test_singleton_batch_equals_single_query(self, points, qx, qy, k):
+        index = build_index(points)
+        engine = BatchQueryEngine(index)
+        single = np.array([[qx, qy]])
+
+        assert engine.point_queries(single).results == [index.contains(qx, qy)]
+
+        window = Rect.from_center(0.5, 0.5, 0.4, 0.3)
+        assert np.array_equal(
+            engine.window_queries([window]).results[0], index.window_query(window).points
+        )
+
+        assert np.array_equal(
+            engine.knn_queries(single, k).results[0], index.knn_query(qx, qy, k).points
+        )
+
+    @settings(**SETTINGS)
+    @given(points=point_sets(min_size=40, max_size=120))
+    def test_batch_results_stable_under_persistence_round_trip(self, points):
+        index = build_index(points)
+        queries = np.vstack([points[::4], np.array([[0.123, 0.456], [0.9, 0.05]])])
+        windows = [Rect.from_center(0.4, 0.4, 0.35, 0.35)]
+        before_p = BatchQueryEngine(index).point_queries(queries).results
+        before_w = BatchQueryEngine(index).window_queries(windows).results
+        before_k = BatchQueryEngine(index).knn_queries(queries[:5], 4).results
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "index.rsmi"
+            save_index(index, path)
+            restored = load_index(path, expected_type=RSMI)
+
+        engine = BatchQueryEngine(restored)
+        assert engine.point_queries(queries).results == before_p
+        for got, want in zip(engine.window_queries(windows).results, before_w):
+            assert np.array_equal(got, want)
+        for got, want in zip(engine.knn_queries(queries[:5], 4).results, before_k):
+            assert np.array_equal(got, want)
 
 
 class TestStorageInvariant:
