@@ -1,0 +1,26 @@
+"""Benchmark the scenario workload subsystem (mixed read/write streams)."""
+
+
+def test_scenario_hotspot(run_experiment):
+    result = run_experiment("scenario-hotspot")
+    assert result.rows, "no snapshots produced"
+    index_names = {row[0] for row in result.rows}
+    assert "RSMI" in index_names and "Grid" in index_names
+    # every snapshot reports positive throughput, and the oracle verified
+    # every operation of every index
+    assert all(rate > 0 for rate in result.column("ops_per_s"))
+    assert any("verified against the shadow oracle" in note for note in result.notes)
+    # exact indices hold recall 1.0 throughout the churn
+    for row in result.rows:
+        if row[0] in ("Grid", "HRR", "KDB", "RR*") and row[5] != "-":
+            assert row[5] == 1.0
+
+
+def test_scenario_bulk_churn(run_experiment):
+    result = run_experiment("scenario-bulk-churn")
+    assert result.rows, "no snapshots produced"
+    # churn inserts must be visible as overflow-chain growth on the RSMI rows
+    rsmi_rows = [row for row in result.rows if row[0] == "RSMI"]
+    assert rsmi_rows
+    final = rsmi_rows[-1]
+    assert final[7] != "-", "RSMI snapshots must report overflow blocks"

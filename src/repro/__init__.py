@@ -44,14 +44,42 @@ The experiment harness opts in through the measurement functions'
 ``execution="batched"`` parameter (:mod:`repro.evaluation.runner`) or the
 CLI's ``--execution batched`` flag; see ``examples/batched_queries.py`` for a
 runnable tour.
+
+Scenario workloads & fuzzing
+----------------------------
+
+The paper measures static query workloads and isolated update sweeps;
+production serving means interleaved, shifting read/write mixes.
+:mod:`repro.workloads` declares such scenarios and replays them: a
+:class:`~repro.workloads.ScenarioSpec` fixes the operation mix
+(point/window/kNN/insert/delete), the arrival pattern and a key
+distribution (``hotspot``, ``drifting``, ``zipfian``, ``bulk-churn``, ...);
+the :class:`~repro.workloads.ScenarioRunner` drives any index through the
+resulting seeded stream via the batched engine, emitting periodic
+:class:`~repro.workloads.ScenarioSnapshot` metrics.  Attaching the
+brute-force :class:`~repro.workloads.OracleIndex` shadow turns the same run
+into a model-based differential fuzz case (every answer checked, mismatches
+raise)::
+
+    from repro.workloads import OracleIndex, ScenarioRunner, scenario_by_name
+
+    spec = scenario_by_name("hotspot").with_overrides(n_ops=5_000)
+    runner = ScenarioRunner(index, spec, oracle=OracleIndex().build(points))
+    result = runner.run(points)          # raises ScenarioMismatch on any bug
+    result.snapshots                     # throughput / recall / chain depth
+
+The CLI exposes the presets via ``repro-experiment --scenario <name>``;
+``tests/test_scenario_fuzz.py`` fuzzes every index with the same machinery,
+and ``examples/scenario_run.py`` is a runnable tour.
 """
 
 from repro.core import RSMI, RSMIConfig, PeriodicRebuilder
 from repro.engine import BatchQueryEngine
 from repro.geometry import Rect
 from repro.storage import AccessStats, Block, BlockStore
+from repro.workloads import OracleIndex, ScenarioRunner, ScenarioSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "RSMI",
@@ -62,5 +90,8 @@ __all__ = [
     "AccessStats",
     "Block",
     "BlockStore",
+    "ScenarioSpec",
+    "ScenarioRunner",
+    "OracleIndex",
     "__version__",
 ]

@@ -293,6 +293,12 @@ class ZMIndex(SpatialIndex):
         if target is None:
             target = self.store.allocate_overflow(last_block.block_id)
         target.append(x, y)
+        # the insertion can land in a block whose build-time Z-range does not
+        # cover z (deleted-slot reuse, or a binary search clamped to the end
+        # of the error range); widen the directory's lower bound so the point
+        # query's scan cutoff keeps the block visible for this Z-value
+        if self._block_zmin.size and z < self._block_zmin[position]:
+            self._block_zmin[position] = z
         self.stats.record_block_write()
         self._n_points += 1
 

@@ -34,6 +34,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration side e
     fig17_insertions,
     fig18_window_after_insert,
     fig19_knn_after_insert,
+    scenario_sweeps,
     table3_partition_threshold,
     table4_error_bounds,
 )

@@ -6,6 +6,8 @@ Examples::
     repro-experiment fig6
     repro-experiment table3 fig10 --profile small
     repro-experiment all --profile tiny
+    repro-experiment --scenario hotspot
+    repro-experiment --scenario bulk-churn --scenario-ops 2000 --scenario-indices RSMI,Grid
 """
 
 from __future__ import annotations
@@ -16,6 +18,8 @@ import time
 from typing import Sequence
 
 from repro.experiments import EXPERIMENT_REGISTRY, profile_by_name
+from repro.experiments.scenario_sweeps import run_scenario_sweep
+from repro.workloads import SCENARIO_PRESETS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,13 +45,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="query execution mode: per-query loop (default), the batched "
         "query engine, or a thread-pooled per-query loop",
     )
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIO_PRESETS),
+        help="replay a mixed read/write workload scenario (oracle-checked) "
+        "instead of a table/figure experiment",
+    )
+    parser.add_argument(
+        "--scenario-ops",
+        type=int,
+        default=None,
+        help="operation budget for --scenario (default: scales with the profile)",
+    )
+    parser.add_argument(
+        "--scenario-indices",
+        default=None,
+        help="comma-separated index names for --scenario "
+        "(default: Grid,HRR,KDB,RR*,ZM,RSMI)",
+    )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     return parser
+
+
+def _run_scenario(args, profile) -> int:
+    if args.scenario_ops is not None:
+        if args.scenario_ops < 1:
+            print("--scenario-ops must be >= 1", file=sys.stderr)
+            return 2
+        profile = profile.with_overrides(
+            extras={**profile.extras, "scenario_ops": args.scenario_ops}
+        )
+    index_names = None
+    if args.scenario_indices:
+        index_names = tuple(
+            name.strip() for name in args.scenario_indices.split(",") if name.strip()
+        )
+    start = time.perf_counter()
+    try:
+        result = run_scenario_sweep(profile, args.scenario, index_names=index_names)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    print(result.to_text())
+    print(
+        f"  (scenario '{args.scenario}' completed in {elapsed:.1f}s "
+        f"at profile '{profile.name}')"
+    )
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.scenario:
+        if args.experiments:
+            print(
+                "--scenario cannot be combined with experiment ids; "
+                "run them as separate invocations",
+                file=sys.stderr,
+            )
+            return 2
+        profile = profile_by_name(args.profile)
+        if args.execution != "sequential":
+            profile = profile.with_overrides(
+                extras={**profile.extras, "execution": args.execution}
+            )
+        return _run_scenario(args, profile)
 
     if args.list or not args.experiments:
         print("Available experiments:")

@@ -1,0 +1,185 @@
+"""Scenario sweeps: mixed read/write workloads the paper never measures.
+
+Every preset of :data:`repro.workloads.SCENARIO_PRESETS` is registered as an
+experiment (``scenario-hotspot``, ``scenario-drifting``, ...) that replays
+the scenario's operation stream against each configured index through the
+:class:`~repro.workloads.runner.ScenarioRunner` and reports the periodic
+:class:`~repro.workloads.runner.ScenarioSnapshot` series — throughput, block
+accesses per operation, recall against the shadow oracle, and overflow-chain
+growth.  The CLI exposes the same sweeps directly via ``--scenario <name>``.
+
+Unlike the static sweeps, every index is built *fresh* per scenario run (the
+stream mutates it), and the shadow oracle replays the identical stream so
+answer agreement is asserted while measuring — the experiment doubles as a
+differential correctness check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.evaluation.adapters import build_index_suite
+from repro.evaluation.runner import SuiteConfig
+from repro.experiments.base import ExperimentResult, register_experiment
+from repro.experiments.profiles import ScaleProfile
+from repro.experiments.sweeps import execution_mode, make_points
+from repro.workloads import (
+    SCENARIO_PRESETS,
+    OracleIndex,
+    ScenarioRunner,
+    ScenarioSpec,
+    scenario_by_name,
+)
+
+__all__ = [
+    "SCENARIO_INDEX_NAMES",
+    "EXACT_RESULT_INDICES",
+    "scenario_spec_for_profile",
+    "run_scenario_sweep",
+]
+
+#: indices a scenario sweep drives by default: RSMI plus the four baseline
+#: families.  RSMIa is omitted only because it would re-train a second RSMI
+#: (every name gets a fresh build here, since the stream mutates it); request
+#: it explicitly via ``--scenario-indices`` to fuzz the exact query variants.
+SCENARIO_INDEX_NAMES = ("Grid", "HRR", "KDB", "RR*", "ZM", "RSMI")
+
+#: indices whose window/kNN answers are exact; the runner asserts exact
+#: oracle agreement for these and soundness + recall for the rest
+EXACT_RESULT_INDICES = frozenset({"Grid", "HRR", "KDB", "RR*", "RSMIa"})
+
+#: engine mode per CLI/profile execution override
+_ENGINE_MODES = {"sequential": "sequential", "batched": "auto", "threaded": "threaded"}
+
+
+def scenario_spec_for_profile(
+    profile: ScaleProfile, scenario: str | ScenarioSpec
+) -> ScenarioSpec:
+    """Scale a (named) scenario to a profile: op budget, k, window size, seed.
+
+    ``profile.extras["scenario_ops"]`` overrides the operation budget (the
+    CLI's ``--scenario-ops``); otherwise it tracks the profile's data size.
+    """
+    spec = scenario_by_name(scenario) if isinstance(scenario, str) else scenario
+    n_ops = int(profile.extras.get("scenario_ops", max(200, profile.n_points // 5)))
+    return spec.with_overrides(
+        n_ops=n_ops,
+        snapshot_every=max(1, n_ops // 4),
+        seed=profile.seed + 101,
+        k=profile.default_k,
+        window_area_fraction=profile.default_window_area,
+    )
+
+
+def run_scenario_sweep(
+    profile: ScaleProfile,
+    scenario: str | ScenarioSpec,
+    index_names: Optional[Sequence[str]] = None,
+    check: bool = True,
+) -> ExperimentResult:
+    """Replay one scenario against every index; one row per snapshot."""
+    spec = scenario_spec_for_profile(profile, scenario)
+    names = tuple(index_names) if index_names is not None else SCENARIO_INDEX_NAMES
+    points = make_points(profile)
+    config = SuiteConfig(
+        n_points=points.shape[0],
+        distribution=profile.default_distribution,
+        block_capacity=profile.block_capacity,
+        partition_threshold=profile.partition_threshold,
+        training_epochs=profile.training_epochs,
+        seed=profile.seed,
+    )
+    engine_mode = _ENGINE_MODES[execution_mode(profile)]
+
+    rows: list[list] = []
+    notes: list[str] = []
+    for name in names:
+        # fresh build per index: the stream mutates the structure
+        suite = build_index_suite(
+            points,
+            index_names=[name],
+            block_capacity=config.block_capacity,
+            partition_threshold=config.partition_threshold,
+            training=config.training_config(),
+            seed=config.seed,
+        )
+        oracle = OracleIndex().build(points) if check else None
+        runner = ScenarioRunner(
+            suite[name],
+            spec,
+            oracle=oracle,
+            exact_results=name in EXACT_RESULT_INDICES,
+            engine_mode=engine_mode,
+        )
+        result = runner.run(points)
+        for snapshot in result.snapshots:
+            rows.append(
+                [
+                    name,
+                    snapshot.op_index,
+                    round(snapshot.ops_per_s, 1),
+                    round(snapshot.avg_block_accesses, 2),
+                    snapshot.n_points,
+                    _cell(snapshot.window_recall),
+                    _cell(snapshot.knn_recall),
+                    _cell(snapshot.n_overflow_blocks),
+                    _cell(snapshot.max_chain_depth),
+                ]
+            )
+        if result.checked:
+            notes.append(f"{name}: {result.n_ops} ops verified against the shadow oracle")
+
+    mix = ", ".join(
+        f"{kind}={p:.2f}"
+        for kind, p in zip(
+            ("point", "window", "knn", "insert", "delete"), spec.mix.probabilities()
+        )
+        if p > 0
+    )
+    notes.insert(
+        0,
+        f"scenario '{spec.name}': {spec.n_ops} ops, distribution={spec.distribution}, "
+        f"arrival={spec.arrival}, mix: {mix}",
+    )
+    return ExperimentResult(
+        experiment_id=f"scenario-{spec.name}",
+        title=f"Scenario sweep '{spec.name}'",
+        paper_reference="beyond the paper (ROADMAP: scenario workloads)",
+        header=[
+            "index",
+            "ops_done",
+            "ops_per_s",
+            "block_accesses_per_op",
+            "n_points",
+            "window_recall",
+            "knn_recall",
+            "overflow_blocks",
+            "max_chain_depth",
+        ],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def _cell(value):
+    """Render optional snapshot fields as table cells."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return round(value, 3)
+    return value
+
+
+def _register_presets() -> None:
+    for name in SCENARIO_PRESETS:
+        def runner(profile: ScaleProfile, _name: str = name) -> ExperimentResult:
+            return run_scenario_sweep(profile, _name)
+
+        register_experiment(
+            f"scenario-{name}",
+            f"Mixed-workload scenario '{name}' (throughput, recall, chain growth)",
+            "beyond the paper",
+        )(runner)
+
+
+_register_presets()

@@ -74,18 +74,26 @@ def generate_window_queries(
 
 
 def generate_knn_queries(
-    points: np.ndarray, n_queries: int, seed: int = 0, jitter: float = 0.0
+    points: np.ndarray,
+    n_queries: int,
+    seed: int = 0,
+    jitter: float = 0.0,
+    data_space: Rect | None = None,
 ) -> np.ndarray:
     """kNN query points sampled from the data distribution.
 
     ``jitter`` adds small uniform noise so query points need not coincide
-    with stored points.
+    with stored points; jittered queries are clipped to ``data_space``
+    (default: the unit square) so they never leave the space the index
+    covers.
     """
     queries = generate_point_queries(points, n_queries, seed=seed)
     if jitter > 0:
+        space = data_space if data_space is not None else Rect.unit()
         rng = np.random.default_rng(seed + 1)
         queries = queries + rng.uniform(-jitter, jitter, size=queries.shape)
-        queries = np.clip(queries, 0.0, 1.0)
+        queries[:, 0] = np.clip(queries[:, 0], space.xlo, space.xhi)
+        queries[:, 1] = np.clip(queries[:, 1], space.ylo, space.yhi)
     return queries
 
 

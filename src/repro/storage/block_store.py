@@ -141,6 +141,27 @@ class BlockStore:
         for position in range(begin, end + 1):
             yield from self.iter_chain(position)
 
+    def chain_depths(self) -> list[int]:
+        """Overflow blocks linked behind each base block, by curve position.
+
+        A freshly built store is all zeros; insertions into full regions grow
+        individual chains.  The scenario runner samples this to track how far
+        the structure has degraded from its learned layout.
+        """
+        depths: list[int] = []
+        for position in range(self.n_base_blocks):
+            depth = 0
+            block = self._block_by_id(self.base_block_id(position))
+            next_id = block.next_id
+            while next_id is not None:
+                candidate = self._block_by_id(next_id)
+                if not candidate.is_overflow:
+                    break
+                depth += 1
+                next_id = candidate.next_id
+            depths.append(depth)
+        return depths
+
     def all_points(self) -> np.ndarray:
         """Every live point in curve order (base blocks followed by their overflows)."""
         chunks: list[np.ndarray] = []

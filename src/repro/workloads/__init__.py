@@ -1,0 +1,54 @@
+"""Scenario workloads: declarative mixed read/write streams plus fuzzing.
+
+The paper evaluates on static query workloads and isolated insert/delete
+sweeps; this package opens every scenario in between.  A
+:class:`~repro.workloads.spec.ScenarioSpec` declares an operation mix
+(point/window/kNN/insert/delete), an arrival pattern and a key distribution
+(``hotspot``, ``drifting``, ``zipfian``, ``bulk-churn``, ...); the stream
+generator turns it into a deterministic interleaved operation sequence; the
+:class:`~repro.workloads.runner.ScenarioRunner` replays that sequence against
+any index through the batched query engine, emitting periodic
+:class:`~repro.workloads.runner.ScenarioSnapshot` metrics.
+
+Attach a shadow :class:`~repro.workloads.oracle.OracleIndex` and the same
+run becomes a model-based differential fuzz case: every answer is checked
+against brute force, and any disagreement raises
+:class:`~repro.workloads.runner.ScenarioMismatch`.  The experiment CLI's
+``--scenario`` flag and ``tests/test_scenario_fuzz.py`` are both thin layers
+over this package.
+"""
+
+from repro.workloads.oracle import OracleIndex
+from repro.workloads.runner import (
+    ScenarioMismatch,
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSnapshot,
+)
+from repro.workloads.spec import (
+    ARRIVAL_PATTERNS,
+    KEY_DISTRIBUTIONS,
+    OPERATION_KINDS,
+    SCENARIO_PRESETS,
+    OperationMix,
+    ScenarioSpec,
+    scenario_by_name,
+)
+from repro.workloads.stream import Operation, generate_operations
+
+__all__ = [
+    "OperationMix",
+    "ScenarioSpec",
+    "SCENARIO_PRESETS",
+    "scenario_by_name",
+    "KEY_DISTRIBUTIONS",
+    "ARRIVAL_PATTERNS",
+    "OPERATION_KINDS",
+    "Operation",
+    "generate_operations",
+    "OracleIndex",
+    "ScenarioRunner",
+    "ScenarioResult",
+    "ScenarioSnapshot",
+    "ScenarioMismatch",
+]

@@ -1,0 +1,84 @@
+"""A mutable set of distinct points with O(1) updates and indexed access.
+
+Both the stream generator's live mirror and the :class:`OracleIndex` need the
+same structure — membership tests, duplicate-rejecting insertion,
+swap-removal and slot access over a list of ``(x, y)`` keys — so it lives
+here once instead of twice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Rect
+
+__all__ = ["LivePointSet"]
+
+_EMPTY = np.empty((0, 2), dtype=float)
+
+
+class LivePointSet:
+    """Distinct ``(x, y)`` keys supporting O(1) add/remove/membership/sampling."""
+
+    def __init__(self, points: np.ndarray | None = None):
+        self._keys: list[tuple[float, float]] = []
+        self._slots: dict[tuple[float, float], int] = {}
+        self._array: np.ndarray | None = _EMPTY
+        if points is not None:
+            for x, y in np.asarray(points, dtype=float).reshape(-1, 2):
+                self.add((float(x), float(y)))
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: tuple[float, float]) -> bool:
+        return key in self._slots
+
+    def add(self, key: tuple[float, float]) -> None:
+        """Add a key; duplicate keys are rejected."""
+        if key in self._slots:
+            raise ValueError(f"duplicate key {key}")
+        self._slots[key] = len(self._keys)
+        self._keys.append(key)
+        self._array = None
+
+    def discard(self, key: tuple[float, float]) -> bool:
+        """Swap-remove a key; returns True when it was present."""
+        slot = self._slots.pop(key, None)
+        if slot is None:
+            return False
+        last = self._keys.pop()
+        if slot < len(self._keys):
+            self._keys[slot] = last
+            self._slots[last] = slot
+        self._array = None
+        return True
+
+    def at(self, slot: int) -> tuple[float, float]:
+        """The key at ``slot`` (modulo the current size)."""
+        return self._keys[slot % len(self._keys)]
+
+    def as_array(self) -> np.ndarray:
+        """All keys as an ``(n, 2)`` array (cached between mutations)."""
+        if self._array is None:
+            self._array = (
+                np.asarray(self._keys, dtype=float) if self._keys else _EMPTY.copy()
+            )
+        return self._array
+
+    # -- sampling (used by the stream generator) -------------------------------
+
+    def sample(self, rng: np.random.Generator) -> tuple[float, float]:
+        return self._keys[int(rng.integers(0, len(self._keys)))]
+
+    def sample_in(
+        self, region: Rect, rng: np.random.Generator, tries: int = 16
+    ) -> tuple[float, float]:
+        """A key inside ``region`` when rejection sampling finds one, else an
+        arbitrary key (keeps region scenarios meaningful even when the region
+        is momentarily empty)."""
+        for _ in range(tries):
+            key = self.sample(rng)
+            if region.contains_point(*key):
+                return key
+        return self.sample(rng)

@@ -1,0 +1,346 @@
+"""Drive an index through a scenario stream, checking and measuring as it goes.
+
+:class:`ScenarioRunner` replays the operation stream of a
+:class:`~repro.workloads.spec.ScenarioSpec` against one index.  Reads are
+micro-batched through the existing :class:`~repro.engine.BatchQueryEngine`
+(so RSMI-backed indices get the vectorised level-synchronous paths); every
+write flushes the pending read batch first, which preserves the stream's
+read/write interleaving exactly.
+
+When a shadow :class:`~repro.workloads.oracle.OracleIndex` is attached, the
+runner replays the identical stream through it and asserts answer agreement
+per operation — exact agreement for point queries and deletion outcomes on
+every index, exact set/distance agreement for window/kNN on exact indices,
+and soundness (no false positives, only stored points) plus recorded recall
+for the approximate learned indices.  Any violation raises
+:class:`ScenarioMismatch` naming the operation, which is what turns a
+scenario into a randomized model-based differential fuzz case.
+
+Periodic :class:`ScenarioSnapshot` records capture throughput, block
+accesses, recall and overflow-chain growth so the same machinery doubles as
+the load generator behind ``experiments/scenario_sweeps.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.engine import BatchQueryEngine
+from repro.evaluation.metrics import knn_recall, window_recall
+from repro.workloads.oracle import OracleIndex
+from repro.workloads.spec import ScenarioSpec
+from repro.workloads.stream import Operation, generate_operations
+
+__all__ = ["ScenarioMismatch", "ScenarioSnapshot", "ScenarioResult", "ScenarioRunner"]
+
+
+class ScenarioMismatch(AssertionError):
+    """An index disagreed with the shadow oracle on one operation."""
+
+
+@dataclass
+class ScenarioSnapshot:
+    """Metrics over one snapshot interval of a scenario run."""
+
+    #: operations completed when the snapshot was taken
+    op_index: int
+    #: wall-clock seconds since the run started
+    elapsed_s: float
+    #: operations served in this interval
+    interval_ops: int
+    #: throughput over the interval
+    ops_per_s: float
+    #: block/node reads per operation over the interval (0.0 for stats-less indices)
+    avg_block_accesses: float
+    #: live points according to the oracle/stream after the interval
+    n_points: int
+    #: operations per kind in this interval
+    op_counts: dict[str, int] = field(default_factory=dict)
+    #: mean window recall vs the oracle over the interval (None without oracle
+    #: or when the interval had no window queries)
+    window_recall: Optional[float] = None
+    #: mean kNN recall vs the oracle over the interval
+    knn_recall: Optional[float] = None
+    #: overflow blocks in the index's store (None for indices without one)
+    n_overflow_blocks: Optional[int] = None
+    #: deepest base-block overflow chain (None for indices without a store)
+    max_chain_depth: Optional[int] = None
+
+
+@dataclass
+class ScenarioResult:
+    """The outcome of one full scenario run against one index."""
+
+    scenario: str
+    index_name: str
+    n_ops: int
+    snapshots: list[ScenarioSnapshot]
+    op_counts: dict[str, int]
+    elapsed_s: float
+    total_block_accesses: int
+    #: True when a shadow oracle checked every operation
+    checked: bool
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.n_ops / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+
+class _IntervalAccumulator:
+    """Counters reset at every snapshot boundary."""
+
+    def __init__(self):
+        self.ops = 0
+        self.block_accesses = 0
+        self.op_counts: dict[str, int] = {}
+        self.window_recalls: list[float] = []
+        self.knn_recalls: list[float] = []
+        self.started_at = time.perf_counter()
+
+    def count(self, kind: str) -> None:
+        self.ops += 1
+        self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
+
+
+class ScenarioRunner:
+    """Replay a scenario stream against one index.
+
+    Parameters
+    ----------
+    index:
+        The index under test: an RSMI, a baseline, or an evaluation adapter —
+        anything :class:`~repro.engine.BatchQueryEngine` accepts.
+    spec:
+        The scenario to run.
+    oracle:
+        Optional shadow :class:`OracleIndex` built over the *same* initial
+        points; when given, every answer is checked and recall is recorded.
+    exact_results:
+        True when the index answers window/kNN queries exactly (the
+        traditional baselines); enables exact-agreement assertions instead of
+        soundness-only checks.  Ignored without an oracle.
+    engine_mode / batch_size:
+        Execution mode for the read engine and the maximum number of reads
+        batched between writes/snapshots.
+    """
+
+    def __init__(
+        self,
+        index,
+        spec: ScenarioSpec,
+        *,
+        oracle: Optional[OracleIndex] = None,
+        exact_results: bool = False,
+        engine_mode: str = "auto",
+        batch_size: int = 64,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.index = index
+        self.spec = spec
+        self.oracle = oracle
+        self.exact_results = exact_results
+        self.engine = BatchQueryEngine(index, mode=engine_mode)
+        self.batch_size = batch_size
+        self._name = getattr(index, "name", type(index).__name__)
+
+    # -- public entry ---------------------------------------------------------
+
+    def run(self, initial_points: np.ndarray) -> ScenarioResult:
+        """Generate the stream for ``initial_points`` and replay it."""
+        operations = generate_operations(self.spec, initial_points)
+        return self.replay(operations)
+
+    def replay(self, operations: list[Operation]) -> ScenarioResult:
+        """Replay an already-generated operation stream."""
+        snapshots: list[ScenarioSnapshot] = []
+        totals: dict[str, int] = {}
+        total_accesses = 0
+        pending: list[Operation] = []
+        interval = _IntervalAccumulator()
+        started = time.perf_counter()
+
+        for op_index, op in enumerate(operations):
+            if op.kind in ("point", "window", "knn"):
+                pending.append(op)
+                if len(pending) >= self.batch_size:
+                    interval.block_accesses += self._flush(pending, interval)
+            else:
+                interval.block_accesses += self._flush(pending, interval)
+                interval.block_accesses += self._apply_write(op)
+            interval.count(op.kind)
+            totals[op.kind] = totals.get(op.kind, 0) + 1
+
+            if (op_index + 1) % self.spec.snapshot_every == 0 or op_index + 1 == len(
+                operations
+            ):
+                interval.block_accesses += self._flush(pending, interval)
+                snapshots.append(self._snapshot(op_index + 1, started, interval))
+                total_accesses += interval.block_accesses
+                interval = _IntervalAccumulator()
+
+        elapsed = time.perf_counter() - started
+        return ScenarioResult(
+            scenario=self.spec.name,
+            index_name=self._name,
+            n_ops=len(operations),
+            snapshots=snapshots,
+            op_counts=totals,
+            elapsed_s=elapsed,
+            total_block_accesses=total_accesses,
+            checked=self.oracle is not None,
+        )
+
+    # -- batched reads --------------------------------------------------------
+
+    def _flush(self, pending: list[Operation], interval: _IntervalAccumulator) -> int:
+        """Execute the buffered reads (one engine batch per kind); returns the
+        block accesses they cost."""
+        if not pending:
+            return 0
+        accesses = 0
+        points = [op for op in pending if op.kind == "point"]
+        windows = [op for op in pending if op.kind == "window"]
+        knns = [op for op in pending if op.kind == "knn"]
+        pending.clear()
+
+        if points:
+            queries = np.asarray([(op.x, op.y) for op in points], dtype=float)
+            batch = self.engine.point_queries(queries)
+            accesses += batch.total_block_accesses or 0
+            if self.oracle is not None:
+                for op, found in zip(points, batch.results):
+                    self._check_point(op, bool(found))
+        if windows:
+            batch = self.engine.window_queries([op.window for op in windows])
+            accesses += batch.total_block_accesses or 0
+            if self.oracle is not None:
+                for op, reported in zip(windows, batch.results):
+                    self._check_window(op, reported, interval)
+        if knns:
+            queries = np.asarray([(op.x, op.y) for op in knns], dtype=float)
+            batch = self.engine.knn_queries(queries, self.spec.k)
+            accesses += batch.total_block_accesses or 0
+            if self.oracle is not None:
+                for op, reported in zip(knns, batch.results):
+                    self._check_knn(op, reported, interval)
+        return accesses
+
+    # -- writes ---------------------------------------------------------------
+
+    def _apply_write(self, op: Operation) -> int:
+        stats = getattr(self.index, "stats", None)
+        before = stats.total_reads if stats is not None else 0
+        if op.kind == "insert":
+            self.index.insert(op.x, op.y)
+            if self.oracle is not None:
+                self.oracle.insert(op.x, op.y)
+        else:
+            removed = bool(self.index.delete(op.x, op.y))
+            if self.oracle is not None:
+                expected = self.oracle.delete(op.x, op.y)
+                if removed != expected:
+                    raise ScenarioMismatch(
+                        f"{self._name}: delete({op.x}, {op.y}) returned {removed}, "
+                        f"oracle says {expected}"
+                    )
+        after = stats.total_reads if stats is not None else 0
+        return max(0, after - before)
+
+    # -- oracle agreement -----------------------------------------------------
+
+    def _check_point(self, op: Operation, found: bool) -> None:
+        expected = self.oracle.point_query(op.x, op.y)
+        if found != expected:
+            raise ScenarioMismatch(
+                f"{self._name}: point_query({op.x}, {op.y}) = {found}, "
+                f"oracle says {expected}"
+            )
+
+    def _check_window(
+        self, op: Operation, reported: np.ndarray, interval: _IntervalAccumulator
+    ) -> None:
+        truth = self.oracle.window_query(op.window)
+        got = {tuple(p) for p in np.asarray(reported, dtype=float).reshape(-1, 2)}
+        want = {tuple(p) for p in truth}
+        if self.exact_results:
+            if got != want:
+                raise ScenarioMismatch(
+                    f"{self._name}: window {op.window} returned {len(got)} points, "
+                    f"oracle has {len(want)}; symmetric difference "
+                    f"{sorted(got ^ want)[:4]}"
+                )
+        elif not got <= want:
+            raise ScenarioMismatch(
+                f"{self._name}: window {op.window} reported points outside the "
+                f"true answer (false positives): {sorted(got - want)[:4]}"
+            )
+        interval.window_recalls.append(window_recall(reported, truth))
+
+    def _check_knn(
+        self, op: Operation, reported: np.ndarray, interval: _IntervalAccumulator
+    ) -> None:
+        reported = np.asarray(reported, dtype=float).reshape(-1, 2)
+        expected_count = min(op.k, self.oracle.n_points)
+        if reported.shape[0] != expected_count:
+            raise ScenarioMismatch(
+                f"{self._name}: knn({op.x}, {op.y}, k={op.k}) returned "
+                f"{reported.shape[0]} points, expected {expected_count}"
+            )
+        for x, y in reported:
+            if not self.oracle.point_query(float(x), float(y)):
+                raise ScenarioMismatch(
+                    f"{self._name}: knn({op.x}, {op.y}) reported non-stored point "
+                    f"({x}, {y})"
+                )
+        truth = self.oracle.knn_query(op.x, op.y, op.k)
+        if self.exact_results:
+            got_d = np.sort(np.hypot(reported[:, 0] - op.x, reported[:, 1] - op.y))
+            want_d = np.sort(np.hypot(truth[:, 0] - op.x, truth[:, 1] - op.y))
+            if not np.allclose(got_d, want_d, atol=1e-9):
+                raise ScenarioMismatch(
+                    f"{self._name}: knn({op.x}, {op.y}, k={op.k}) distances differ "
+                    f"from the oracle: {got_d} vs {want_d}"
+                )
+        interval.knn_recalls.append(knn_recall(reported, truth))
+
+    # -- snapshots ------------------------------------------------------------
+
+    def _snapshot(
+        self, op_index: int, started: float, interval: _IntervalAccumulator
+    ) -> ScenarioSnapshot:
+        now = time.perf_counter()
+        interval_s = max(now - interval.started_at, 1e-9)
+        target = getattr(self.index, "wrapped", self.index)
+        store = getattr(target, "store", None)
+        n_overflow = max_depth = None
+        if store is not None and hasattr(store, "chain_depths"):
+            depths = store.chain_depths()
+            n_overflow = store.n_overflow_blocks
+            max_depth = max(depths) if depths else 0
+        n_points = (
+            self.oracle.n_points
+            if self.oracle is not None
+            else int(getattr(target, "n_points", 0))
+        )
+        return ScenarioSnapshot(
+            op_index=op_index,
+            elapsed_s=now - started,
+            interval_ops=interval.ops,
+            ops_per_s=interval.ops / interval_s,
+            avg_block_accesses=interval.block_accesses / max(interval.ops, 1),
+            n_points=n_points,
+            op_counts=dict(interval.op_counts),
+            window_recall=(
+                float(np.mean(interval.window_recalls)) if interval.window_recalls else None
+            ),
+            knn_recall=(
+                float(np.mean(interval.knn_recalls)) if interval.knn_recalls else None
+            ),
+            n_overflow_blocks=n_overflow,
+            max_chain_depth=max_depth,
+        )

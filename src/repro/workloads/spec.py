@@ -1,0 +1,219 @@
+"""Declarative scenario specifications for mixed read/write workloads.
+
+A :class:`ScenarioSpec` describes *what* a workload looks like — the ratio of
+point / window / kNN queries to insertions and deletions, how operations
+arrive (steady stream or bursts), and where their keys come from (following
+the data, hammering a hotspot, drifting across the space, rank-skewed
+zipfian access, or bulk region churn).  It deliberately says nothing about
+*which index* serves the workload or *how* it is executed; that is the
+:class:`~repro.workloads.runner.ScenarioRunner`'s job, which keeps one spec
+reusable as both a load generator and a fuzzing schedule.
+
+Named presets covering the scenarios the paper never measures (drifting
+workloads, hotspots, bulk churn) live in :data:`SCENARIO_PRESETS` and are
+addressable from the experiment CLI via ``--scenario <name>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.geometry import Rect
+
+__all__ = [
+    "OperationMix",
+    "ScenarioSpec",
+    "KEY_DISTRIBUTIONS",
+    "ARRIVAL_PATTERNS",
+    "OPERATION_KINDS",
+    "SCENARIO_PRESETS",
+    "scenario_by_name",
+]
+
+#: the five operation kinds a scenario interleaves
+OPERATION_KINDS = ("point", "window", "knn", "insert", "delete")
+
+#: where operation keys are drawn from
+KEY_DISTRIBUTIONS = ("uniform", "data", "hotspot", "drifting", "zipfian", "bulk-churn")
+
+#: how operations arrive: independently per op, or in runs of one kind
+ARRIVAL_PATTERNS = ("steady", "bursty")
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """Relative weights of the five operation kinds.
+
+    Weights need not sum to one — they are normalised when sampling — but
+    must be non-negative with at least one positive entry.
+    """
+
+    point: float = 1.0
+    window: float = 0.0
+    knn: float = 0.0
+    insert: float = 0.0
+    delete: float = 0.0
+
+    def __post_init__(self) -> None:
+        weights = self.as_tuple()
+        if any(w < 0 for w in weights):
+            raise ValueError(f"operation weights must be non-negative, got {weights}")
+        if sum(weights) <= 0:
+            raise ValueError("at least one operation weight must be positive")
+
+    def as_tuple(self) -> tuple[float, ...]:
+        """Weights in :data:`OPERATION_KINDS` order."""
+        return (self.point, self.window, self.knn, self.insert, self.delete)
+
+    def probabilities(self) -> tuple[float, ...]:
+        """Weights normalised to a probability vector."""
+        total = sum(self.as_tuple())
+        return tuple(w / total for w in self.as_tuple())
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of operations that mutate the index."""
+        probabilities = self.probabilities()
+        return probabilities[3] + probabilities[4]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative description of one workload scenario."""
+
+    name: str
+    mix: OperationMix = field(default_factory=OperationMix)
+    #: key distribution, one of :data:`KEY_DISTRIBUTIONS`
+    distribution: str = "data"
+    #: arrival pattern, one of :data:`ARRIVAL_PATTERNS`
+    arrival: str = "steady"
+    #: total number of operations in the stream
+    n_ops: int = 1_000
+    #: emit a ScenarioSnapshot every this many operations
+    snapshot_every: int = 250
+    seed: int = 0
+    #: k for kNN operations
+    k: int = 10
+    #: window geometry (fraction of the data-space area, width/height ratio)
+    window_area_fraction: float = 0.0004
+    window_aspect_ratio: float = 1.0
+    #: mean run length of one operation kind under ``arrival="bursty"``
+    burst_length: int = 32
+    #: fraction of operations whose key falls inside the hot region
+    #: (``hotspot``/``drifting``/``bulk-churn`` distributions)
+    hotspot_fraction: float = 0.9
+    #: side length of the hot region as a fraction of the data-space extent
+    hotspot_extent: float = 0.1
+    #: full revolutions the drifting hot region completes over the stream
+    drift_cycles: float = 1.0
+    #: zipf exponent for the ``zipfian`` distribution (must be > 1)
+    zipf_exponent: float = 1.3
+    #: ops between churn-region relocations (``bulk-churn`` distribution)
+    churn_period: int = 200
+    #: fraction of point queries probing keys that are not stored
+    point_miss_fraction: float = 0.25
+    #: fraction of deletions targeting keys that are not stored
+    delete_miss_fraction: float = 0.05
+    #: the data space operations live in
+    data_space: Rect = field(default_factory=Rect.unit)
+
+    def __post_init__(self) -> None:
+        if self.distribution not in KEY_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown key distribution {self.distribution!r}; "
+                f"available: {KEY_DISTRIBUTIONS}"
+            )
+        if self.arrival not in ARRIVAL_PATTERNS:
+            raise ValueError(
+                f"unknown arrival pattern {self.arrival!r}; available: {ARRIVAL_PATTERNS}"
+            )
+        if self.n_ops < 1:
+            raise ValueError("n_ops must be >= 1")
+        if self.snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if not 0 < self.window_area_fraction <= 1:
+            raise ValueError("window_area_fraction must lie in (0, 1]")
+        if self.window_aspect_ratio <= 0:
+            raise ValueError("window_aspect_ratio must be positive")
+        if self.burst_length < 1:
+            raise ValueError("burst_length must be >= 1")
+        if not 0 <= self.hotspot_fraction <= 1:
+            raise ValueError("hotspot_fraction must lie in [0, 1]")
+        if not 0 < self.hotspot_extent <= 1:
+            raise ValueError("hotspot_extent must lie in (0, 1]")
+        if self.zipf_exponent <= 1:
+            raise ValueError("zipf_exponent must be > 1")
+        if self.churn_period < 1:
+            raise ValueError("churn_period must be >= 1")
+        if not 0 <= self.point_miss_fraction <= 1:
+            raise ValueError("point_miss_fraction must lie in [0, 1]")
+        if not 0 <= self.delete_miss_fraction <= 1:
+            raise ValueError("delete_miss_fraction must lie in [0, 1]")
+
+    def with_overrides(self, **kwargs) -> "ScenarioSpec":
+        """A copy of this spec with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Named scenarios the experiment CLI and the fuzz harness draw from.  Each
+#: opens a workload shape the paper's static sweeps never measure.
+SCENARIO_PRESETS: dict[str, ScenarioSpec] = {
+    # balanced read/write mix following the data distribution
+    "mixed": ScenarioSpec(
+        name="mixed",
+        mix=OperationMix(point=0.4, window=0.15, knn=0.1, insert=0.25, delete=0.1),
+        distribution="data",
+    ),
+    # almost pure lookups, the classic serving workload
+    "read-heavy": ScenarioSpec(
+        name="read-heavy",
+        mix=OperationMix(point=0.65, window=0.2, knn=0.15),
+        distribution="data",
+    ),
+    # ingest-dominated stream with sporadic reads
+    "write-heavy": ScenarioSpec(
+        name="write-heavy",
+        mix=OperationMix(point=0.15, window=0.05, knn=0.0, insert=0.6, delete=0.2),
+        distribution="data",
+    ),
+    # 90% of operations hammer one small static region
+    "hotspot": ScenarioSpec(
+        name="hotspot",
+        mix=OperationMix(point=0.45, window=0.15, knn=0.05, insert=0.25, delete=0.1),
+        distribution="hotspot",
+    ),
+    # the hot region migrates across the space over the stream
+    "drifting": ScenarioSpec(
+        name="drifting",
+        mix=OperationMix(point=0.4, window=0.15, knn=0.05, insert=0.3, delete=0.1),
+        distribution="drifting",
+        drift_cycles=1.5,
+    ),
+    # rank-skewed access over the stored points
+    "zipfian": ScenarioSpec(
+        name="zipfian",
+        mix=OperationMix(point=0.6, window=0.1, knn=0.1, insert=0.1, delete=0.1),
+        distribution="zipfian",
+    ),
+    # bursts of deletions and re-insertions sweeping whole regions
+    "bulk-churn": ScenarioSpec(
+        name="bulk-churn",
+        mix=OperationMix(point=0.2, window=0.1, knn=0.0, insert=0.35, delete=0.35),
+        distribution="bulk-churn",
+        arrival="bursty",
+        hotspot_fraction=0.95,
+        hotspot_extent=0.2,
+    ),
+}
+
+
+def scenario_by_name(name: str) -> ScenarioSpec:
+    """Look up a preset scenario by name."""
+    normalized = name.strip().lower()
+    if normalized not in SCENARIO_PRESETS:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIO_PRESETS)}"
+        )
+    return SCENARIO_PRESETS[normalized]

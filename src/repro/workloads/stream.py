@@ -1,0 +1,191 @@
+"""Seeded operation-stream generation from a :class:`ScenarioSpec`.
+
+The generator turns a declarative spec into a concrete, fully deterministic
+list of :class:`Operation` records.  It maintains a *mirror* of the live
+point set while generating (insertions add to it, deletions pick victims
+from it), so deletion targets are real stored points and the same stream is
+meaningful for every index that replays it — the property the differential
+fuzz harness relies on: one stream, many indices, one oracle.
+
+The mirror also means stream generation never consults an index; two indices
+replaying the same stream therefore receive byte-identical operations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.workloads.pointset import LivePointSet
+from repro.workloads.spec import OPERATION_KINDS, ScenarioSpec
+
+__all__ = ["Operation", "generate_operations"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of a scenario stream.
+
+    ``x``/``y`` carry the key for point/knn/insert/delete operations (and the
+    window centre for window operations); ``window`` is set for window
+    queries only and ``k`` for kNN queries only.
+    """
+
+    kind: str
+    x: float
+    y: float
+    window: Optional[Rect] = None
+    k: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in OPERATION_KINDS:
+            raise ValueError(f"unknown operation kind {self.kind!r}")
+
+
+class _StreamState:
+    """Mutable generation state: RNG, live mirror, hot region and burst run.
+
+    The mirror (a :class:`LivePointSet`) models the stored point set while
+    generating: insertions add to it, deletion victims come from it.
+    """
+
+    def __init__(self, spec: ScenarioSpec, initial_points: np.ndarray):
+        self.spec = spec
+        self.rng = np.random.default_rng(spec.seed)
+        self.mirror = LivePointSet(initial_points)
+        self.space = spec.data_space
+        self.probabilities = np.asarray(spec.mix.probabilities())
+        self.hot_region: Optional[Rect] = None
+        if spec.distribution in ("hotspot", "bulk-churn"):
+            self.hot_region = self._place_hot_region()
+        self._burst_kind: Optional[str] = None
+        self._burst_remaining = 0
+
+    # -- hot-region handling --------------------------------------------------
+
+    def _place_hot_region(self, center: Optional[tuple[float, float]] = None) -> Rect:
+        space = self.space
+        if center is None:
+            center = (
+                space.xlo + float(self.rng.random()) * space.width,
+                space.ylo + float(self.rng.random()) * space.height,
+            )
+        width = self.spec.hotspot_extent * space.width
+        height = self.spec.hotspot_extent * space.height
+        return Rect.from_center(center[0], center[1], width, height).clip_to(space)
+
+    def region_for_op(self, op_index: int) -> Optional[Rect]:
+        """The hot region in effect for operation ``op_index`` (or None)."""
+        distribution = self.spec.distribution
+        if distribution == "hotspot":
+            return self.hot_region
+        if distribution == "drifting":
+            # the hot-region centre orbits the data space as the stream advances
+            theta = 2.0 * math.pi * self.spec.drift_cycles * op_index / self.spec.n_ops
+            cx, cy = self.space.center
+            radius_x = 0.35 * self.space.width
+            radius_y = 0.35 * self.space.height
+            return self._place_hot_region(
+                (cx + radius_x * math.cos(theta), cy + radius_y * math.sin(theta))
+            )
+        if distribution == "bulk-churn":
+            if op_index > 0 and op_index % self.spec.churn_period == 0:
+                self.hot_region = self._place_hot_region()
+            return self.hot_region
+        return None
+
+    # -- arrival pattern ------------------------------------------------------
+
+    def next_kind(self) -> str:
+        if self.spec.arrival == "steady":
+            return OPERATION_KINDS[int(self.rng.choice(5, p=self.probabilities))]
+        if self._burst_remaining <= 0:
+            self._burst_kind = OPERATION_KINDS[int(self.rng.choice(5, p=self.probabilities))]
+            self._burst_remaining = int(self.rng.geometric(1.0 / self.spec.burst_length))
+        self._burst_remaining -= 1
+        return self._burst_kind
+
+    # -- key sampling ---------------------------------------------------------
+
+    def fresh_location(self, region: Optional[Rect]) -> tuple[float, float]:
+        """A new coordinate pair in the hot region (with the configured
+        probability) or anywhere in the data space."""
+        target = self.space
+        if region is not None and float(self.rng.random()) < self.spec.hotspot_fraction:
+            target = region
+        return (
+            target.xlo + float(self.rng.random()) * target.width,
+            target.ylo + float(self.rng.random()) * target.height,
+        )
+
+    def live_key(self, region: Optional[Rect]) -> tuple[float, float]:
+        """A stored key, biased toward the hot region / zipf-popular slots."""
+        if self.spec.distribution == "zipfian":
+            draw = int(self.rng.zipf(self.spec.zipf_exponent))
+            return self.mirror.at(draw - 1)
+        if region is not None and float(self.rng.random()) < self.spec.hotspot_fraction:
+            return self.mirror.sample_in(region, self.rng)
+        return self.mirror.sample(self.rng)
+
+    def unique_fresh_key(self, region: Optional[Rect]) -> tuple[float, float]:
+        for _ in range(128):
+            key = self.fresh_location(region)
+            if key not in self.mirror:
+                return key
+        raise RuntimeError("could not draw a fresh key; data space saturated")
+
+
+def generate_operations(spec: ScenarioSpec, initial_points: np.ndarray) -> list[Operation]:
+    """The deterministic operation stream of ``spec`` over ``initial_points``.
+
+    ``initial_points`` is the data set the index under test was built on; the
+    stream's deletion victims and point-query hits are drawn from it (plus
+    any points the stream itself inserted earlier).
+    """
+    initial_points = np.asarray(initial_points, dtype=float).reshape(-1, 2)
+    if initial_points.shape[0] == 0:
+        raise ValueError("scenario streams require a non-empty initial data set")
+    state = _StreamState(spec, initial_points)
+    spec_area = spec.window_area_fraction * spec.data_space.area
+    window_height = math.sqrt(spec_area / spec.window_aspect_ratio)
+    window_width = spec_area / window_height
+
+    operations: list[Operation] = []
+    for op_index in range(spec.n_ops):
+        region = state.region_for_op(op_index)
+        kind = state.next_kind()
+
+        if kind == "delete" and len(state.mirror) == 0:
+            kind = "insert"  # nothing left to delete; keep the stream length
+
+        if kind == "point":
+            if float(state.rng.random()) < spec.point_miss_fraction or not len(state.mirror):
+                x, y = state.unique_fresh_key(region)
+            else:
+                x, y = state.live_key(region)
+            operations.append(Operation("point", x, y))
+        elif kind == "window":
+            cx, cy = state.fresh_location(region)
+            window = Rect.from_center(cx, cy, window_width, window_height).clip_to(
+                spec.data_space
+            )
+            operations.append(Operation("window", cx, cy, window=window))
+        elif kind == "knn":
+            x, y = state.fresh_location(region)
+            operations.append(Operation("knn", x, y, k=spec.k))
+        elif kind == "insert":
+            x, y = state.unique_fresh_key(region)
+            state.mirror.add((x, y))
+            operations.append(Operation("insert", x, y))
+        else:  # delete
+            if float(state.rng.random()) < spec.delete_miss_fraction:
+                x, y = state.unique_fresh_key(region)
+            else:
+                x, y = state.live_key(region)
+                state.mirror.discard((x, y))
+            operations.append(Operation("delete", x, y))
+    return operations

@@ -129,3 +129,34 @@ class TestZMUpdates:
 
     def test_z_value_monotone_in_quadrant(self, mutable_zm):
         assert mutable_zm.z_value(0.1, 0.1) < mutable_zm.z_value(0.9, 0.9)
+
+    def test_insert_into_gap_block_after_delete_still_found(self, mutable_zm):
+        """Regression (found by the scenario fuzz harness): an insertion can
+        reuse a deleted slot in a block whose build-time Z-range does not
+        cover the new point's Z-value.  The point query's scan cutoff
+        (``_block_zmin[p] > z`` => stop) must not hide that block."""
+        index = mutable_zm
+        space = index._data_space
+        side = index.curve.side
+        # find a Z-gap between two adjacent base blocks
+        target = None
+        for p in range(1, index.store.n_base_blocks):
+            if index._block_zmin[p] - index._block_zmax[p - 1] >= 2:
+                target = p
+                break
+        assert target is not None, "test data produced no Z-gap between blocks"
+        z = int(index._block_zmin[target]) - 1
+        cx, cy = index.curve.decode(z)
+        # a coordinate in the middle of the gap cell
+        x = space.xlo + (cx + 0.5) / side * space.width
+        y = space.ylo + (cy + 0.5) / side * space.height
+        assert index.z_value(x, y) == z
+        assert not index.contains(x, y)
+
+        # free a slot in the gap block so the insertion reuses it
+        block = index.store.peek(index.store.base_block_id(target))
+        victim = next(block.iter_points())
+        assert index.delete(*victim)
+
+        index.insert(x, y)
+        assert index.contains(x, y)

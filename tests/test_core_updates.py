@@ -99,6 +99,86 @@ class TestDeletions:
         assert mutable_rsmi.window_query_exact(window).count == 0
 
 
+class TestUpdateEdgeCases:
+    def test_delete_nonexistent_point_changes_nothing(self, mutable_rsmi):
+        """A miss must not decrement counters or mark anything deleted."""
+        before_points = mutable_rsmi.n_points
+        before_overflow = mutable_rsmi.store.n_overflow_blocks
+        for _ in range(3):
+            assert not mutable_rsmi.delete(0.987654, 0.123456)
+        assert mutable_rsmi.n_points == before_points
+        assert mutable_rsmi.store.n_overflow_blocks == before_overflow
+
+    def test_double_delete_returns_false_second_time(self, mutable_rsmi, skewed_points):
+        x, y = map(float, skewed_points[21])
+        assert mutable_rsmi.delete(x, y)
+        assert not mutable_rsmi.delete(x, y)
+        assert mutable_rsmi.n_points == 1_199
+
+    def test_delete_then_reinsert_restores_all_query_paths(
+        self, mutable_rsmi, skewed_points
+    ):
+        """The reinserted point must be visible to every query algorithm."""
+        x, y = map(float, skewed_points[33])
+        assert mutable_rsmi.delete(x, y)
+        assert not mutable_rsmi.contains(x, y)
+        mutable_rsmi.insert(x, y)
+        assert mutable_rsmi.contains(x, y)
+        assert mutable_rsmi.n_points == 1_200
+        window = Rect(x - 0.005, y - 0.005, x + 0.005, y + 0.005).clip_to(Rect.unit())
+        assert [round(x, 12), round(y, 12)] in np.round(
+            mutable_rsmi.window_query_exact(window).points, 12
+        ).tolist()
+        assert mutable_rsmi.knn_query_exact(x, y, 1).distances[0] <= 1e-9
+
+    def test_delete_reinsert_cycle_does_not_leak_slots(self, mutable_rsmi, skewed_points):
+        """Repeated delete/reinsert of one point must reuse slots, not grow
+        the store without bound."""
+        x, y = map(float, skewed_points[55])
+        mutable_rsmi.delete(x, y)
+        mutable_rsmi.insert(x, y)
+        baseline_blocks = mutable_rsmi.store.n_blocks
+        for _ in range(25):
+            assert mutable_rsmi.delete(x, y)
+            mutable_rsmi.insert(x, y)
+        assert mutable_rsmi.contains(x, y)
+        # after the first cycle settles the chain, further cycles are stable
+        assert mutable_rsmi.store.n_blocks == baseline_blocks
+
+    def test_insert_into_full_overflow_chain_grows_tail_only(self, mutable_rsmi):
+        """Chain-growth invariant: inserting into one saturated region fills
+        the chain front-to-back, extends it only at the tail, and never
+        disturbs base-block positions."""
+        x, y = 0.3123, 0.0177
+        leaf, _, _ = mutable_rsmi.route_to_leaf(x, y)
+        position = mutable_rsmi.store.clamp_position(leaf.predict_position(x, y))
+        base_blocks_before = mutable_rsmi.store.n_base_blocks
+        base_order_before = [
+            mutable_rsmi.store.base_block_id(p) for p in range(base_blocks_before)
+        ]
+
+        capacity = mutable_rsmi.config.block_capacity
+        inserted = []
+        for i in range(4 * capacity):
+            point = (x + i * 1e-7, y + i * 1e-7)
+            mutable_rsmi.insert(*point)
+            inserted.append(point)
+
+        chain = list(mutable_rsmi.store.iter_chain(position))
+        assert len(chain) >= 3, "expected the chain to have grown overflow blocks"
+        assert chain[0].is_overflow is False
+        assert all(block.is_overflow for block in chain[1:])
+        # every block except the tail is full: insertions never skip a gap
+        assert all(block.is_full for block in chain[:-1])
+        # the base-block order is untouched, so learned positions stay valid
+        assert mutable_rsmi.store.n_base_blocks == base_blocks_before
+        assert base_order_before == [
+            mutable_rsmi.store.base_block_id(p) for p in range(base_blocks_before)
+        ]
+        for point in inserted:
+            assert mutable_rsmi.contains(*point)
+
+
 class TestPeriodicRebuilder:
     def test_invalid_fraction(self, mutable_rsmi):
         with pytest.raises(ValueError):

@@ -54,6 +54,36 @@ class TestWindowQueryGeneration:
         for window in windows:
             assert space.contains_rect(window)
 
+    def test_unclipped_windows_have_exact_area_and_aspect(self, uniform_points):
+        """Clipping can only shrink windows; the unclipped ones must realise
+        the requested area fraction and aspect ratio exactly."""
+        windows = generate_window_queries(
+            uniform_points, 40, area_fraction=0.0016, aspect_ratio=2.0, seed=8
+        )
+        unclipped = [w for w in windows if w.xlo > 0 and w.xhi < 1 and w.ylo > 0 and w.yhi < 1]
+        assert unclipped, "expected at least one window fully inside the space"
+        for window in unclipped:
+            assert window.area == pytest.approx(0.0016, rel=1e-9)
+            assert window.width / window.height == pytest.approx(2.0, rel=1e-6)
+
+    def test_seed_reproducible(self, uniform_points):
+        a = generate_window_queries(uniform_points, 25, area_fraction=0.001, seed=9)
+        b = generate_window_queries(uniform_points, 25, area_fraction=0.001, seed=9)
+        assert [w.as_tuple() for w in a] == [w.as_tuple() for w in b]
+        c = generate_window_queries(uniform_points, 25, area_fraction=0.001, seed=10)
+        assert [w.as_tuple() for w in a] != [w.as_tuple() for w in c]
+
+    def test_custom_data_space_clipping_and_area(self, uniform_points):
+        space = Rect(0.0, 0.0, 2.0, 2.0)
+        points = uniform_points * 2.0
+        windows = generate_window_queries(
+            points, 30, area_fraction=0.01, seed=11, data_space=space
+        )
+        for window in windows:
+            assert space.contains_rect(window)
+            # fraction is relative to the space's area (4.0), not the unit square
+            assert window.area <= 0.01 * space.area + 1e-9
+
     def test_centers_follow_data_distribution(self, skewed_points):
         """With skewed data (mass near y=0) most query centres lie near y=0 too."""
         windows = generate_window_queries(skewed_points, 200, area_fraction=0.0001, seed=6)
@@ -73,6 +103,28 @@ class TestKnnQueryGeneration:
         jittered = generate_knn_queries(uniform_points, 20, seed=7, jitter=0.01)
         assert not np.allclose(no_jitter, jittered)
         assert jittered.min() >= 0 and jittered.max() <= 1
+
+    def test_large_jitter_clipped_to_data_space(self, uniform_points):
+        """Even jitter larger than the space must not push queries outside it."""
+        jittered = generate_knn_queries(uniform_points, 200, seed=8, jitter=2.5)
+        assert jittered.min() >= 0.0 and jittered.max() <= 1.0
+
+    def test_jitter_clipped_to_custom_data_space(self, uniform_points):
+        """Regression: clipping must follow the actual data space, not the
+        hard-coded unit square."""
+        space = Rect(1.0, 1.0, 3.0, 3.0)
+        points = 1.0 + uniform_points * 2.0
+        jittered = generate_knn_queries(points, 100, seed=9, jitter=5.0, data_space=space)
+        assert jittered[:, 0].min() >= space.xlo and jittered[:, 0].max() <= space.xhi
+        assert jittered[:, 1].min() >= space.ylo and jittered[:, 1].max() <= space.yhi
+        # clipping with that much jitter pins queries to the borders; without
+        # the data_space fix they would sit at the unit square's borders instead
+        assert jittered.max() > 1.0
+
+    def test_seed_reproducible(self, uniform_points):
+        a = generate_knn_queries(uniform_points, 30, seed=12, jitter=0.02)
+        b = generate_knn_queries(uniform_points, 30, seed=12, jitter=0.02)
+        assert np.array_equal(a, b)
 
     def test_workload_bundle(self, uniform_points):
         workload = QueryWorkload.for_dataset(uniform_points, n_point=10, n_window=5, n_knn=7, k=3)

@@ -1,0 +1,165 @@
+"""Model-based differential fuzz harness: scenario streams vs the shadow oracle.
+
+Every case generates a seeded interleaved read/write stream from a
+:class:`~repro.workloads.spec.ScenarioSpec`, replays it through one real
+index (RSMI plus the four baseline families) via the
+:class:`~repro.workloads.runner.ScenarioRunner`, and replays the *identical*
+stream through the brute-force :class:`~repro.workloads.oracle.OracleIndex`.
+The runner asserts per-operation agreement as it goes:
+
+* point-query answers and deletion outcomes must match the oracle exactly
+  for **every** index,
+* window/kNN answers must match exactly for the exact indices
+  (Grid, HRR, KDB, RR* and the RSMIa exact-query variant) and be sound
+  (no false positives, stored points only, full result counts) for the
+  learned approximate ones (RSMI, ZM), whose recall is recorded instead.
+
+Five distinct scenario mixes cover hotspots, drifting access, zipfian skew
+and bulk region churn.  The fast cases keep tier-1 cheap; the ``slow``-marked
+cases rerun the same properties with much larger randomized budgets and are
+included via ``--runslow``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import dataset_by_name
+from repro.evaluation.adapters import build_index_suite
+from repro.experiments.cli import main as cli_main
+from repro.nn import TrainingConfig
+from repro.workloads import OracleIndex, ScenarioRunner, scenario_by_name
+
+#: RSMI (both query variants) plus the four baseline families (both R-tree
+#: variants and ZM included)
+INDEX_NAMES = ("Grid", "HRR", "KDB", "RR*", "ZM", "RSMI", "RSMIa")
+EXACT_INDICES = frozenset({"Grid", "HRR", "KDB", "RR*", "RSMIa"})
+
+#: five distinct operation mixes / key distributions (see SCENARIO_PRESETS)
+FUZZ_SCENARIOS = ("mixed", "hotspot", "drifting", "zipfian", "bulk-churn")
+
+DISTRIBUTIONS = ("uniform", "skewed", "osm")
+
+
+def _build_adapter(name: str, points, epochs: int):
+    suite = build_index_suite(
+        points,
+        index_names=[name],
+        block_capacity=16,
+        partition_threshold=150,
+        training=TrainingConfig(epochs=epochs, seed=0),
+        seed=0,
+    )
+    return suite[name]
+
+
+def _run_fuzz_case(name: str, scenario: str, *, n_points, n_ops, seed, epochs):
+    """One differential case; the runner raises ScenarioMismatch on any
+    disagreement with the oracle."""
+    distribution = DISTRIBUTIONS[seed % len(DISTRIBUTIONS)]
+    points = dataset_by_name(distribution, n_points, seed=seed)
+    adapter = _build_adapter(name, points, epochs)
+    spec = scenario_by_name(scenario).with_overrides(
+        n_ops=n_ops,
+        snapshot_every=max(1, n_ops // 3),
+        seed=seed + 1,
+        k=5,
+        window_area_fraction=0.004,
+    )
+    oracle = OracleIndex().build(points)
+    result = ScenarioRunner(
+        adapter, spec, oracle=oracle, exact_results=name in EXACT_INDICES
+    ).run(points)
+
+    assert result.checked
+    assert result.n_ops == n_ops
+    assert sum(result.op_counts.values()) == n_ops
+    assert result.snapshots, "scenario produced no snapshots"
+    assert sum(s.interval_ops for s in result.snapshots) == n_ops
+    # recall is tracked for every index whose interval saw window/kNN queries
+    recalls = [
+        s.window_recall for s in result.snapshots if s.window_recall is not None
+    ]
+    if name in EXACT_INDICES and recalls:
+        assert all(recall == 1.0 for recall in recalls)
+    return result
+
+
+@pytest.mark.parametrize("scenario", FUZZ_SCENARIOS)
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_scenario_fuzz_fast(name, scenario):
+    """Tier-1 budget: every index × every scenario mix, small seeded streams."""
+    _run_fuzz_case(
+        name,
+        scenario,
+        n_points=250,
+        n_ops=120,
+        seed=INDEX_NAMES.index(name) + 3 * FUZZ_SCENARIOS.index(scenario),
+        epochs=6,
+    )
+
+
+def test_rsmi_overflow_chains_grow_under_churn():
+    """The snapshot series exposes structure degradation: sustained inserts
+    into an RSMI must surface as overflow blocks in later snapshots."""
+    result = _run_fuzz_case("RSMI", "write-heavy", n_points=250, n_ops=300, seed=5, epochs=6)
+    assert result.snapshots[-1].n_overflow_blocks is not None
+    assert result.snapshots[-1].n_overflow_blocks > 0
+    assert result.snapshots[-1].max_chain_depth >= 1
+
+
+def test_cli_scenario_end_to_end(capsys):
+    """`repro-experiment --scenario hotspot` emits a ScenarioSnapshot series."""
+    exit_code = cli_main(
+        [
+            "--scenario",
+            "hotspot",
+            "--scenario-ops",
+            "60",
+            "--scenario-indices",
+            "Grid",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "scenario-hotspot" in out
+    assert "ops_per_s" in out and "max_chain_depth" in out
+    assert "verified against the shadow oracle" in out
+
+
+def test_cli_scenario_rejects_unknown_index(capsys):
+    exit_code = cli_main(["--scenario", "mixed", "--scenario-indices", "BTree"])
+    assert exit_code == 2
+    assert "unknown index name" in capsys.readouterr().err
+
+
+def test_cli_scenario_rejects_experiment_ids(capsys):
+    """Combining the two run modes would silently drop the experiments."""
+    exit_code = cli_main(["fig6", "--scenario", "mixed"])
+    assert exit_code == 2
+    assert "cannot be combined" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", FUZZ_SCENARIOS)
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_scenario_fuzz_large_randomized(name, scenario):
+    """--runslow budget: larger data sets, longer streams, fresh seeds."""
+    _run_fuzz_case(
+        name,
+        scenario,
+        n_points=1_200,
+        n_ops=1_500,
+        seed=100 + INDEX_NAMES.index(name) + 7 * FUZZ_SCENARIOS.index(scenario),
+        epochs=15,
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [1000, 2000, 3000])
+def test_scenario_fuzz_rsmi_multi_seed(seed):
+    """Extra randomized coverage of the learned index across seeds."""
+    for scenario in FUZZ_SCENARIOS:
+        _run_fuzz_case(
+            "RSMI", scenario, n_points=800, n_ops=600, seed=seed, epochs=10
+        )
