@@ -45,6 +45,8 @@ class BatchResult:
     results: list = field(default_factory=list)
     #: total block/node reads accumulated while serving the batch (when available)
     total_block_accesses: int | None = None
+    #: block/node reads attributed per shard id (sharded engines only)
+    per_shard_block_accesses: dict[int, int] | None = None
 
     @property
     def n_queries(self) -> int:

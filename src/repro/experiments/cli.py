@@ -8,6 +8,8 @@ Examples::
     repro-experiment all --profile tiny
     repro-experiment --scenario hotspot
     repro-experiment --scenario bulk-churn --scenario-ops 2000 --scenario-indices RSMI,Grid
+    repro-experiment --scenario sharded-mixed --shards 4 --sharding-policy balanced
+    repro-experiment sharded-scaling --profile tiny
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from typing import Sequence
 
 from repro.experiments import EXPERIMENT_REGISTRY, profile_by_name
 from repro.experiments.scenario_sweeps import run_scenario_sweep
+from repro.sharding import SHARDING_POLICY_NAMES
 from repro.workloads import SCENARIO_PRESETS
 
 
@@ -46,6 +49,19 @@ def build_parser() -> argparse.ArgumentParser:
         "query engine, or a thread-pooled per-query loop",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve through a sharded index with this many shards "
+        "(applies to --scenario runs and the sharded-scaling experiment)",
+    )
+    parser.add_argument(
+        "--sharding-policy",
+        default=None,
+        choices=SHARDING_POLICY_NAMES,
+        help="how the data space is partitioned across shards (default: grid)",
+    )
+    parser.add_argument(
         "--scenario",
         choices=sorted(SCENARIO_PRESETS),
         help="replay a mixed read/write workload scenario (oracle-checked) "
@@ -65,6 +81,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     return parser
+
+
+def _apply_profile_overrides(args, profile):
+    """Fold the CLI's execution/sharding flags into the profile extras."""
+    extras = dict(profile.extras)
+    if args.execution != "sequential":
+        extras["execution"] = args.execution
+    if args.shards is not None:
+        extras["shards"] = args.shards
+    if args.sharding_policy is not None:
+        extras["sharding_policy"] = args.sharding_policy
+    if extras == profile.extras:
+        return profile
+    return profile.with_overrides(extras=extras)
 
 
 def _run_scenario(args, profile) -> int:
@@ -99,6 +129,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+
     if args.scenario:
         if args.experiments:
             print(
@@ -107,11 +141,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        profile = profile_by_name(args.profile)
-        if args.execution != "sequential":
-            profile = profile.with_overrides(
-                extras={**profile.extras, "execution": args.execution}
-            )
+        profile = _apply_profile_overrides(args, profile_by_name(args.profile))
         return _run_scenario(args, profile)
 
     if args.list or not args.experiments:
@@ -131,11 +161,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"available: {', '.join(sorted(EXPERIMENT_REGISTRY))}", file=sys.stderr)
         return 2
 
-    profile = profile_by_name(args.profile)
-    if args.execution != "sequential":
-        profile = profile.with_overrides(
-            extras={**profile.extras, "execution": args.execution}
-        )
+    profile = _apply_profile_overrides(args, profile_by_name(args.profile))
     for name in requested:
         spec = EXPERIMENT_REGISTRY[name]
         start = time.perf_counter()

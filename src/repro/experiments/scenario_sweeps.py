@@ -23,6 +23,7 @@ from repro.evaluation.runner import SuiteConfig
 from repro.experiments.base import ExperimentResult, register_experiment
 from repro.experiments.profiles import ScaleProfile
 from repro.experiments.sweeps import execution_mode, make_points
+from repro.sharding import EXACT_KINDS, ShardedSpatialIndex, shard_index_factory
 from repro.workloads import (
     SCENARIO_PRESETS,
     OracleIndex,
@@ -35,6 +36,7 @@ __all__ = [
     "SCENARIO_INDEX_NAMES",
     "EXACT_RESULT_INDICES",
     "scenario_spec_for_profile",
+    "build_sharded_index",
     "run_scenario_sweep",
 ]
 
@@ -45,8 +47,10 @@ __all__ = [
 SCENARIO_INDEX_NAMES = ("Grid", "HRR", "KDB", "RR*", "ZM", "RSMI")
 
 #: indices whose window/kNN answers are exact; the runner asserts exact
-#: oracle agreement for these and soundness + recall for the rest
-EXACT_RESULT_INDICES = frozenset({"Grid", "HRR", "KDB", "RR*", "RSMIa"})
+#: oracle agreement for these and soundness + recall for the rest (the
+#: canonical set lives in :mod:`repro.sharding` — exactness is also what
+#: decides a sharded deployment's per-shard query variants)
+EXACT_RESULT_INDICES = EXACT_KINDS
 
 #: engine mode per CLI/profile execution override
 _ENGINE_MODES = {"sequential": "sequential", "batched": "auto", "threaded": "threaded"}
@@ -71,15 +75,51 @@ def scenario_spec_for_profile(
     )
 
 
+def build_sharded_index(
+    points,
+    kind: str,
+    n_shards: int,
+    policy: str,
+    config: SuiteConfig,
+) -> ShardedSpatialIndex:
+    """A sharded index over ``points`` wrapping ``kind`` per shard.
+
+    The RSMI partition threshold is scaled to the expected per-shard
+    population so per-shard hierarchies keep the configured depth.
+    """
+    factory = shard_index_factory(
+        kind,
+        block_capacity=config.block_capacity,
+        partition_threshold=max(config.block_capacity, config.partition_threshold // n_shards),
+        training=config.training_config(),
+        seed=config.seed,
+    )
+    return ShardedSpatialIndex(factory, n_shards=n_shards, policy=policy).build(points)
+
+
 def run_scenario_sweep(
     profile: ScaleProfile,
     scenario: str | ScenarioSpec,
     index_names: Optional[Sequence[str]] = None,
     check: bool = True,
+    shards: Optional[int] = None,
+    sharding_policy: Optional[str] = None,
 ) -> ExperimentResult:
-    """Replay one scenario against every index; one row per snapshot."""
+    """Replay one scenario against every index; one row per snapshot.
+
+    ``shards``/``sharding_policy`` (or the profile extras of the same
+    names, which the CLI's ``--shards``/``--sharding-policy`` flags set)
+    wrap every index into a :class:`~repro.sharding.ShardedSpatialIndex`,
+    so the oracle shadow validates the *sharded* answers under churn.
+    """
     spec = scenario_spec_for_profile(profile, scenario)
     names = tuple(index_names) if index_names is not None else SCENARIO_INDEX_NAMES
+    shards = shards if shards is not None else int(profile.extras.get("shards", 0))
+    sharding_policy = (
+        sharding_policy
+        if sharding_policy is not None
+        else profile.extras.get("sharding_policy", "grid")
+    )
     points = make_points(profile)
     config = SuiteConfig(
         n_points=points.shape[0],
@@ -95,17 +135,21 @@ def run_scenario_sweep(
     notes: list[str] = []
     for name in names:
         # fresh build per index: the stream mutates the structure
-        suite = build_index_suite(
-            points,
-            index_names=[name],
-            block_capacity=config.block_capacity,
-            partition_threshold=config.partition_threshold,
-            training=config.training_config(),
-            seed=config.seed,
-        )
+        if shards > 1:
+            index = build_sharded_index(points, name, shards, sharding_policy, config)
+        else:
+            suite = build_index_suite(
+                points,
+                index_names=[name],
+                block_capacity=config.block_capacity,
+                partition_threshold=config.partition_threshold,
+                training=config.training_config(),
+                seed=config.seed,
+            )
+            index = suite[name]
         oracle = OracleIndex().build(points) if check else None
         runner = ScenarioRunner(
-            suite[name],
+            index,
             spec,
             oracle=oracle,
             exact_results=name in EXACT_RESULT_INDICES,
@@ -128,6 +172,16 @@ def run_scenario_sweep(
             )
         if result.checked:
             notes.append(f"{name}: {result.n_ops} ops verified against the shadow oracle")
+        if shards > 1:
+            per_shard_reads = [
+                (result.per_shard_block_accesses or {}).get(shard_id, 0)
+                for shard_id in range(shards)
+            ]
+            notes.append(
+                f"{name}: sharded {index.policy.describe()} — per-shard points "
+                f"{index.per_shard_points()}, per-shard read accesses (whole run) "
+                f"{per_shard_reads}"
+            )
 
     mix = ", ".join(
         f"{kind}={p:.2f}"

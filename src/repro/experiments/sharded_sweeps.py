@@ -1,0 +1,151 @@
+"""Sharded-serving sweeps: batched throughput as the shard count grows.
+
+The ``sharded-scaling`` experiment (beyond the paper; ROADMAP: sharding)
+builds the same data set once per configuration — a single index, then
+sharded deployments at increasing shard counts under each sharding policy —
+and pushes identical batched point/window workloads through the
+:class:`~repro.engine.BatchQueryEngine` (single) or the shard-grouping
+:class:`~repro.sharding.ShardedBatchEngine` (sharded).  Reported per row:
+queries/second for both query types, block accesses per point query, the
+per-shard point balance, and how many shards the window batch actually
+touched (the data-skipping effect of partition-aware routing).
+
+The CLI's ``--shards``/``--sharding-policy`` flags select a single
+configuration; without them the experiment sweeps shard counts 1/2/4/8
+under every policy.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.engine import BatchQueryEngine
+from repro.experiments.base import ExperimentResult, register_experiment
+from repro.experiments.profiles import ScaleProfile
+from repro.experiments.sweeps import make_points
+from repro.evaluation.runner import SuiteConfig
+from repro.experiments.scenario_sweeps import build_sharded_index
+from repro.queries import generate_point_queries, generate_window_queries
+from repro.sharding import (
+    SHARDING_POLICY_NAMES,
+    ShardedBatchEngine,
+    shard_index_factory,
+)
+
+__all__ = ["run_sharded_scaling"]
+
+#: shard counts swept when the CLI does not pin one
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+
+#: wrapped index kind driving the sweep (the paper's headline index)
+WRAPPED_KIND = "RSMI"
+
+
+@register_experiment(
+    "sharded-scaling",
+    "Sharded serving: batched throughput and shard locality vs shard count",
+    "beyond the paper",
+)
+def run_sharded_scaling(profile: ScaleProfile) -> ExperimentResult:
+    """Measure batched query throughput across shard counts and policies."""
+    points = make_points(profile)
+    config = SuiteConfig(
+        n_points=points.shape[0],
+        distribution=profile.default_distribution,
+        block_capacity=profile.block_capacity,
+        partition_threshold=profile.partition_threshold,
+        training_epochs=profile.training_epochs,
+        seed=profile.seed,
+    )
+    point_queries = generate_point_queries(points, profile.n_point_queries, seed=profile.seed + 31)
+    windows = generate_window_queries(
+        points,
+        profile.n_window_queries,
+        area_fraction=profile.default_window_area,
+        seed=profile.seed + 32,
+    )
+
+    pinned = int(profile.extras.get("shards", 0))
+    shard_counts = (1, pinned) if pinned > 1 else DEFAULT_SHARD_COUNTS
+    pinned_policy: Optional[str] = profile.extras.get("sharding_policy")
+    policies = (pinned_policy,) if pinned_policy else SHARDING_POLICY_NAMES
+
+    rows: list[list] = []
+    notes: list[str] = []
+    for policy in policies:
+        for n_shards in shard_counts:
+            if n_shards == 1 and policy != policies[0]:
+                continue  # the single-index baseline is policy-independent
+            started = time.perf_counter()
+            if n_shards == 1:
+                factory = shard_index_factory(
+                    WRAPPED_KIND,
+                    block_capacity=config.block_capacity,
+                    partition_threshold=config.partition_threshold,
+                    training=config.training_config(),
+                    seed=config.seed,
+                )
+                index = factory(points, 0)
+                engine = BatchQueryEngine(index)
+                label = "single"
+            else:
+                index = build_sharded_index(points, WRAPPED_KIND, n_shards, policy, config)
+                engine = ShardedBatchEngine(index)
+                label = policy
+            build_s = time.perf_counter() - started
+
+            started = time.perf_counter()
+            point_batch = engine.point_queries(point_queries)
+            point_s = max(time.perf_counter() - started, 1e-9)
+
+            started = time.perf_counter()
+            window_batch = engine.window_queries(windows)
+            window_s = max(time.perf_counter() - started, 1e-9)
+
+            touched = (
+                len(window_batch.per_shard_block_accesses)
+                if window_batch.per_shard_block_accesses is not None
+                else 1
+            )
+            balance = (
+                max(index.per_shard_points()) if n_shards > 1 else points.shape[0]
+            )
+            rows.append(
+                [
+                    label,
+                    n_shards,
+                    round(build_s, 2),
+                    round(len(point_queries) / point_s, 1),
+                    round(len(windows) / window_s, 1),
+                    round((point_batch.total_block_accesses or 0) / max(len(point_queries), 1), 2),
+                    balance,
+                    touched,
+                ]
+            )
+    notes.append(
+        f"{points.shape[0]} points ({profile.default_distribution}), "
+        f"{len(point_queries)} point / {len(windows)} window queries per batch, "
+        f"wrapped index: {WRAPPED_KIND}"
+    )
+    notes.append(
+        "touched_shards counts shards with nonzero block accesses over the whole "
+        "window batch; single-index rows count as 1"
+    )
+    return ExperimentResult(
+        experiment_id="sharded-scaling",
+        title="Sharded serving scaling sweep",
+        paper_reference="beyond the paper (ROADMAP: sharding)",
+        header=[
+            "policy",
+            "n_shards",
+            "build_s",
+            "point_qps",
+            "window_qps",
+            "blocks_per_point_query",
+            "max_shard_points",
+            "touched_shards",
+        ],
+        rows=rows,
+        notes=notes,
+    )

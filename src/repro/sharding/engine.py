@@ -1,0 +1,192 @@
+"""Parallel batch dispatch over a sharded index.
+
+:class:`ShardedBatchEngine` is the sharded sibling of
+:class:`~repro.engine.BatchQueryEngine`: it accepts the same whole-batch
+query calls, but first **groups the batch per shard** through the
+:class:`~repro.sharding.router.ShardRouter` and then dispatches each
+shard's sub-batch through that shard's own ``BatchQueryEngine`` (so
+RSMI-backed shards keep the vectorised level-synchronous paths).  Per-shard
+sub-batches are independent, which is what makes the dispatch loop
+embarrassingly parallel: in ``"threaded"`` mode the sub-batches run on a
+thread pool.
+
+Results are scattered back into input order and the per-shard
+:class:`~repro.storage.AccessStats` totals are aggregated onto the returned
+:class:`~repro.core.batch.BatchResult` — both as a batch total and as a
+``per_shard_block_accesses`` map, so shard-locality claims ("this window
+batch only touched two shards") stay checkable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batch import BatchResult
+from repro.engine import BatchQueryEngine, ENGINE_MODES, run_threaded
+from repro.sharding.index import ShardedSpatialIndex
+
+__all__ = ["ShardedBatchEngine"]
+
+_EMPTY = np.empty((0, 2), dtype=float)
+
+
+class ShardedBatchEngine:
+    """Execute query batches against a :class:`ShardedSpatialIndex`.
+
+    Parameters
+    ----------
+    index:
+        A built sharded index.
+    mode:
+        ``"auto"`` (default) runs one sub-batch per touched shard through a
+        per-shard :class:`BatchQueryEngine` in its ``"auto"`` mode;
+        ``"sequential"`` forces the per-query path inside every shard;
+        ``"threaded"`` keeps the per-shard engines in ``"auto"`` mode but
+        dispatches the independent shard sub-batches on a thread pool
+        (block-access counters stay exact for point/window batches — each
+        thread touches one shard's counters — and results are always
+        identical to sequential dispatch);
+        ``"vectorized"`` requires every touched shard to wrap an RSMI.
+    n_workers:
+        Thread-pool width for ``"threaded"`` dispatch.
+    """
+
+    def __init__(self, index: ShardedSpatialIndex, mode: str = "auto", n_workers=None):
+        if mode not in ENGINE_MODES:
+            raise ValueError(f"unknown engine mode {mode!r}; available: {ENGINE_MODES}")
+        if not isinstance(index, ShardedSpatialIndex):
+            raise TypeError(
+                f"ShardedBatchEngine requires a ShardedSpatialIndex, got {type(index).__name__}"
+            )
+        index._require_built()
+        self.index = index
+        self.mode = mode
+        self.n_workers = n_workers
+        self._parallel = mode == "threaded"
+        self._shard_mode = "auto" if mode == "threaded" else mode
+        #: shard_id -> (wrapped index identity, engine); rebuilt when a shard's
+        #: lazily built index appears or is replaced
+        self._engines: dict[int, tuple[int, BatchQueryEngine]] = {}
+
+    # ------------------------------------------------------------------ queries --
+
+    def point_queries(self, points: np.ndarray) -> BatchResult:
+        """Membership of every row of ``points``; booleans in input order."""
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        self.index.stats.reset()
+        results: list = [False] * points.shape[0]
+        if points.shape[0] == 0:
+            return BatchResult(results=results, total_block_accesses=0,
+                               per_shard_block_accesses={})
+        owners = self.index.router.shards_for_points(points)
+
+        def one_shard(shard_id: int) -> None:
+            positions = np.nonzero(owners == shard_id)[0]
+            shard = self.index.shards[shard_id]
+            if shard.is_empty:
+                return
+            batch = self._engine_for(shard_id).point_queries(points[positions])
+            for position, found in zip(positions.tolist(), batch.results):
+                results[position] = bool(found)
+
+        self._dispatch(one_shard, np.unique(owners).tolist())
+        return self._finalize(results)
+
+    def window_queries(self, windows) -> BatchResult:
+        """Window queries; each result is an ``(m, 2)`` array in input order.
+
+        Each window fans out only to the shards its extent intersects;
+        per-window results merge the per-shard answers in shard-id order.
+        """
+        windows = list(windows)
+        self.index.stats.reset()
+        if not windows:
+            return BatchResult(results=[], total_block_accesses=0,
+                               per_shard_block_accesses={})
+        by_shard: dict[int, list[int]] = {}
+        for window_index, window in enumerate(windows):
+            for shard_id in self.index.router.shards_for_window(window):
+                by_shard.setdefault(shard_id, []).append(window_index)
+        parts: list[list[np.ndarray]] = [[] for _ in windows]
+
+        def one_shard(shard_id: int) -> None:
+            shard = self.index.shards[shard_id]
+            if shard.is_empty:
+                return
+            window_indices = by_shard[shard_id]
+            batch = self._engine_for(shard_id).window_queries(
+                [windows[i] for i in window_indices]
+            )
+            for window_index, chunk in zip(window_indices, batch.results):
+                parts[window_index].append((shard_id, chunk))
+
+        self._dispatch(one_shard, sorted(by_shard))
+        results = []
+        for chunks in parts:
+            chunks = [chunk for _, chunk in sorted(chunks, key=lambda c: c[0])]
+            chunks = [chunk for chunk in chunks if chunk.shape[0] > 0]
+            results.append(np.vstack(chunks) if chunks else _EMPTY.copy())
+        return self._finalize(results)
+
+    def knn_queries(self, queries: np.ndarray, k: int) -> BatchResult:
+        """kNN queries via the index's best-first shard expansion per query."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries = np.asarray(queries, dtype=float).reshape(-1, 2)
+        self.index.stats.reset()
+
+        def one(row) -> np.ndarray:
+            return self.index.knn_query(float(row[0]), float(row[1]), k)
+
+        if self._parallel and queries.shape[0] > 1:
+            # concurrent queries may share shards: results stay exact, the
+            # per-shard access counters become approximate (same caveat as
+            # BatchQueryEngine's threaded mode)
+            results = run_threaded(one, list(queries), self.n_workers)
+        else:
+            results = [one(row) for row in queries]
+        return self._finalize(results)
+
+    # ------------------------------------------------------------------ plumbing --
+
+    def _engine_for(self, shard_id: int) -> BatchQueryEngine:
+        shard = self.index.shards[shard_id]
+        cached = self._engines.get(shard_id)
+        if cached is not None and cached[0] == id(shard.index):
+            return cached[1]
+        target = shard.index
+        if shard.exact and hasattr(target, "window_query_exact"):
+            # exact-RSMI shards answer windows via the MBR traversal; the
+            # adapter's prefers_exact_queries flag keeps the per-shard engine
+            # off the approximate vectorised window path
+            from repro.evaluation.adapters import RSMIExactAdapter
+
+            target = RSMIExactAdapter(target)
+        engine = BatchQueryEngine(target, mode=self._shard_mode)
+        self._engines[shard_id] = (id(shard.index), engine)
+        return engine
+
+    def _dispatch(self, fn, shard_ids: list[int]) -> None:
+        if self._parallel and len(shard_ids) > 1:
+            run_threaded(fn, shard_ids, self.n_workers)
+        else:
+            for shard_id in shard_ids:
+                fn(shard_id)
+
+    def _finalize(self, results: list) -> BatchResult:
+        per_shard = {
+            shard.shard_id: shard.stats.total_reads
+            for shard in self.index.shards
+            if shard.stats.total_reads > 0
+        }
+        return BatchResult(
+            results=results,
+            total_block_accesses=sum(per_shard.values()),
+            per_shard_block_accesses=per_shard,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedBatchEngine(index={self.index.name!r}, mode={self.mode!r}, "
+            f"shards={self.index.n_shards})"
+        )

@@ -1,0 +1,405 @@
+"""The sharded serving index: N shards, each wrapping one ordinary index.
+
+:class:`ShardedSpatialIndex` partitions the data space across ``n_shards``
+shards according to a :class:`~repro.sharding.policy.ShardingPolicy`; each
+shard wraps an independent index instance (an RSMI or any baseline) built
+over exactly the points falling in its region.  All single-operation query
+and update methods route through the :class:`~repro.sharding.router
+.ShardRouter` to the minimal shard set:
+
+* point lookups / inserts / deletes touch exactly one shard,
+* window queries fan out only to shards whose region intersects the window,
+* kNN queries expand shards best-first by region MINDIST and stop as soon
+  as the k-th candidate is closer than every unvisited shard — usually
+  after a single shard.
+
+Shards are **lazily built**: a shard whose region holds no points at build
+time stays index-less (queries over it short-circuit to empty) until the
+first insert lands there, and a shard whose wrapped index was drained by
+deletes short-circuits the same way.  This is what lets the sharded index
+survive bulk-churn streams that empty whole regions.
+
+Per-shard :class:`~repro.storage.AccessStats` are created eagerly and
+shared with the wrapped index, so block-access accounting both aggregates
+across the whole index (:class:`CompositeAccessStats`, which is what the
+batched engines and the scenario runner see) and stays attributable per
+shard (:meth:`ShardedSpatialIndex.per_shard_stats` — how the benchmarks
+assert that window queries skip non-intersecting shards).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.sharding.policy import ShardingPolicy, make_policy
+from repro.sharding.router import ShardRouter
+from repro.storage import AccessStats
+
+__all__ = [
+    "CompositeAccessStats",
+    "ShardedSpatialIndex",
+    "shard_index_factory",
+    "SHARDABLE_KINDS",
+    "EXACT_KINDS",
+]
+
+_EMPTY = np.empty((0, 2), dtype=float)
+
+#: wrapped index kinds :func:`shard_index_factory` can build; ``RSMIa`` is
+#: the exact-query RSMI variant (window/kNN via MBR traversal)
+SHARDABLE_KINDS = ("RSMI", "RSMIa", "Grid", "KDB", "HRR", "RR*", "ZM")
+
+#: kinds whose window/kNN answers are exact (drives differential assertions)
+EXACT_KINDS = frozenset({"Grid", "KDB", "HRR", "RR*", "RSMIa"})
+
+
+def shard_index_factory(
+    kind: str,
+    block_capacity: int = 50,
+    partition_threshold: int = 1_000,
+    training=None,
+    seed: int = 0,
+) -> Callable[..., object]:
+    """A builder for per-shard indices of one ``kind``.
+
+    Returns ``factory(points, shard_id, stats) -> index``; every shard gets
+    an independent instance (with a shard-decorrelated seed for the learned
+    kinds) recording its block accesses into the shard's ``stats`` counter.
+    ``partition_threshold`` applies per shard, so it should be sized for the
+    expected per-shard population, not the global one.
+    """
+    from repro.baselines import GridFile, HRRTree, KDBTree, RStarTree, ZMConfig, ZMIndex
+    from repro.core import RSMI, RSMIConfig
+    from repro.nn import TrainingConfig
+
+    normalized = kind.strip()
+    if normalized not in SHARDABLE_KINDS:
+        raise ValueError(f"unknown index kind {kind!r}; available: {SHARDABLE_KINDS}")
+    training = training if training is not None else TrainingConfig()
+
+    def factory(points: np.ndarray, shard_id: int, stats: Optional[AccessStats] = None) -> object:
+        shard_seed = seed + 7919 * shard_id
+        stats = stats if stats is not None else AccessStats()
+        if normalized in ("RSMI", "RSMIa"):
+            config = RSMIConfig(
+                block_capacity=block_capacity,
+                partition_threshold=partition_threshold,
+                training=training,
+                seed=shard_seed,
+            )
+            return RSMI(config, stats=stats).build(points)
+        if normalized == "ZM":
+            config = ZMConfig(
+                block_capacity=block_capacity, training=training, seed=shard_seed
+            )
+            return ZMIndex(config, stats=stats).build(points)
+        if normalized == "Grid":
+            return GridFile(block_capacity=block_capacity, stats=stats).build(points)
+        if normalized == "KDB":
+            return KDBTree(block_capacity=block_capacity, stats=stats).build(points)
+        if normalized == "HRR":
+            return HRRTree(block_capacity=block_capacity, stats=stats).build(points)
+        return RStarTree(block_capacity=block_capacity, stats=stats).build(points)
+
+    factory.kind = normalized  # type: ignore[attr-defined]
+    return factory
+
+
+class CompositeAccessStats:
+    """Aggregate view over the per-shard :class:`AccessStats` counters.
+
+    Implements the same read/reset surface as :class:`AccessStats`, so the
+    batched engines and the scenario runner can treat a sharded index like
+    any other; the underlying per-shard counters stay addressable for
+    locality assertions.
+    """
+
+    def __init__(self, parts: Sequence[AccessStats]):
+        self._parts = list(parts)
+
+    @property
+    def block_reads(self) -> int:
+        return sum(part.block_reads for part in self._parts)
+
+    @property
+    def block_writes(self) -> int:
+        return sum(part.block_writes for part in self._parts)
+
+    @property
+    def node_reads(self) -> int:
+        return sum(part.node_reads for part in self._parts)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(part.total_reads for part in self._parts)
+
+    def reset(self) -> None:
+        for part in self._parts:
+            part.reset()
+
+    def snapshot(self) -> AccessStats:
+        """The aggregated counters frozen into a plain :class:`AccessStats`."""
+        return AccessStats(self.block_reads, self.block_writes, self.node_reads)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompositeAccessStats(shards={len(self._parts)}, total={self.total_reads})"
+
+
+class _Shard:
+    """One shard: a region's stats, live-point count and lazily built index."""
+
+    __slots__ = ("shard_id", "stats", "index", "exact")
+
+    def __init__(self, shard_id: int, exact: bool):
+        self.shard_id = shard_id
+        self.stats = AccessStats()
+        self.index: Optional[object] = None
+        self.exact = exact
+
+    @property
+    def n_points(self) -> int:
+        return int(self.index.n_points) if self.index is not None else 0
+
+    @property
+    def is_empty(self) -> bool:
+        return self.n_points == 0
+
+    # -- queries (guarded so empty/unbuilt shards short-circuit) ---------------
+
+    def contains(self, x: float, y: float) -> bool:
+        if self.is_empty:
+            return False
+        return bool(self.index.contains(x, y))
+
+    def window_query(self, window: Rect) -> np.ndarray:
+        if self.is_empty:
+            return _EMPTY.copy()
+        if self.exact and hasattr(self.index, "window_query_exact"):
+            answer = self.index.window_query_exact(window)
+        else:
+            answer = self.index.window_query(window)
+        return answer.points if hasattr(answer, "points") else answer
+
+    def knn_query(self, x: float, y: float, k: int) -> np.ndarray:
+        if self.is_empty:
+            return _EMPTY.copy()
+        k = min(k, self.n_points)
+        if self.exact and hasattr(self.index, "knn_query_exact"):
+            answer = self.index.knn_query_exact(x, y, k)
+        else:
+            answer = self.index.knn_query(x, y, k)
+        return answer.points if hasattr(answer, "points") else answer
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert(self, x: float, y: float, factory, points: Optional[np.ndarray] = None) -> None:
+        if self.index is None:
+            seedling = (
+                points
+                if points is not None
+                else np.asarray([[x, y]], dtype=float)
+            )
+            self.index = factory(seedling, self.shard_id, self.stats)
+            return
+        self.index.insert(x, y)
+
+    def delete(self, x: float, y: float) -> bool:
+        if self.is_empty:
+            return False
+        return bool(self.index.delete(x, y))
+
+    def size_bytes(self) -> int:
+        return int(self.index.size_bytes()) if self.index is not None else 0
+
+
+class ShardedSpatialIndex:
+    """N shards behind one spatial-index interface.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(points, shard_id, stats) -> index`` building one shard's
+        wrapped index over the shard's ``stats`` counter; use
+        :func:`shard_index_factory` for the standard kinds.
+    n_shards:
+        Number of shards (ignored when ``policy`` is an instance).
+    policy:
+        A policy name (``"grid"``, ``"zorder"``, ``"balanced"``) resolved at
+        :meth:`build` time against the build points, or a ready
+        :class:`ShardingPolicy` instance.
+    data_space:
+        The space the policy partitions (default: the unit square).
+    exact_queries:
+        True when the wrapped kind answers window/kNN exactly (or, for
+        RSMI, to use the exact ``*_exact`` query variants — the RSMIa
+        configuration).  Merged sharded answers are then exact too.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[..., object],
+        n_shards: int = 4,
+        policy: Union[str, ShardingPolicy] = "grid",
+        data_space: Optional[Rect] = None,
+        exact_queries: Optional[bool] = None,
+        name: Optional[str] = None,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.factory = factory
+        kind = getattr(factory, "kind", None)
+        if exact_queries is None:
+            exact_queries = kind in EXACT_KINDS
+        self.exact_queries = bool(exact_queries)
+        self.prefers_exact_queries = self.exact_queries
+        self.data_space = data_space if data_space is not None else Rect.unit()
+        if isinstance(policy, ShardingPolicy):
+            self._policy_spec: Optional[str] = None
+            self.policy: Optional[ShardingPolicy] = policy
+            self.n_shards = policy.n_shards
+        else:
+            self._policy_spec = policy
+            self.policy = None
+            self.n_shards = n_shards
+        self.router: Optional[ShardRouter] = None
+        self.shards: list[_Shard] = []
+        self.stats = CompositeAccessStats([])
+        self.name = name or f"Sharded[{kind or 'index'}x{self.n_shards}:" + (
+            policy.name if isinstance(policy, ShardingPolicy) else str(policy)
+        ) + "]"
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def build(self, points: np.ndarray) -> "ShardedSpatialIndex":
+        """Partition ``points`` across the shards and build each wrapped index."""
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        if points.shape[0] == 0:
+            raise ValueError("cannot build an index over an empty point set")
+        if self.policy is None:
+            self.policy = make_policy(
+                self._policy_spec, self.n_shards, self.data_space, sample=points
+            )
+        self.router = ShardRouter(self.policy)
+        self.shards = [_Shard(i, self.exact_queries) for i in range(self.n_shards)]
+        self.stats = CompositeAccessStats([shard.stats for shard in self.shards])
+        owners = self.router.shards_for_points(points)
+        self.router.record_assignments(points, owners)
+        for shard in self.shards:
+            mine = points[owners == shard.shard_id]
+            if mine.shape[0] > 0:
+                shard.insert(float(mine[0, 0]), float(mine[0, 1]), self.factory, points=mine)
+        return self
+
+    def _require_built(self) -> None:
+        if self.router is None:
+            raise RuntimeError("index is not built yet; call build(points) first")
+
+    # -- queries --------------------------------------------------------------
+
+    def contains(self, x: float, y: float) -> bool:
+        """True when a point with exactly these coordinates is stored."""
+        self._require_built()
+        return self.shards[self.router.shard_for_point(float(x), float(y))].contains(
+            float(x), float(y)
+        )
+
+    def point_query(self, x: float, y: float) -> bool:
+        """Adapter-style alias of :meth:`contains`."""
+        return self.contains(x, y)
+
+    def window_query(self, window: Rect) -> np.ndarray:
+        """All stored points inside ``window``; only intersecting shards are
+        touched."""
+        self._require_built()
+        chunks = [
+            self.shards[shard_id].window_query(window)
+            for shard_id in self.router.shards_for_window(window)
+        ]
+        chunks = [chunk for chunk in chunks if chunk.shape[0] > 0]
+        return np.vstack(chunks) if chunks else _EMPTY.copy()
+
+    def knn_query(self, x: float, y: float, k: int) -> np.ndarray:
+        """The k nearest stored points via best-first shard expansion.
+
+        Shards are visited in ascending region-MINDIST order; expansion
+        stops once k candidates are closer than the next shard's bound, so
+        far-away shards are never touched.  Exact when the wrapped indices
+        answer kNN exactly (shards partition the data, so merging per-shard
+        answers loses nothing).
+        """
+        self._require_built()
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        x, y = float(x), float(y)
+        best: list[tuple[float, float, float]] = []  # (distance, px, py), sorted
+        for bound, shard_id in self.router.knn_shard_order(x, y):
+            if len(best) >= k and bound > best[k - 1][0]:
+                break
+            shard = self.shards[shard_id]
+            if shard.is_empty:
+                continue
+            for px, py in shard.knn_query(x, y, k):
+                distance = float(np.hypot(px - x, py - y))
+                best.append((distance, float(px), float(py)))
+            best.sort()
+            del best[k:]
+        return np.asarray([(px, py) for _, px, py in best], dtype=float).reshape(-1, 2)
+
+    # -- updates --------------------------------------------------------------
+
+    def insert(self, x: float, y: float) -> None:
+        """Insert a point into the single shard owning it (building the
+        shard's index on first use)."""
+        self._require_built()
+        shard_id = self.router.record_insert(float(x), float(y))
+        self.shards[shard_id].insert(float(x), float(y), self.factory)
+
+    def delete(self, x: float, y: float) -> bool:
+        """Delete a stored point from the shard owning it."""
+        self._require_built()
+        return self.shards[self.router.shard_for_point(float(x), float(y))].delete(
+            float(x), float(y)
+        )
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        """Live points across all shards."""
+        return sum(shard.n_points for shard in self.shards)
+
+    def size_bytes(self) -> int:
+        """Total size of all shard indices."""
+        return sum(shard.size_bytes() for shard in self.shards)
+
+    def per_shard_points(self) -> list[int]:
+        """Live point count per shard (in shard-id order)."""
+        return [shard.n_points for shard in self.shards]
+
+    def per_shard_stats(self) -> list[AccessStats]:
+        """Each shard's own :class:`AccessStats` (shared with its index)."""
+        return [shard.stats for shard in self.shards]
+
+    def shard_extents(self) -> list[Rect]:
+        """Effective extent of every shard (region plus overflow)."""
+        self._require_built()
+        return [self.router.shard_extent(i) for i in range(self.n_shards)]
+
+    def extra_metrics(self) -> dict:
+        """Shard-level metadata for evaluation reports."""
+        per_shard = self.per_shard_points()
+        return {
+            "n_shards": self.n_shards,
+            "policy": self.policy.describe() if self.policy is not None else self._policy_spec,
+            "per_shard_points": per_shard,
+            "empty_shards": sum(1 for n in per_shard if n == 0),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedSpatialIndex(name={self.name!r}, shards={self.n_shards}, "
+            f"points={self.n_points})"
+        )

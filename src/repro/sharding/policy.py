@@ -1,0 +1,434 @@
+"""Sharding policies: how the data space is partitioned across shards.
+
+A :class:`ShardingPolicy` is a *total* function from coordinates to shard
+ids — every point of the plane maps to exactly one shard, including points
+exactly on partition boundaries (cells are half-open except at the data
+space's far edges) and points outside the configured data space (they clamp
+to the nearest boundary cell).  Totality is what makes shard routing
+deterministic under churn: an insert and the later point query / delete for
+the same key always land on the same shard.
+
+Three policies ship:
+
+* :class:`RegularGridPolicy` — an ``nx × ny`` grid of equal-sized cells;
+  the simplest layout, best for uniform data.
+* :class:`ZOrderRangePolicy` — cells of a fine ``2^order × 2^order`` grid
+  are linearised along the Z-curve (:mod:`repro.curves.zcurve`) and split
+  into ``n_shards`` contiguous Z-ranges, mirroring how distributed spatial
+  stores range-partition Morton keys.  Shard regions are unions of cells,
+  not rectangles.
+* :class:`SampleBalancedPolicy` — recursive median splits (k-d style) over
+  a sample of the data, producing rectangular regions with near-equal point
+  counts; best for skewed data where a regular grid would leave most shards
+  empty.
+
+Every policy also answers the two routing questions the
+:class:`~repro.sharding.router.ShardRouter` needs for query planning:
+*which shards can contain an answer for this window* (data skipping — a
+shard whose extent cannot intersect the window is never touched) and *how
+close can this shard's region possibly be to a query point* (a MINDIST
+lower bound used for best-first kNN shard expansion).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.curves.zcurve import interleave_bits
+from repro.geometry import Rect, mindist_point_rect
+
+__all__ = [
+    "ShardingPolicy",
+    "RegularGridPolicy",
+    "ZOrderRangePolicy",
+    "SampleBalancedPolicy",
+    "SHARDING_POLICY_NAMES",
+    "make_policy",
+]
+
+#: names accepted by :func:`make_policy` (and the CLI's ``--sharding-policy``)
+SHARDING_POLICY_NAMES = ("grid", "zorder", "balanced")
+
+
+class ShardingPolicy(abc.ABC):
+    """Partition of the data space into ``n_shards`` disjoint regions."""
+
+    #: short name used in reports ("grid", "zorder", "balanced")
+    name: str = "abstract"
+
+    def __init__(self, n_shards: int, data_space: Optional[Rect] = None):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+        self.data_space = data_space if data_space is not None else Rect.unit()
+
+    # -- routing primitives -------------------------------------------------
+
+    @abc.abstractmethod
+    def shard_of(self, x: float, y: float) -> int:
+        """The shard id owning ``(x, y)``; total over the whole plane."""
+
+    def shard_of_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`shard_of` over an ``(n, 2)`` array."""
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        return np.fromiter(
+            (self.shard_of(float(x), float(y)) for x, y in points),
+            dtype=np.int64,
+            count=points.shape[0],
+        )
+
+    @abc.abstractmethod
+    def shards_for_window(self, window: Rect) -> list[int]:
+        """Ids of every shard whose region intersects ``window``.
+
+        Must be complete (no shard holding an in-window point may be
+        missing) and should be minimal (shards whose region cannot
+        intersect are skipped — the data-skipping property).
+        """
+
+    @abc.abstractmethod
+    def mindist(self, x: float, y: float, shard_id: int) -> float:
+        """Lower bound on the distance from ``(x, y)`` to any point stored
+        in ``shard_id``'s region (0 when the point lies inside it)."""
+
+    @abc.abstractmethod
+    def shard_extent(self, shard_id: int) -> Rect:
+        """The MBR of the shard's region (for reports and diagnostics)."""
+
+    def describe(self) -> str:
+        return f"{self.name}({self.n_shards})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n_shards={self.n_shards})"
+
+
+class RegularGridPolicy(ShardingPolicy):
+    """An ``nx × ny`` grid of equal-sized rectangular shard regions.
+
+    ``nx * ny == n_shards``; when the factors are not given, the most
+    square-ish factorisation of ``n_shards`` is chosen.  Cells are half-open
+    in both axes except along the data space's top/right edges, so boundary
+    points route to exactly one shard.
+    """
+
+    name = "grid"
+
+    def __init__(
+        self,
+        n_shards: int,
+        data_space: Optional[Rect] = None,
+        nx: Optional[int] = None,
+        ny: Optional[int] = None,
+    ):
+        super().__init__(n_shards, data_space)
+        if nx is None or ny is None:
+            nx, ny = _squarish_factors(n_shards)
+        if nx * ny != n_shards:
+            raise ValueError(f"nx * ny must equal n_shards ({nx}*{ny} != {n_shards})")
+        self.nx = nx
+        self.ny = ny
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        space = self.data_space
+        ix = int((x - space.xlo) / space.width * self.nx) if space.width > 0 else 0
+        iy = int((y - space.ylo) / space.height * self.ny) if space.height > 0 else 0
+        return min(max(ix, 0), self.nx - 1), min(max(iy, 0), self.ny - 1)
+
+    def shard_of(self, x: float, y: float) -> int:
+        ix, iy = self._cell_of(float(x), float(y))
+        return iy * self.nx + ix
+
+    def shard_of_many(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        space = self.data_space
+        ix = np.floor((points[:, 0] - space.xlo) / space.width * self.nx).astype(np.int64)
+        iy = np.floor((points[:, 1] - space.ylo) / space.height * self.ny).astype(np.int64)
+        np.clip(ix, 0, self.nx - 1, out=ix)
+        np.clip(iy, 0, self.ny - 1, out=iy)
+        return iy * self.nx + ix
+
+    def shards_for_window(self, window: Rect) -> list[int]:
+        ix0, iy0 = self._cell_of(window.xlo, window.ylo)
+        ix1, iy1 = self._cell_of(window.xhi, window.yhi)
+        return [
+            iy * self.nx + ix
+            for iy in range(iy0, iy1 + 1)
+            for ix in range(ix0, ix1 + 1)
+        ]
+
+    def mindist(self, x: float, y: float, shard_id: int) -> float:
+        return mindist_point_rect(float(x), float(y), self.shard_extent(shard_id))
+
+    def shard_extent(self, shard_id: int) -> Rect:
+        ix, iy = shard_id % self.nx, shard_id // self.nx
+        space = self.data_space
+        cell_w = space.width / self.nx
+        cell_h = space.height / self.ny
+        return Rect(
+            space.xlo + ix * cell_w,
+            space.ylo + iy * cell_h,
+            space.xlo + (ix + 1) * cell_w,
+            space.ylo + (iy + 1) * cell_h,
+        )
+
+    def describe(self) -> str:
+        return f"grid({self.nx}x{self.ny})"
+
+
+class ZOrderRangePolicy(ShardingPolicy):
+    """Contiguous Z-order (Morton) ranges over a fine cell grid.
+
+    The data space is diced into ``2^order × 2^order`` cells; each cell's
+    Z-code linearises it along the Morton curve, and the code range
+    ``[0, 4^order)`` is split into ``n_shards`` contiguous ranges holding a
+    near-equal number of cells.  A shard's region is the union of its cells,
+    so window routing and kNN MINDIST work cell-wise (tight, not via the
+    shard MBR, which overlaps heavily between Z-ranges).
+    """
+
+    name = "zorder"
+
+    def __init__(self, n_shards: int, data_space: Optional[Rect] = None, order: int = 4):
+        super().__init__(n_shards, data_space)
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        side = 1 << order
+        if n_shards > side * side:
+            raise ValueError(
+                f"n_shards={n_shards} exceeds the {side}x{side} cell grid; raise `order`"
+            )
+        self.order = order
+        self.side = side
+        n_cells = side * side
+        #: shard s owns z-codes in [boundaries[s], boundaries[s + 1])
+        self.boundaries = np.array(
+            [round(s * n_cells / n_shards) for s in range(n_shards + 1)], dtype=np.int64
+        )
+        # per-cell shard id, indexed by z-code (4^order entries)
+        self._shard_by_code = (
+            np.searchsorted(self.boundaries, np.arange(n_cells), side="right") - 1
+        ).astype(np.int64)
+        # per-shard cell rectangles for tight window routing / MINDIST
+        self._cells_lo: list[np.ndarray] = []
+        self._cells_hi: list[np.ndarray] = []
+        space = self.data_space
+        cell_w = space.width / side
+        cell_h = space.height / side
+        by_shard: list[list[tuple[int, int]]] = [[] for _ in range(n_shards)]
+        for cx in range(side):
+            for cy in range(side):
+                by_shard[int(self._shard_by_code[interleave_bits(cx, cy)])].append((cx, cy))
+        for cells in by_shard:
+            lo = np.array(
+                [(space.xlo + cx * cell_w, space.ylo + cy * cell_h) for cx, cy in cells],
+                dtype=float,
+            ).reshape(-1, 2)
+            self._cells_lo.append(lo)
+            self._cells_hi.append(lo + np.array([cell_w, cell_h]))
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        space = self.data_space
+        cx = int((x - space.xlo) / space.width * self.side) if space.width > 0 else 0
+        cy = int((y - space.ylo) / space.height * self.side) if space.height > 0 else 0
+        return min(max(cx, 0), self.side - 1), min(max(cy, 0), self.side - 1)
+
+    def shard_of(self, x: float, y: float) -> int:
+        cx, cy = self._cell_of(float(x), float(y))
+        return int(self._shard_by_code[interleave_bits(cx, cy)])
+
+    def shard_of_many(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        space = self.data_space
+        cx = np.floor((points[:, 0] - space.xlo) / space.width * self.side).astype(np.uint64)
+        cy = np.floor((points[:, 1] - space.ylo) / space.height * self.side).astype(np.uint64)
+        cx = np.clip(cx.astype(np.int64), 0, self.side - 1).astype(np.uint64)
+        cy = np.clip(cy.astype(np.int64), 0, self.side - 1).astype(np.uint64)
+        codes = _interleave_many(cx) | (_interleave_many(cy) << np.uint64(1))
+        return self._shard_by_code[codes.astype(np.int64)]
+
+    def shards_for_window(self, window: Rect) -> list[int]:
+        cx0, cy0 = self._cell_of(window.xlo, window.ylo)
+        cx1, cy1 = self._cell_of(window.xhi, window.yhi)
+        seen: set[int] = set()
+        for cx in range(cx0, cx1 + 1):
+            for cy in range(cy0, cy1 + 1):
+                seen.add(int(self._shard_by_code[interleave_bits(cx, cy)]))
+        return sorted(seen)
+
+    def mindist(self, x: float, y: float, shard_id: int) -> float:
+        lo = self._cells_lo[shard_id]
+        hi = self._cells_hi[shard_id]
+        dx = np.maximum(np.maximum(lo[:, 0] - x, x - hi[:, 0]), 0.0)
+        dy = np.maximum(np.maximum(lo[:, 1] - y, y - hi[:, 1]), 0.0)
+        return float(np.min(np.hypot(dx, dy)))
+
+    def shard_extent(self, shard_id: int) -> Rect:
+        lo = self._cells_lo[shard_id]
+        hi = self._cells_hi[shard_id]
+        return Rect(
+            float(lo[:, 0].min()),
+            float(lo[:, 1].min()),
+            float(hi[:, 0].max()),
+            float(hi[:, 1].max()),
+        )
+
+    def describe(self) -> str:
+        return f"zorder(order={self.order})"
+
+
+class SampleBalancedPolicy(ShardingPolicy):
+    """Recursive median splits over a data sample (k-d style regions).
+
+    The region holding the most sample points is split at the sample median
+    along its wider axis until ``n_shards`` regions exist, yielding
+    rectangular shard regions with near-equal point populations even under
+    heavy skew.  Splits send points with a coordinate strictly below the
+    threshold left, so the regions tile the space half-open and boundary
+    points route deterministically to the region starting at the threshold.
+    """
+
+    name = "balanced"
+
+    def __init__(
+        self,
+        n_shards: int,
+        data_space: Optional[Rect] = None,
+        sample: Optional[np.ndarray] = None,
+    ):
+        super().__init__(n_shards, data_space)
+        if sample is None:
+            raise ValueError("SampleBalancedPolicy requires a data sample")
+        sample = np.asarray(sample, dtype=float).reshape(-1, 2)
+        if sample.shape[0] == 0:
+            raise ValueError("SampleBalancedPolicy requires a non-empty sample")
+        # leaves: (rect, sample subset); split the most populated leaf until
+        # n_shards regions exist
+        leaves: list[tuple[Rect, np.ndarray]] = [(self.data_space, sample)]
+        # split tree nodes: (axis, threshold, left, right); leaves are shard ids
+        while len(leaves) < n_shards:
+            victim = max(range(len(leaves)), key=lambda i: leaves[i][1].shape[0])
+            rect, pts = leaves.pop(victim)
+            axis = 0 if rect.width >= rect.height else 1
+            threshold = _split_threshold(rect, pts, axis)
+            if axis == 0:
+                left_rect = Rect(rect.xlo, rect.ylo, threshold, rect.yhi)
+                right_rect = Rect(threshold, rect.ylo, rect.xhi, rect.yhi)
+            else:
+                left_rect = Rect(rect.xlo, rect.ylo, rect.xhi, threshold)
+                right_rect = Rect(rect.xlo, threshold, rect.xhi, rect.yhi)
+            mask = pts[:, axis] < threshold
+            leaves.insert(victim, (right_rect, pts[~mask]))
+            leaves.insert(victim, (left_rect, pts[mask]))
+        self._rects = [rect for rect, _ in leaves]
+
+    def shard_of(self, x: float, y: float) -> int:
+        x, y = float(x), float(y)
+        # regions tile the space half-open, so the first (and only) matching
+        # region owns the point
+        for shard_id, rect in enumerate(self._rects):
+            if (rect.xlo <= x < rect.xhi or (x == rect.xhi == self.data_space.xhi)) and (
+                rect.ylo <= y < rect.yhi or (y == rect.yhi == self.data_space.yhi)
+            ):
+                return shard_id
+        # clamped fallback for points outside every region (outside the data
+        # space): nearest region by MINDIST
+        return min(
+            range(len(self._rects)),
+            key=lambda shard_id: mindist_point_rect(x, y, self._rects[shard_id]),
+        )
+
+    def shard_of_many(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        owners = np.full(points.shape[0], -1, dtype=np.int64)
+        xs, ys = points[:, 0], points[:, 1]
+        space = self.data_space
+        for shard_id, rect in enumerate(self._rects):
+            in_x = (xs >= rect.xlo) & (
+                (xs < rect.xhi) | ((xs == rect.xhi) & (rect.xhi == space.xhi))
+            )
+            in_y = (ys >= rect.ylo) & (
+                (ys < rect.yhi) | ((ys == rect.yhi) & (rect.yhi == space.yhi))
+            )
+            owners[(owners == -1) & in_x & in_y] = shard_id
+        # points outside every region (outside the data space) take the
+        # scalar nearest-region fallback; normally none exist
+        for position in np.nonzero(owners == -1)[0]:
+            owners[position] = self.shard_of(float(xs[position]), float(ys[position]))
+        return owners
+
+    def shards_for_window(self, window: Rect) -> list[int]:
+        return [
+            shard_id
+            for shard_id, rect in enumerate(self._rects)
+            if rect.intersects(window)
+        ]
+
+    def mindist(self, x: float, y: float, shard_id: int) -> float:
+        return mindist_point_rect(float(x), float(y), self._rects[shard_id])
+
+    def shard_extent(self, shard_id: int) -> Rect:
+        return self._rects[shard_id]
+
+    def describe(self) -> str:
+        return f"balanced({self.n_shards})"
+
+
+def _squarish_factors(n: int) -> tuple[int, int]:
+    """The factor pair ``(nx, ny)`` of ``n`` closest to a square."""
+    nx = int(math.isqrt(n))
+    while nx > 1 and n % nx != 0:
+        nx -= 1
+    return max(nx, 1), n // max(nx, 1)
+
+
+def _split_threshold(rect: Rect, pts: np.ndarray, axis: int) -> float:
+    """A median-ish split coordinate strictly inside ``rect`` along ``axis``."""
+    lo = rect.xlo if axis == 0 else rect.ylo
+    hi = rect.xhi if axis == 0 else rect.yhi
+    if pts.shape[0] > 0:
+        threshold = float(np.median(pts[:, axis]))
+    else:
+        threshold = (lo + hi) / 2.0
+    if not lo < threshold < hi:
+        threshold = (lo + hi) / 2.0
+    return threshold
+
+
+def _interleave_many(values: np.ndarray) -> np.ndarray:
+    """Vectorised bit-spreading (even positions) over a uint64 array."""
+    v = values.astype(np.uint64)
+    v &= np.uint64(0x00000000FFFFFFFF)
+    v = (v | (v << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0x00FF00FF00FF00FF)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x3333333333333333)
+    v = (v | (v << np.uint64(1))) & np.uint64(0x5555555555555555)
+    return v
+
+
+def make_policy(
+    name: str,
+    n_shards: int,
+    data_space: Optional[Rect] = None,
+    sample: Optional[np.ndarray] = None,
+    **kwargs,
+) -> ShardingPolicy:
+    """Build a sharding policy by name (``grid``, ``zorder`` or ``balanced``).
+
+    ``sample`` is required by (and only used for) the ``balanced`` policy;
+    pass the build points or a subsample of them.
+    """
+    normalized = name.strip().lower()
+    if normalized == "grid":
+        return RegularGridPolicy(n_shards, data_space, **kwargs)
+    if normalized == "zorder":
+        return ZOrderRangePolicy(n_shards, data_space, **kwargs)
+    if normalized == "balanced":
+        return SampleBalancedPolicy(n_shards, data_space, sample=sample, **kwargs)
+    raise ValueError(
+        f"unknown sharding policy {name!r}; available: {SHARDING_POLICY_NAMES}"
+    )

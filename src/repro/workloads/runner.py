@@ -3,7 +3,9 @@
 :class:`ScenarioRunner` replays the operation stream of a
 :class:`~repro.workloads.spec.ScenarioSpec` against one index.  Reads are
 micro-batched through the existing :class:`~repro.engine.BatchQueryEngine`
-(so RSMI-backed indices get the vectorised level-synchronous paths); every
+(so RSMI-backed indices get the vectorised level-synchronous paths) — or,
+for a :class:`~repro.sharding.ShardedSpatialIndex`, through the
+shard-grouping :class:`~repro.sharding.ShardedBatchEngine` — and every
 write flushes the pending read batch first, which preserves the stream's
 read/write interleaving exactly.
 
@@ -31,6 +33,7 @@ import numpy as np
 
 from repro.engine import BatchQueryEngine
 from repro.evaluation.metrics import knn_recall, window_recall
+from repro.sharding import ShardedBatchEngine, ShardedSpatialIndex
 from repro.workloads.oracle import OracleIndex
 from repro.workloads.spec import ScenarioSpec
 from repro.workloads.stream import Operation, generate_operations
@@ -69,6 +72,8 @@ class ScenarioSnapshot:
     n_overflow_blocks: Optional[int] = None
     #: deepest base-block overflow chain (None for indices without a store)
     max_chain_depth: Optional[int] = None
+    #: live points per shard (None for unsharded indices)
+    per_shard_points: Optional[list[int]] = None
 
 
 @dataclass
@@ -84,6 +89,9 @@ class ScenarioResult:
     total_block_accesses: int
     #: True when a shadow oracle checked every operation
     checked: bool
+    #: read accesses attributed per shard over the whole run (sharded
+    #: indices only; writes are not attributed)
+    per_shard_block_accesses: Optional[dict[int, int]] = None
 
     @property
     def ops_per_s(self) -> float:
@@ -144,7 +152,12 @@ class ScenarioRunner:
         self.spec = spec
         self.oracle = oracle
         self.exact_results = exact_results
-        self.engine = BatchQueryEngine(index, mode=engine_mode)
+        if isinstance(index, ShardedSpatialIndex):
+            # sharded indices batch through the shard-grouping dispatcher so
+            # every read still fans out to the minimal shard set
+            self.engine = ShardedBatchEngine(index, mode=engine_mode)
+        else:
+            self.engine = BatchQueryEngine(index, mode=engine_mode)
         self.batch_size = batch_size
         self._name = getattr(index, "name", type(index).__name__)
 
@@ -161,6 +174,7 @@ class ScenarioRunner:
         totals: dict[str, int] = {}
         total_accesses = 0
         pending: list[Operation] = []
+        self._per_shard_reads: dict[int, int] = {}
         interval = _IntervalAccumulator()
         started = time.perf_counter()
 
@@ -193,6 +207,9 @@ class ScenarioRunner:
             elapsed_s=elapsed,
             total_block_accesses=total_accesses,
             checked=self.oracle is not None,
+            per_shard_block_accesses=(
+                dict(self._per_shard_reads) if self._per_shard_reads else None
+            ),
         )
 
     # -- batched reads --------------------------------------------------------
@@ -211,24 +228,33 @@ class ScenarioRunner:
         if points:
             queries = np.asarray([(op.x, op.y) for op in points], dtype=float)
             batch = self.engine.point_queries(queries)
-            accesses += batch.total_block_accesses or 0
+            accesses += self._account(batch)
             if self.oracle is not None:
                 for op, found in zip(points, batch.results):
                     self._check_point(op, bool(found))
         if windows:
             batch = self.engine.window_queries([op.window for op in windows])
-            accesses += batch.total_block_accesses or 0
+            accesses += self._account(batch)
             if self.oracle is not None:
                 for op, reported in zip(windows, batch.results):
                     self._check_window(op, reported, interval)
         if knns:
             queries = np.asarray([(op.x, op.y) for op in knns], dtype=float)
             batch = self.engine.knn_queries(queries, self.spec.k)
-            accesses += batch.total_block_accesses or 0
+            accesses += self._account(batch)
             if self.oracle is not None:
                 for op, reported in zip(knns, batch.results):
                     self._check_knn(op, reported, interval)
         return accesses
+
+    def _account(self, batch) -> int:
+        """Fold one engine batch's access counters into the run totals."""
+        if batch.per_shard_block_accesses:
+            for shard_id, reads in batch.per_shard_block_accesses.items():
+                self._per_shard_reads[shard_id] = (
+                    self._per_shard_reads.get(shard_id, 0) + reads
+                )
+        return batch.total_block_accesses or 0
 
     # -- writes ---------------------------------------------------------------
 
@@ -343,4 +369,9 @@ class ScenarioRunner:
             ),
             n_overflow_blocks=n_overflow,
             max_chain_depth=max_depth,
+            per_shard_points=(
+                self.index.per_shard_points()
+                if hasattr(self.index, "per_shard_points")
+                else None
+            ),
         )

@@ -206,6 +206,23 @@ SCENARIO_PRESETS: dict[str, ScenarioSpec] = {
         hotspot_fraction=0.95,
         hotspot_extent=0.2,
     ),
+    # serving-style mix spread uniformly across the space, so every shard of
+    # a sharded deployment sees traffic (run with ``--shards N`` to validate
+    # sharded answers against the oracle under churn)
+    "sharded-mixed": ScenarioSpec(
+        name="sharded-mixed",
+        mix=OperationMix(point=0.45, window=0.2, knn=0.05, insert=0.2, delete=0.1),
+        distribution="uniform",
+        point_miss_fraction=0.35,
+    ),
+    # churny traffic pinned (mostly) to one small region, i.e. one shard of
+    # a sharded deployment runs hot while its siblings idle
+    "sharded-hotspot": ScenarioSpec(
+        name="sharded-hotspot",
+        mix=OperationMix(point=0.4, window=0.15, knn=0.05, insert=0.3, delete=0.1),
+        distribution="hotspot",
+        hotspot_extent=0.15,
+    ),
 }
 
 

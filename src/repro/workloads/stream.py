@@ -55,7 +55,11 @@ class _StreamState:
 
     def __init__(self, spec: ScenarioSpec, initial_points: np.ndarray):
         self.spec = spec
-        self.rng = np.random.default_rng(spec.seed)
+        # keyed seed sequence: decorrelates the stream from a data set that
+        # was generated with default_rng(spec.seed) — with a bare seed the
+        # two generators emit the *same* float stream, so every "fresh" key
+        # drawn would collide with a stored point and saturate the retry loop
+        self.rng = np.random.default_rng(np.random.SeedSequence((spec.seed, 0x5CE9A)))
         self.mirror = LivePointSet(initial_points)
         self.space = spec.data_space
         self.probabilities = np.asarray(spec.mix.probabilities())

@@ -1,0 +1,121 @@
+"""The sharded batch engine: same answers, shard-grouped dispatch.
+
+:class:`ShardedBatchEngine` must return exactly what the sharded index's
+sequential per-query methods return (which the differential tests pin to
+brute force), in input order, under every dispatch mode — and its per-shard
+block-access attribution must prove the routing claim: a batch only
+touches the shards its queries intersect.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import dataset_by_name
+from repro.geometry import Rect
+from repro.sharding import ShardedBatchEngine, ShardedSpatialIndex, shard_index_factory
+
+from tests.conftest import FAST_TRAINING
+
+POINTS = dataset_by_name("skewed", 600, seed=51)
+
+
+@pytest.fixture(scope="module", params=["Grid", "RSMI"])
+def sharded_index(request):
+    factory = shard_index_factory(
+        request.param,
+        block_capacity=12,
+        partition_threshold=120,
+        training=FAST_TRAINING,
+    )
+    return ShardedSpatialIndex(factory, n_shards=4, policy="grid").build(POINTS)
+
+
+@pytest.fixture(scope="module")
+def grid_sharded():
+    factory = shard_index_factory("Grid", block_capacity=12)
+    return ShardedSpatialIndex(factory, n_shards=4, policy="grid").build(POINTS)
+
+
+WINDOWS = [
+    Rect(0.1, 0.1, 0.3, 0.25),
+    Rect(0.0, 0.0, 1.0, 1.0),
+    Rect(0.48, 0.48, 0.52, 0.52),
+    Rect(0.7, 0.2, 0.9, 0.4),
+]
+
+
+@pytest.mark.parametrize("mode", ["auto", "sequential", "threaded"])
+class TestDispatchModes:
+    def test_point_batches_match_sequential_queries(self, sharded_index, mode):
+        engine = ShardedBatchEngine(sharded_index, mode=mode)
+        queries = np.vstack([POINTS[:80], np.random.default_rng(3).random((40, 2))])
+        batch = engine.point_queries(queries)
+        expected = [sharded_index.contains(float(x), float(y)) for x, y in queries]
+        assert batch.results == expected
+        assert batch.n_queries == queries.shape[0]
+
+    def test_window_batches_match_sequential_queries(self, sharded_index, mode):
+        engine = ShardedBatchEngine(sharded_index, mode=mode)
+        batch = engine.window_queries(WINDOWS)
+        for window, got in zip(WINDOWS, batch.results):
+            want = {tuple(p) for p in sharded_index.window_query(window)}
+            assert {tuple(p) for p in got} == want
+
+    def test_knn_batches_match_sequential_queries(self, sharded_index, mode):
+        engine = ShardedBatchEngine(sharded_index, mode=mode)
+        queries = POINTS[:25]
+        batch = engine.knn_queries(queries, k=6)
+        for (x, y), got in zip(queries, batch.results):
+            want = sharded_index.knn_query(float(x), float(y), 6)
+            got_d = np.sort(np.hypot(got[:, 0] - x, got[:, 1] - y))
+            want_d = np.sort(np.hypot(want[:, 0] - x, want[:, 1] - y))
+            np.testing.assert_allclose(got_d, want_d, atol=1e-12)
+
+
+class TestPerShardAttribution:
+    def test_single_shard_window_touches_only_that_shard(self, grid_sharded):
+        engine = ShardedBatchEngine(grid_sharded)
+        batch = engine.window_queries([Rect(0.6, 0.6, 0.9, 0.9)])  # upper-right only
+        assert set(batch.per_shard_block_accesses) == {3}
+        assert batch.total_block_accesses == batch.per_shard_block_accesses[3] > 0
+
+    def test_spanning_window_touches_every_nonempty_shard(self, grid_sharded):
+        engine = ShardedBatchEngine(grid_sharded)
+        batch = engine.window_queries([Rect.unit()])
+        nonempty = {s.shard_id for s in grid_sharded.shards if not s.is_empty}
+        assert set(batch.per_shard_block_accesses) == nonempty
+
+    def test_point_batch_attribution_sums_to_total(self, grid_sharded):
+        engine = ShardedBatchEngine(grid_sharded)
+        batch = engine.point_queries(POINTS[:100])
+        assert sum(batch.per_shard_block_accesses.values()) == batch.total_block_accesses
+
+    def test_empty_batches(self, grid_sharded):
+        engine = ShardedBatchEngine(grid_sharded)
+        assert engine.point_queries(np.empty((0, 2))).results == []
+        assert engine.window_queries([]).results == []
+        assert engine.knn_queries(np.empty((0, 2)), 3).results == []
+
+
+class TestEngineContract:
+    def test_requires_a_sharded_index(self):
+        with pytest.raises(TypeError):
+            ShardedBatchEngine(object())
+
+    def test_rejects_unknown_mode(self, grid_sharded):
+        with pytest.raises(ValueError):
+            ShardedBatchEngine(grid_sharded, mode="warp")
+
+    def test_rejects_unbuilt_index(self):
+        factory = shard_index_factory("Grid")
+        with pytest.raises(RuntimeError):
+            ShardedBatchEngine(ShardedSpatialIndex(factory))
+
+    def test_engine_tracks_lazily_built_shards(self):
+        points = np.random.default_rng(5).random((120, 2)) * 0.45
+        factory = shard_index_factory("Grid", block_capacity=8)
+        index = ShardedSpatialIndex(factory, n_shards=4, policy="grid").build(points)
+        engine = ShardedBatchEngine(index)
+        assert engine.point_queries(np.array([[0.9, 0.9]])).results == [False]
+        index.insert(0.9, 0.9)  # builds shard 3 lazily; engine must pick it up
+        assert engine.point_queries(np.array([[0.9, 0.9]])).results == [True]

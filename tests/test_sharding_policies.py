@@ -1,0 +1,161 @@
+"""Property tests of the sharding policies.
+
+Every policy must behave as a *partition* of the plane: each point owns
+exactly one shard (including points on region boundaries and outside the
+data space), window routing is complete (a shard holding an in-window point
+is always in the window's shard set) and MINDIST is a true lower bound on
+the distance to any point a shard owns.  These properties are what the
+router and the sharded index build their correctness on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import dataset_by_name
+from repro.geometry import Rect
+from repro.sharding import (
+    RegularGridPolicy,
+    SampleBalancedPolicy,
+    ZOrderRangePolicy,
+    make_policy,
+)
+
+SAMPLE = dataset_by_name("skewed", 1_500, seed=23)
+
+
+def all_policies():
+    return [
+        pytest.param(RegularGridPolicy(4), id="grid-4"),
+        pytest.param(RegularGridPolicy(6), id="grid-6"),
+        pytest.param(ZOrderRangePolicy(4, order=3), id="zorder-4"),
+        pytest.param(ZOrderRangePolicy(5, order=4), id="zorder-5"),
+        pytest.param(SampleBalancedPolicy(4, sample=SAMPLE), id="balanced-4"),
+        pytest.param(SampleBalancedPolicy(7, sample=SAMPLE), id="balanced-7"),
+    ]
+
+
+@pytest.mark.parametrize("policy", all_policies())
+class TestPartitionProperties:
+    def test_every_point_owns_exactly_one_shard(self, policy):
+        owners = policy.shard_of_many(SAMPLE)
+        assert owners.shape == (SAMPLE.shape[0],)
+        assert owners.min() >= 0 and owners.max() < policy.n_shards
+
+    def test_scalar_and_vectorised_routing_agree(self, policy):
+        owners = policy.shard_of_many(SAMPLE[:200])
+        for row, owner in zip(SAMPLE[:200], owners):
+            assert policy.shard_of(float(row[0]), float(row[1])) == int(owner)
+
+    def test_window_routing_is_complete(self, policy):
+        rng = np.random.default_rng(5)
+        owners = policy.shard_of_many(SAMPLE)
+        for _ in range(25):
+            lo = rng.random(2) * 0.8
+            window = Rect(lo[0], lo[1], lo[0] + rng.random() * 0.2, lo[1] + rng.random() * 0.2)
+            routed = set(policy.shards_for_window(window))
+            inside = window.contains_points(SAMPLE)
+            needed = set(owners[inside].tolist())
+            assert needed <= routed
+
+    def test_full_space_window_routes_to_every_shard(self, policy):
+        assert set(policy.shards_for_window(Rect.unit())) == set(range(policy.n_shards))
+
+    def test_mindist_is_a_lower_bound(self, policy):
+        rng = np.random.default_rng(7)
+        owners = policy.shard_of_many(SAMPLE)
+        for _ in range(20):
+            qx, qy = rng.random(), rng.random()
+            distances = np.hypot(SAMPLE[:, 0] - qx, SAMPLE[:, 1] - qy)
+            for shard_id in range(policy.n_shards):
+                mine = distances[owners == shard_id]
+                if mine.shape[0] == 0:
+                    continue
+                assert policy.mindist(qx, qy, shard_id) <= mine.min() + 1e-12
+
+    def test_shard_extent_contains_owned_points(self, policy):
+        owners = policy.shard_of_many(SAMPLE)
+        for shard_id in range(policy.n_shards):
+            mine = SAMPLE[owners == shard_id]
+            extent = policy.shard_extent(shard_id)
+            for x, y in mine:
+                assert extent.contains_point(float(x), float(y))
+
+    def test_points_outside_the_space_still_route(self, policy):
+        outside = np.array([(-0.5, 0.5), (1.5, 0.2), (0.3, -1.0), (2.0, 2.0)])
+        owners = policy.shard_of_many(outside)
+        for (x, y), owner in zip(outside, owners):
+            scalar = policy.shard_of(float(x), float(y))
+            assert 0 <= scalar < policy.n_shards
+            assert scalar == int(owner)
+
+
+class TestGridPolicy:
+    def test_boundary_point_routes_to_exactly_one_shard(self):
+        policy = RegularGridPolicy(4)  # 2x2 over the unit square
+        assert policy.shard_of(0.5, 0.5) == 3  # half-open cells: upper-right
+        assert policy.shard_of(0.5, 0.25) == 1
+        assert policy.shard_of(0.25, 0.5) == 2
+        # the far edges of the space belong to the last cells
+        assert policy.shard_of(1.0, 1.0) == 3
+        assert policy.shard_of(0.0, 0.0) == 0
+
+    def test_explicit_factors(self):
+        policy = RegularGridPolicy(6, nx=3, ny=2)
+        assert (policy.nx, policy.ny) == (3, 2)
+        with pytest.raises(ValueError):
+            RegularGridPolicy(6, nx=4, ny=2)
+
+    def test_window_inside_one_cell_routes_to_one_shard(self):
+        policy = RegularGridPolicy(4)
+        assert policy.shards_for_window(Rect(0.6, 0.6, 0.9, 0.9)) == [3]
+
+
+class TestZOrderPolicy:
+    def test_ranges_cover_all_cells_contiguously(self):
+        policy = ZOrderRangePolicy(5, order=3)
+        n_cells = 4**3
+        assert policy.boundaries[0] == 0 and policy.boundaries[-1] == n_cells
+        assert all(
+            policy.boundaries[i] < policy.boundaries[i + 1] for i in range(len(policy.boundaries) - 1)
+        )
+        counts = np.bincount(policy._shard_by_code, minlength=5)
+        assert counts.sum() == n_cells
+        assert counts.max() - counts.min() <= 1
+
+    def test_rejects_more_shards_than_cells(self):
+        with pytest.raises(ValueError):
+            ZOrderRangePolicy(20, order=1)
+
+
+class TestBalancedPolicy:
+    def test_balances_the_build_sample(self):
+        policy = SampleBalancedPolicy(4, sample=SAMPLE)
+        counts = np.bincount(policy.shard_of_many(SAMPLE), minlength=4)
+        # median splits keep populations within a factor ~2 of perfect balance
+        assert counts.max() <= 2 * (SAMPLE.shape[0] // 4 + 1)
+        assert counts.min() >= SAMPLE.shape[0] // 16
+
+    def test_regions_tile_the_space(self):
+        policy = SampleBalancedPolicy(5, sample=SAMPLE)
+        total = sum(policy.shard_extent(i).area for i in range(5))
+        assert total == pytest.approx(1.0)
+
+    def test_requires_a_sample(self):
+        with pytest.raises(ValueError):
+            SampleBalancedPolicy(4)
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name", ["grid", "zorder", "balanced"])
+    def test_by_name(self, name):
+        policy = make_policy(name, 4, sample=SAMPLE)
+        assert policy.n_shards == 4
+        assert policy.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown sharding policy"):
+            make_policy("hash", 4)
+
+    def test_invalid_shard_count_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("grid", 0)

@@ -1,0 +1,193 @@
+"""Shard-routing edge cases: boundaries, spanning windows, starved kNN, drains.
+
+The cases the issue tracker calls out explicitly: points lying exactly on
+shard boundaries, windows spanning every shard, kNN queries where ``k``
+exceeds the nearest shard's population, and shards emptied by bulk deletes.
+All run against a :class:`ShardedSpatialIndex` wrapping exact baseline
+indices so every answer can be compared with brute force.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.sharding import (
+    RegularGridPolicy,
+    ShardRouter,
+    ShardedSpatialIndex,
+    shard_index_factory,
+)
+from repro.workloads import OracleIndex
+
+
+def build_sharded(points, n_shards=4, policy="grid", kind="Grid", block_capacity=8):
+    factory = shard_index_factory(kind, block_capacity=block_capacity)
+    return ShardedSpatialIndex(factory, n_shards=n_shards, policy=policy).build(points)
+
+
+def knn_distances(index, x, y, k):
+    answer = index.knn_query(x, y, k)
+    return np.sort(np.hypot(answer[:, 0] - x, answer[:, 1] - y))
+
+
+class TestBoundaryPoints:
+    """Points exactly on shard boundaries route to exactly one shard."""
+
+    BOUNDARY_KEYS = [(0.5, 0.5), (0.5, 0.1), (0.1, 0.5), (0.0, 0.5), (0.5, 1.0)]
+
+    def test_insert_then_find_and_delete_on_boundaries(self):
+        rng = np.random.default_rng(3)
+        index = build_sharded(rng.random((200, 2)))
+        for x, y in self.BOUNDARY_KEYS:
+            index.insert(x, y)
+            assert index.contains(x, y), (x, y)
+        for x, y in self.BOUNDARY_KEYS:
+            assert index.delete(x, y), (x, y)
+            assert not index.contains(x, y), (x, y)
+
+    def test_boundary_point_is_stored_on_its_routed_shard_only(self):
+        rng = np.random.default_rng(4)
+        index = build_sharded(rng.random((100, 2)))
+        index.insert(0.5, 0.5)
+        owner = index.router.shard_for_point(0.5, 0.5)
+        hits = [
+            shard.shard_id
+            for shard in index.shards
+            if not shard.is_empty and shard.contains(0.5, 0.5)
+        ]
+        assert hits == [owner]
+
+    def test_window_ending_exactly_on_a_boundary_finds_boundary_points(self):
+        rng = np.random.default_rng(5)
+        index = build_sharded(rng.random((100, 2)))
+        index.insert(0.5, 0.25)
+        # window whose high-x edge is exactly the shard boundary: the point
+        # lives in the right-hand shard but must still be reported
+        got = index.window_query(Rect(0.4, 0.2, 0.5, 0.3))
+        assert (0.5, 0.25) in {tuple(p) for p in got}
+
+
+class TestSpanningWindows:
+    def test_window_spanning_all_shards_matches_brute_force(self):
+        rng = np.random.default_rng(6)
+        points = rng.random((500, 2))
+        index = build_sharded(points, n_shards=4)
+        oracle = OracleIndex().build(points)
+        window = Rect(0.05, 0.05, 0.95, 0.95)
+        assert set(index.router.shards_for_window(window)) == {0, 1, 2, 3}
+        got = {tuple(p) for p in index.window_query(window)}
+        want = {tuple(p) for p in oracle.window_query(window)}
+        assert got == want
+
+    def test_full_space_window_returns_everything(self):
+        rng = np.random.default_rng(7)
+        points = rng.random((300, 2))
+        index = build_sharded(points, n_shards=9, policy="zorder")
+        assert index.window_query(Rect.unit()).shape[0] == 300
+
+
+class TestStarvedKnn:
+    """kNN keeps expanding shards when the nearest shard cannot fill k."""
+
+    def test_k_exceeds_nearest_shard_population(self):
+        # three points near the query's own (upper-right) shard, the rest of
+        # the data far away in other shards
+        far = np.random.default_rng(8).random((200, 2)) * 0.45
+        near = np.array([[0.9, 0.9], [0.91, 0.9], [0.9, 0.91]])
+        points = np.vstack([far, near])
+        index = build_sharded(points, n_shards=4)
+        oracle = OracleIndex().build(points)
+        assert index.shards[index.router.shard_for_point(0.92, 0.92)].n_points == 3
+        for k in (3, 4, 10, 25):
+            got = knn_distances(index, 0.92, 0.92, k)
+            assert got.shape[0] == k
+            np.testing.assert_allclose(got, oracle.knn_distances(0.92, 0.92, k), atol=1e-12)
+
+    def test_k_exceeds_total_population(self):
+        points = np.array([[0.1, 0.1], [0.9, 0.9], [0.2, 0.8]])
+        index = build_sharded(points, n_shards=4, block_capacity=4)
+        assert index.knn_query(0.5, 0.5, 10).shape == (3, 2)
+
+    def test_knn_on_query_inside_an_empty_shard(self):
+        # the query's own shard holds nothing at all
+        points = np.random.default_rng(9).random((150, 2)) * np.array([0.45, 1.0])
+        index = build_sharded(points, n_shards=4)
+        oracle = OracleIndex().build(points)
+        assert index.shards[index.router.shard_for_point(0.95, 0.2)].is_empty
+        got = knn_distances(index, 0.95, 0.2, 7)
+        np.testing.assert_allclose(got, oracle.knn_distances(0.95, 0.2, 7), atol=1e-12)
+
+
+class TestEmptyShardsAfterBulkDeletes:
+    def test_draining_a_shard_keeps_every_query_correct(self):
+        rng = np.random.default_rng(10)
+        points = rng.random((400, 2))
+        index = build_sharded(points, n_shards=4)
+        oracle = OracleIndex().build(points)
+        # bulk-delete everything in shard 0's region (lower-left quadrant)
+        victims = points[(points[:, 0] < 0.5) & (points[:, 1] < 0.5)]
+        for x, y in victims:
+            assert index.delete(float(x), float(y))
+            assert oracle.delete(float(x), float(y))
+        assert index.per_shard_points()[0] == 0
+        assert index.n_points == oracle.n_points
+
+        for x, y in victims[:20]:
+            assert not index.contains(float(x), float(y))
+        window = Rect(0.1, 0.1, 0.6, 0.6)  # spans the drained region
+        got = {tuple(p) for p in index.window_query(window)}
+        assert got == {tuple(p) for p in oracle.window_query(window)}
+        got_d = knn_distances(index, 0.25, 0.25, 12)  # query inside the drained shard
+        np.testing.assert_allclose(got_d, oracle.knn_distances(0.25, 0.25, 12), atol=1e-12)
+
+    def test_reinserting_into_a_drained_shard(self):
+        points = np.array([[0.1, 0.1], [0.2, 0.2], [0.8, 0.8], [0.7, 0.9]])
+        index = build_sharded(points, n_shards=4, block_capacity=4)
+        for x, y in [(0.1, 0.1), (0.2, 0.2)]:
+            assert index.delete(x, y)
+        assert index.per_shard_points()[0] == 0
+        index.insert(0.15, 0.15)
+        assert index.contains(0.15, 0.15)
+        assert index.per_shard_points()[0] == 1
+
+    def test_lazily_built_shard_from_empty_region(self):
+        # all build points live in one quadrant: three shards start index-less
+        points = np.random.default_rng(11).random((100, 2)) * 0.4
+        index = build_sharded(points, n_shards=4)
+        assert index.per_shard_points() == [100, 0, 0, 0]
+        index.insert(0.9, 0.9)
+        assert index.contains(0.9, 0.9)
+        assert index.per_shard_points() == [100, 0, 0, 1]
+
+
+class TestOverflowExtent:
+    def test_insert_outside_the_data_space_stays_findable(self):
+        rng = np.random.default_rng(12)
+        index = build_sharded(rng.random((200, 2)), n_shards=4, kind="KDB")
+        index.insert(1.4, 1.3)  # beyond the unit square the policy was built for
+        assert index.contains(1.4, 1.3)
+        got = {tuple(p) for p in index.window_query(Rect(1.2, 1.2, 1.5, 1.5))}
+        assert got == {(1.4, 1.3)}
+        nearest = index.knn_query(1.45, 1.35, 1)
+        assert tuple(nearest[0]) == (1.4, 1.3)
+
+    def test_build_points_outside_the_data_space_stay_findable(self):
+        """Out-of-space points present at *build* time must also widen the
+        overflow extent (regression: build() used to skip record_insert)."""
+        rng = np.random.default_rng(13)
+        points = np.vstack([rng.random((150, 2)), [[1.5, 0.5]]])
+        for policy in ("grid", "zorder", "balanced"):
+            index = build_sharded(points, n_shards=4, policy=policy)
+            assert index.contains(1.5, 0.5), policy
+            got = {tuple(p) for p in index.window_query(Rect(1.4, 0.4, 1.6, 0.6))}
+            assert got == {(1.5, 0.5)}, policy
+            nearest = index.knn_query(1.45, 0.5, 1)
+            assert tuple(nearest[0]) == (1.5, 0.5), policy
+
+    def test_router_widens_the_shard_extent(self):
+        router = ShardRouter(RegularGridPolicy(4))
+        shard_id = router.record_insert(1.5, 1.5)
+        assert shard_id == 3
+        assert router.shard_extent(3).contains_point(1.5, 1.5)
+        assert 3 in router.shards_for_window(Rect(1.4, 1.4, 1.6, 1.6))
+        assert router.mindist(1.5, 1.5, 3) == 0.0

@@ -1,0 +1,79 @@
+"""Docs-hygiene checker: examples must import, README code must run.
+
+CI runs this after the test suite (and it is mirrored by
+``tests/test_docs.py`` so local tier-1 runs catch the same drift):
+
+1. **Import every example module** under ``examples/``.  Importing executes
+   the module's import statements and top-level definitions, so any example
+   referencing a renamed or removed ``repro`` API fails here immediately.
+2. **Extract every ``python`` fenced code block from ``README.md`` and
+   exec it** (the quickstart snippet).  The README promises the snippet
+   runs verbatim; this is what keeps that promise.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+README = REPO_ROOT / "README.md"
+
+PYTHON_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def import_example(path: Path) -> None:
+    spec = importlib.util.spec_from_file_location(f"examples.{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    if not hasattr(module, "main"):
+        raise AssertionError(f"{path.name} does not define main()")
+
+
+def readme_python_blocks(text: str) -> list[str]:
+    return [match.group(1) for match in PYTHON_FENCE.finditer(text)]
+
+
+def main() -> int:
+    failures = 0
+
+    example_files = sorted(EXAMPLES_DIR.glob("*.py"))
+    if not example_files:
+        print("FAIL: no example scripts found", file=sys.stderr)
+        return 1
+    for path in example_files:
+        try:
+            import_example(path)
+            print(f"ok: imported examples/{path.name}")
+        except Exception as exc:  # noqa: BLE001 - report and keep checking
+            failures += 1
+            print(f"FAIL: importing examples/{path.name}: {exc!r}", file=sys.stderr)
+
+    blocks = readme_python_blocks(README.read_text(encoding="utf-8"))
+    if not blocks:
+        print("FAIL: README.md contains no python code blocks", file=sys.stderr)
+        return 1
+    for block_index, source in enumerate(blocks):
+        try:
+            exec(compile(source, f"README.md#python-block-{block_index}", "exec"), {})
+            print(f"ok: executed README python block {block_index}")
+        except Exception as exc:  # noqa: BLE001 - report and keep checking
+            failures += 1
+            print(f"FAIL: README python block {block_index}: {exc!r}", file=sys.stderr)
+
+    if failures:
+        print(f"{failures} docs-hygiene failure(s)", file=sys.stderr)
+        return 1
+    print("docs hygiene: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
