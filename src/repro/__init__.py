@@ -72,6 +72,40 @@ The CLI exposes the presets via ``repro-experiment --scenario <name>``;
 ``tests/test_scenario_fuzz.py`` fuzzes every index with the same machinery,
 and ``examples/scenario_run.py`` is a runnable tour.
 
+Paged storage & caching
+-----------------------
+
+Every index reports its cost through one paged-storage seam: the learned
+indices read data blocks through :class:`~repro.storage.BlockStore`, and
+the tree baselines read their nodes through the
+:class:`~repro.storage.NodePager` façade (stable page ids per node, same
+accounting).  A :class:`~repro.storage.PageCache` — LRU or clock
+replacement, dirty-page invalidation on writes/splits/overflow growth —
+can be attached in front of any index, splitting
+:class:`~repro.storage.AccessStats` into **logical** reads (what the
+algorithm touched; the paper's "# block accesses", identical with the
+cache on or off) and **physical** reads (what actually hit storage)::
+
+    from repro import BatchQueryEngine
+    from repro.storage import PageCache
+
+    index.attach_cache(PageCache(64, "lru"))     # any index kind
+    engine = BatchQueryEngine(index)             # or cache_blocks=64 here
+    batch = engine.point_queries(points[:1000])
+    batch.total_block_accesses                   # logical (unchanged)
+    batch.total_physical_accesses                # post-cache
+    batch.cache_hit_ratio
+
+Sharded deployments take one cache **per shard**
+(``ShardedSpatialIndex(..., cache_blocks=64)``), so a write routed to one
+shard invalidates pages in that shard's cache only.  Answers never depend
+on caching (``tests/test_cache_differential.py`` fuzzes every index kind
+and sharding policy against the oracle with caches attached);
+``benchmarks/bench_block_cache.py`` asserts a ≥3x physical-read reduction
+on hotspot point batches at a cache ~10% of the block count, and the
+``cache-sweep`` experiment (CLI: ``--cache-blocks/--cache-policy``) maps
+the full cost curve.
+
 Sharded serving
 ---------------
 
@@ -114,10 +148,10 @@ from repro.core import RSMI, RSMIConfig, PeriodicRebuilder
 from repro.engine import BatchQueryEngine
 from repro.geometry import Rect
 from repro.sharding import ShardedBatchEngine, ShardedSpatialIndex
-from repro.storage import AccessStats, Block, BlockStore
+from repro.storage import AccessStats, Block, BlockStore, PageCache
 from repro.workloads import OracleIndex, ScenarioRunner, ScenarioSpec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "RSMI",
@@ -130,6 +164,7 @@ __all__ = [
     "AccessStats",
     "Block",
     "BlockStore",
+    "PageCache",
     "ScenarioSpec",
     "ScenarioRunner",
     "OracleIndex",

@@ -7,6 +7,10 @@ distribution (Section 6.1).  A cell-table lookup locates the bucket of a
 point in constant time, which makes point queries on uniform data very fast,
 but skewed data concentrates many blocks in few cells and inflates the number
 of block accesses — the effect the paper reports.
+
+Bucket blocks are pages: each carries a stable id assigned by the shared
+:class:`~repro.storage.paged.NodePager`, so every block read is cache-aware
+and writes invalidate exactly the dirtied block.
 """
 
 from __future__ import annotations
@@ -20,9 +24,22 @@ import numpy as np
 
 from repro.baselines.interface import SpatialIndex
 from repro.geometry import Rect, euclidean, mbr_of_points, mindist_point_rect
-from repro.storage import AccessStats
+from repro.storage import AccessStats, PageCache
 
 __all__ = ["GridFile"]
+
+
+class _GridBlock:
+    """One data block of a bucket: a page with a stable id."""
+
+    __slots__ = ("points", "page_id")
+
+    def __init__(self):
+        self.points: list[tuple[float, float]] = []
+        self.page_id: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.points)
 
 
 class _Bucket:
@@ -30,20 +47,15 @@ class _Bucket:
 
     def __init__(self, capacity: int):
         self.capacity = capacity
-        self.blocks: list[list[tuple[float, float]]] = []
+        self.blocks: list[_GridBlock] = []
 
-    def add(self, x: float, y: float) -> None:
+    def add(self, x: float, y: float) -> _GridBlock:
+        """Append the point, returning the block it landed in."""
         if not self.blocks or len(self.blocks[-1]) >= self.capacity:
-            self.blocks.append([])
-        self.blocks[-1].append((x, y))
-
-    def remove(self, x: float, y: float) -> bool:
-        for block in self.blocks:
-            for i, (px, py) in enumerate(block):
-                if px == x and py == y:
-                    block.pop(i)
-                    return True
-        return False
+            self.blocks.append(_GridBlock())
+        block = self.blocks[-1]
+        block.points.append((x, y))
+        return block
 
     @property
     def n_points(self) -> int:
@@ -64,8 +76,9 @@ class GridFile(SpatialIndex):
         block_capacity: int = 100,
         stats: Optional[AccessStats] = None,
         grid_side: Optional[int] = None,
+        cache: Optional[PageCache] = None,
     ):
-        super().__init__(stats)
+        super().__init__(stats, cache)
         if block_capacity < 1:
             raise ValueError("block_capacity must be >= 1")
         self.block_capacity = int(block_capacity)
@@ -111,19 +124,20 @@ class GridFile(SpatialIndex):
         ylo = self._data_space.ylo + cy * height
         return Rect(xlo, ylo, xlo + width, ylo + height)
 
-    def _insert_raw(self, x: float, y: float) -> None:
+    def _insert_raw(self, x: float, y: float) -> _GridBlock:
         cx, cy = self._cell_of(x, y)
-        self._buckets[cx][cy].add(x, y)
+        block = self._buckets[cx][cy].add(x, y)
         self._n_points += 1
+        return block
 
     # -- queries ------------------------------------------------------------------------
 
     def contains(self, x: float, y: float) -> bool:
         cx, cy = self._cell_of(x, y)
-        self.stats.record_node_read()  # cell-table lookup
+        self.stats.record_node_read()  # cell-table lookup (in-memory directory)
         for block in self._buckets[cx][cy].blocks:
-            self.stats.record_block_read()
-            for px, py in block:
+            self.pager.read_block(block)
+            for px, py in block.points:
                 if px == x and py == y:
                     return True
         return False
@@ -136,8 +150,8 @@ class GridFile(SpatialIndex):
         for cx in range(cx_lo, cx_hi + 1):
             for cy in range(cy_lo, cy_hi + 1):
                 for block in self._buckets[cx][cy].blocks:
-                    self.stats.record_block_read()
-                    for px, py in block:
+                    self.pager.read_block(block)
+                    for px, py in block.points:
                         if window.contains_point(px, py):
                             found.append((px, py))
         return np.asarray(found, dtype=float).reshape(-1, 2)
@@ -164,8 +178,8 @@ class GridFile(SpatialIndex):
         while heap and heap[0][0] < kth():
             _, _, (cx, cy) = heapq.heappop(heap)
             for block in self._buckets[cx][cy].blocks:
-                self.stats.record_block_read()
-                for px, py in block:
+                self.pager.read_block(block)
+                for px, py in block.points:
                     distance = euclidean(x, y, px, py)
                     if distance < kth() or len(best) < k:
                         best.append((distance, px, py))
@@ -176,17 +190,21 @@ class GridFile(SpatialIndex):
     # -- updates ------------------------------------------------------------------------
 
     def insert(self, x: float, y: float) -> None:
-        self.stats.record_block_write()
-        self._insert_raw(x, y)
+        block = self._insert_raw(x, y)
+        self.pager.write(block)
 
     def delete(self, x: float, y: float) -> bool:
         cx, cy = self._cell_of(x, y)
         self.stats.record_node_read()
-        removed = self._buckets[cx][cy].remove(x, y)
-        if removed:
-            self.stats.record_block_write()
-            self._n_points -= 1
-        return removed
+        for block in self._buckets[cx][cy].blocks:
+            self.pager.read_block(block)  # the scan reads the block like contains()
+            for i, (px, py) in enumerate(block.points):
+                if px == x and py == y:
+                    block.points.pop(i)
+                    self.pager.write(block)
+                    self._n_points -= 1
+                    return True
+        return False
 
     # -- accounting ------------------------------------------------------------------------
 

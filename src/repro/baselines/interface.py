@@ -4,6 +4,12 @@ The experiment harness sweeps heterogeneous indices (learned and
 traditional), so they all expose the same primitive operations with plain
 NumPy return values.  The RSMI itself returns richer result records; the
 harness adapts it through :mod:`repro.evaluation.adapters`.
+
+Every baseline routes its storage accesses through one
+:class:`~repro.storage.paged.NodePager` (created here), so the shared
+:class:`~repro.storage.stats.AccessStats` counters and the optional
+:class:`~repro.storage.page_cache.PageCache` sit on a single seam instead of
+being bumped inline all over the query code.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.geometry import Rect
-from repro.storage import AccessStats
+from repro.storage import AccessStats, NodePager, PageCache
 
 __all__ = ["SpatialIndex"]
 
@@ -25,8 +31,21 @@ class SpatialIndex(abc.ABC):
     #: short display name used in experiment tables ("Grid", "KDB", ...)
     name: str = "abstract"
 
-    def __init__(self, stats: Optional[AccessStats] = None):
+    def __init__(
+        self, stats: Optional[AccessStats] = None, cache: Optional[PageCache] = None
+    ):
         self.stats = stats if stats is not None else AccessStats()
+        #: the paged-access façade every read/write goes through
+        self.pager = NodePager(self.stats, cache)
+
+    @property
+    def cache(self) -> Optional[PageCache]:
+        """The attached page cache, or None when reads are uncached."""
+        return self.pager.cache
+
+    def attach_cache(self, cache: Optional[PageCache]) -> None:
+        """Route all subsequent reads through ``cache`` (None detaches)."""
+        self.pager.attach_cache(cache)
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.baselines.interface import SpatialIndex
 from repro.geometry import Rect, euclidean, mbr_of_points, mindist_point_rect, union_rects
-from repro.storage import AccessStats
+from repro.storage import AccessStats, PageCache
 
 __all__ = ["KDBTree"]
 
@@ -36,13 +36,15 @@ __all__ = ["KDBTree"]
 class _KDBNode:
     """A K-D-B-tree page: either a point (leaf) page or a region page."""
 
-    __slots__ = ("is_leaf", "region", "points", "children")
+    __slots__ = ("is_leaf", "region", "points", "children", "page_id")
 
     def __init__(self, is_leaf: bool, region: Rect):
         self.is_leaf = is_leaf
         self.region = region
         self.points: list[tuple[float, float]] = []
         self.children: list["_KDBNode"] = []
+        #: stable page id assigned by the NodePager on first access
+        self.page_id: Optional[int] = None
 
 
 class KDBTree(SpatialIndex):
@@ -55,8 +57,9 @@ class KDBTree(SpatialIndex):
         block_capacity: int = 100,
         fanout: Optional[int] = None,
         stats: Optional[AccessStats] = None,
+        cache: Optional[PageCache] = None,
     ):
-        super().__init__(stats)
+        super().__init__(stats, cache)
         if block_capacity < 1:
             raise ValueError("block_capacity must be >= 1")
         self.block_capacity = int(block_capacity)
@@ -125,11 +128,11 @@ class KDBTree(SpatialIndex):
         while stack:
             node = stack.pop()
             if node.is_leaf:
-                self.stats.record_block_read()
+                self.pager.read_block(node)
                 if any(px == x and py == y for px, py in node.points):
                     return True
                 continue
-            self.stats.record_node_read()
+            self.pager.read_node(node)
             for child in node.children:
                 if child.region.contains_point(x, y):
                     stack.append(child)
@@ -143,12 +146,12 @@ class KDBTree(SpatialIndex):
         while stack:
             node = stack.pop()
             if node.is_leaf:
-                self.stats.record_block_read()
+                self.pager.read_block(node)
                 found.extend(
                     (px, py) for px, py in node.points if window.contains_point(px, py)
                 )
                 continue
-            self.stats.record_node_read()
+            self.pager.read_node(node)
             stack.extend(child for child in node.children if window.intersects(child.region))
         return np.asarray(found, dtype=float).reshape(-1, 2)
 
@@ -168,13 +171,13 @@ class KDBTree(SpatialIndex):
                 continue
             node: _KDBNode = payload  # type: ignore[assignment]
             if node.is_leaf:
-                self.stats.record_block_read()
+                self.pager.read_block(node)
                 for px, py in node.points:
                     heapq.heappush(
                         heap, (euclidean(x, y, px, py), next(counter), "point", (px, py))
                     )
             else:
-                self.stats.record_node_read()
+                self.pager.read_node(node)
                 for child in node.children:
                     heapq.heappush(
                         heap,
@@ -192,7 +195,7 @@ class KDBTree(SpatialIndex):
         path: list[_KDBNode] = []
         node = self.root
         while not node.is_leaf:
-            self.stats.record_node_read()
+            self.pager.read_node(node)
             path.append(node)
             containing = [child for child in node.children if child.region.contains_point(x, y)]
             if containing:
@@ -204,7 +207,7 @@ class KDBTree(SpatialIndex):
                 )
                 node.region = node.region.expand_to_point(x, y)
         node.points.append((x, y))
-        self.stats.record_block_write()
+        self.pager.write(node)
         self._n_points += 1
         if len(node.points) > self.block_capacity:
             self._split_leaf(node, path)
@@ -225,6 +228,7 @@ class KDBTree(SpatialIndex):
         right = _KDBNode(is_leaf=True, region=right_region)
         left.points = [tuple(points[i]) for i in order[:middle]]
         right.points = [tuple(points[i]) for i in order[middle:]]
+        self.pager.retire(leaf)  # the replaced page must not stay resident
 
         if not path:
             new_root = _KDBNode(is_leaf=False, region=leaf.region)
@@ -249,6 +253,7 @@ class KDBTree(SpatialIndex):
         second.children = [node.children[i] for i in order[middle:]]
         first.region = union_rects([child.region for child in first.children])
         second.region = union_rects([child.region for child in second.children])
+        self.pager.retire(node)  # the replaced page must not stay resident
 
         if not path:
             new_root = _KDBNode(is_leaf=False, region=node.region)
@@ -268,15 +273,15 @@ class KDBTree(SpatialIndex):
         while stack:
             node = stack.pop()
             if node.is_leaf:
-                self.stats.record_block_read()
+                self.pager.read_block(node)
                 for i, (px, py) in enumerate(node.points):
                     if px == x and py == y:
                         node.points.pop(i)
-                        self.stats.record_block_write()
+                        self.pager.write(node)
                         self._n_points -= 1
                         return True
                 continue
-            self.stats.record_node_read()
+            self.pager.read_node(node)
             stack.extend(
                 child for child in node.children if child.region.contains_point(x, y)
             )

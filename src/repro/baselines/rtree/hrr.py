@@ -32,7 +32,7 @@ from repro.baselines.rtree.queries import (
 )
 from repro.geometry import Rect
 from repro.rank_space import order_points_by_curve
-from repro.storage import AccessStats
+from repro.storage import AccessStats, PageCache
 
 __all__ = ["HRRTree"]
 
@@ -48,8 +48,9 @@ class HRRTree(SpatialIndex):
         fanout: Optional[int] = None,
         stats: Optional[AccessStats] = None,
         curve: str = "hilbert",
+        cache: Optional[PageCache] = None,
     ):
-        super().__init__(stats)
+        super().__init__(stats, cache)
         if block_capacity < 1:
             raise ValueError("block_capacity must be >= 1")
         self.block_capacity = int(block_capacity)
@@ -86,17 +87,17 @@ class HRRTree(SpatialIndex):
     def contains(self, x: float, y: float) -> bool:
         if self.root is None:
             return False
-        return rtree_contains(self.root, x, y, self.stats)
+        return rtree_contains(self.root, x, y, self.pager)
 
     def window_query(self, window: Rect) -> np.ndarray:
         if self.root is None:
             return np.empty((0, 2), dtype=float)
-        return rtree_window_query(self.root, window, self.stats)
+        return rtree_window_query(self.root, window, self.pager)
 
     def knn_query(self, x: float, y: float, k: int) -> np.ndarray:
         if self.root is None:
             return np.empty((0, 2), dtype=float)
-        return rtree_knn_query(self.root, x, y, k, self.stats)
+        return rtree_knn_query(self.root, x, y, k, self.pager)
 
     # -- updates -------------------------------------------------------------------------
 
@@ -107,14 +108,14 @@ class HRRTree(SpatialIndex):
         path: list[RTreeNode] = []
         node = self.root
         while not node.is_leaf:
-            self.stats.record_node_read()
+            self.pager.read_node(node)
             path.append(node)
             node = min(node.children, key=lambda child: _enlargement(child.mbr, x, y))
         node.points.append((x, y))
         node.expand_mbr(x, y)
         for ancestor in path:
             ancestor.expand_mbr(x, y)
-        self.stats.record_block_write()
+        self.pager.write(node)
         self._n_points += 1
         if len(node.points) > self.block_capacity:
             self._split_leaf(node, path)
@@ -146,6 +147,7 @@ class HRRTree(SpatialIndex):
             middle = len(children) // 2
             first = RTreeNode.internal_from_children(children[:middle])
             second = RTreeNode.internal_from_children(children[middle:])
+            self.pager.retire(parent)
             self._replace_child(parent, [first, second], path[:-1])
 
     def delete(self, x: float, y: float) -> bool:
@@ -157,16 +159,16 @@ class HRRTree(SpatialIndex):
             if node.mbr is None or not node.mbr.contains_point(x, y):
                 continue
             if node.is_leaf:
-                self.stats.record_block_read()
+                self.pager.read_block(node)
                 for i, (px, py) in enumerate(node.points):
                     if px == x and py == y:
                         node.points.pop(i)
                         node.recompute_mbr()
-                        self.stats.record_block_write()
+                        self.pager.write(node)
                         self._n_points -= 1
                         return True
             else:
-                self.stats.record_node_read()
+                self.pager.read_node(node)
                 stack.extend(node.children)
         return False
 

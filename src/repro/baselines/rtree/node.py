@@ -14,13 +14,15 @@ __all__ = ["RTreeNode"]
 class RTreeNode:
     """An R-tree node: a leaf holds points, an internal node holds child nodes."""
 
-    __slots__ = ("is_leaf", "points", "children", "mbr")
+    __slots__ = ("is_leaf", "points", "children", "mbr", "page_id")
 
     def __init__(self, is_leaf: bool):
         self.is_leaf = is_leaf
         self.points: list[tuple[float, float]] = []
         self.children: list["RTreeNode"] = []
         self.mbr: Optional[Rect] = None
+        #: stable page id assigned by the NodePager on first access
+        self.page_id: Optional[int] = None
 
     # -- construction helpers -------------------------------------------------------
 

@@ -4,6 +4,10 @@ Window queries recursively visit every node whose MBR intersects the query
 window.  kNN queries use the best-first algorithm of Roussopoulos et al. [40]:
 a priority queue ordered by MINDIST interleaves nodes, leaf blocks and points
 so that exactly the necessary nodes are expanded.
+
+Every node touch is reported through the owning tree's
+:class:`~repro.storage.paged.NodePager`, which keeps the access accounting
+cache-aware (leaf pages count as block reads, internal pages as node reads).
 """
 
 from __future__ import annotations
@@ -15,12 +19,12 @@ import numpy as np
 
 from repro.baselines.rtree.node import RTreeNode
 from repro.geometry import Rect, euclidean, mindist_point_rect
-from repro.storage import AccessStats
+from repro.storage import NodePager
 
 __all__ = ["rtree_contains", "rtree_window_query", "rtree_knn_query", "rtree_iter_leaves"]
 
 
-def rtree_contains(root: RTreeNode, x: float, y: float, stats: AccessStats) -> bool:
+def rtree_contains(root: RTreeNode, x: float, y: float, pager: NodePager) -> bool:
     """True when a point with these exact coordinates is stored under ``root``."""
     stack = [root]
     while stack:
@@ -28,16 +32,16 @@ def rtree_contains(root: RTreeNode, x: float, y: float, stats: AccessStats) -> b
         if node.mbr is None or not node.mbr.contains_point(x, y):
             continue
         if node.is_leaf:
-            stats.record_block_read()
+            pager.read_block(node)
             if any(px == x and py == y for px, py in node.points):
                 return True
         else:
-            stats.record_node_read()
+            pager.read_node(node)
             stack.extend(node.children)
     return False
 
 
-def rtree_window_query(root: RTreeNode, window: Rect, stats: AccessStats) -> np.ndarray:
+def rtree_window_query(root: RTreeNode, window: Rect, pager: NodePager) -> np.ndarray:
     """All points under ``root`` inside ``window`` (exact)."""
     found: list[tuple[float, float]] = []
     stack = [root]
@@ -46,16 +50,16 @@ def rtree_window_query(root: RTreeNode, window: Rect, stats: AccessStats) -> np.
         if node.mbr is None or not window.intersects(node.mbr):
             continue
         if node.is_leaf:
-            stats.record_block_read()
+            pager.read_block(node)
             found.extend((px, py) for px, py in node.points if window.contains_point(px, py))
         else:
-            stats.record_node_read()
+            pager.read_node(node)
             stack.extend(node.children)
     return np.asarray(found, dtype=float).reshape(-1, 2)
 
 
 def rtree_knn_query(
-    root: RTreeNode, x: float, y: float, k: int, stats: AccessStats
+    root: RTreeNode, x: float, y: float, k: int, pager: NodePager
 ) -> np.ndarray:
     """The exact ``k`` nearest stored points, ordered by distance (best-first)."""
     if k < 1:
@@ -72,11 +76,11 @@ def rtree_knn_query(
         if node.mbr is None:
             continue
         if node.is_leaf:
-            stats.record_block_read()
+            pager.read_block(node)
             for px, py in node.points:
                 heapq.heappush(heap, (euclidean(x, y, px, py), next(counter), "point", (px, py)))
         else:
-            stats.record_node_read()
+            pager.read_node(node)
             for child in node.children:
                 if child.mbr is None:
                     continue

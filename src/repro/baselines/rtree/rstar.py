@@ -28,7 +28,7 @@ from repro.baselines.rtree.queries import (
     rtree_window_query,
 )
 from repro.geometry import Rect, union_rects
-from repro.storage import AccessStats
+from repro.storage import AccessStats, PageCache
 
 __all__ = ["RStarTree"]
 
@@ -61,8 +61,9 @@ class RStarTree(SpatialIndex):
         fanout: Optional[int] = None,
         stats: Optional[AccessStats] = None,
         reinsert_fraction: float = 0.3,
+        cache: Optional[PageCache] = None,
     ):
-        super().__init__(stats)
+        super().__init__(stats, cache)
         if block_capacity < 2:
             raise ValueError("block_capacity must be >= 2")
         if not 0.0 <= reinsert_fraction < 1.0:
@@ -103,6 +104,7 @@ class RStarTree(SpatialIndex):
         path = self._choose_path(x, y, count_accesses)
         leaf = path[-1]
         leaf.points.append((x, y))
+        self.pager.retire(leaf)  # dirtied page must not produce stale hits
         for node in path:
             node.expand_mbr(x, y)
         if len(leaf.points) > self.block_capacity:
@@ -114,7 +116,7 @@ class RStarTree(SpatialIndex):
         node = self.root
         while not node.is_leaf:
             if count_accesses:
-                self.stats.record_node_read()
+                self.pager.read_node(node)
             node = self._choose_child(node, x, y)
             path.append(node)
         return path
@@ -212,6 +214,7 @@ class RStarTree(SpatialIndex):
         evicted = [p for i, p in enumerate(points) if i in reinsert_idx]
         leaf.points = keep
         leaf.recompute_mbr()
+        self.pager.retire(leaf)
         for px, py in evicted:
             self._insert_point(px, py, reinsert_allowed=False, count_accesses=count_accesses)
 
@@ -237,6 +240,7 @@ class RStarTree(SpatialIndex):
         first.recompute_mbr()
         second.recompute_mbr()
 
+        self.pager.retire(node)
         if len(path) == 1:
             self.root = RTreeNode.internal_from_children([first, second])
             return
@@ -291,17 +295,17 @@ class RStarTree(SpatialIndex):
     def contains(self, x: float, y: float) -> bool:
         if self.root is None:
             return False
-        return rtree_contains(self.root, x, y, self.stats)
+        return rtree_contains(self.root, x, y, self.pager)
 
     def window_query(self, window: Rect) -> np.ndarray:
         if self.root is None:
             return np.empty((0, 2), dtype=float)
-        return rtree_window_query(self.root, window, self.stats)
+        return rtree_window_query(self.root, window, self.pager)
 
     def knn_query(self, x: float, y: float, k: int) -> np.ndarray:
         if self.root is None:
             return np.empty((0, 2), dtype=float)
-        return rtree_knn_query(self.root, x, y, k, self.stats)
+        return rtree_knn_query(self.root, x, y, k, self.pager)
 
     # -- deletion ------------------------------------------------------------------------
 
@@ -314,16 +318,16 @@ class RStarTree(SpatialIndex):
             if node.mbr is None or not node.mbr.contains_point(x, y):
                 continue
             if node.is_leaf:
-                self.stats.record_block_read()
+                self.pager.read_block(node)
                 for i, (px, py) in enumerate(node.points):
                     if px == x and py == y:
                         node.points.pop(i)
                         node.recompute_mbr()
-                        self.stats.record_block_write()
+                        self.pager.write(node)
                         self._n_points -= 1
                         return True
             else:
-                self.stats.record_node_read()
+                self.pager.read_node(node)
                 stack.extend(node.children)
         return False
 

@@ -32,7 +32,7 @@ from repro.baselines.interface import SpatialIndex
 from repro.curves import ZCurve
 from repro.geometry import Rect, mbr_of_points
 from repro.nn import MLPRegressor, TrainingConfig, train_regressor
-from repro.storage import AccessStats, BlockStore
+from repro.storage import AccessStats, BlockStore, PageCache
 
 __all__ = ["ZMConfig", "ZMIndex"]
 
@@ -74,10 +74,15 @@ class ZMIndex(SpatialIndex):
 
     name = "ZM"
 
-    def __init__(self, config: Optional[ZMConfig] = None, stats: Optional[AccessStats] = None):
-        super().__init__(stats)
+    def __init__(
+        self,
+        config: Optional[ZMConfig] = None,
+        stats: Optional[AccessStats] = None,
+        cache: Optional[PageCache] = None,
+    ):
+        super().__init__(stats, cache)
         self.config = config if config is not None else ZMConfig()
-        self.store = BlockStore(self.config.block_capacity, self.stats)
+        self.store = BlockStore(self.config.block_capacity, self.stats, cache=self.cache)
         self.curve = ZCurve(self.config.curve_order)
         self._n_points = 0
         #: cardinality at build time; the rank -> block mapping and the error
@@ -114,7 +119,11 @@ class ZMIndex(SpatialIndex):
     def build(self, points: np.ndarray) -> "ZMIndex":
         points = self._validate_points(points)
         self._data_space = mbr_of_points(points)
-        self.store = BlockStore(self.config.block_capacity, self.stats)
+        if self.cache is not None:
+            # a fresh store reuses block ids 0..N: resident pages from the
+            # old store would alias them and produce phantom hits
+            self.cache.clear()
+        self.store = BlockStore(self.config.block_capacity, self.stats, cache=self.cache)
 
         z_values = self._z_values(points)
         order = np.argsort(z_values, kind="stable")
@@ -242,7 +251,7 @@ class ZMIndex(SpatialIndex):
         lo, hi = begin, end
         while lo < hi:
             mid = (lo + hi) // 2
-            self.stats.record_block_read()
+            self.store.touch_position(mid)
             if self._block_zmax[mid] < z:
                 lo = mid + 1
             else:
@@ -299,7 +308,7 @@ class ZMIndex(SpatialIndex):
         # query's scan cutoff keeps the block visible for this Z-value
         if self._block_zmin.size and z < self._block_zmin[position]:
             self._block_zmin[position] = z
-        self.stats.record_block_write()
+        self.store.note_write(target.block_id)
         self._n_points += 1
 
     def delete(self, x: float, y: float) -> bool:
@@ -310,10 +319,16 @@ class ZMIndex(SpatialIndex):
         for position in range(begin, end + 1):
             for block in self.store.iter_chain(position):
                 if block.delete(x, y):
-                    self.stats.record_block_write()
+                    self.store.note_write(block.block_id)
                     self._n_points -= 1
                     return True
         return False
+
+    # -- cache plumbing ----------------------------------------------------------------------------
+
+    def attach_cache(self, cache: Optional[PageCache]) -> None:
+        super().attach_cache(cache)
+        self.store.attach_cache(cache)
 
     # -- accounting ------------------------------------------------------------------------------
 

@@ -43,10 +43,23 @@ class BatchResult:
 
     #: one entry per query, in input order
     results: list = field(default_factory=list)
-    #: total block/node reads accumulated while serving the batch (when available)
+    #: total logical block/node reads accumulated while serving the batch
+    #: (what the algorithms touched — identical with and without a cache)
     total_block_accesses: int | None = None
     #: block/node reads attributed per shard id (sharded engines only)
     per_shard_block_accesses: dict[int, int] | None = None
+    #: physical (post-cache) reads for the batch; equals
+    #: ``total_block_accesses`` when no page cache is attached
+    total_physical_accesses: int | None = None
+
+    @property
+    def cache_hit_ratio(self) -> float | None:
+        """Fraction of the batch's logical reads served from the cache."""
+        if self.total_block_accesses is None or self.total_physical_accesses is None:
+            return None
+        if self.total_block_accesses <= 0:
+            return 0.0
+        return 1.0 - self.total_physical_accesses / self.total_block_accesses
 
     @property
     def n_queries(self) -> int:

@@ -94,10 +94,19 @@ class RSMI:
 
     name = "RSMI"
 
-    def __init__(self, config: Optional[RSMIConfig] = None, stats: Optional[AccessStats] = None):
+    def __init__(
+        self,
+        config: Optional[RSMIConfig] = None,
+        stats: Optional[AccessStats] = None,
+        cache=None,
+    ):
         self.config = config if config is not None else RSMIConfig()
         self.stats = stats if stats is not None else AccessStats()
-        self.store = BlockStore(self.config.block_capacity, self.stats)
+        #: optional PageCache in front of the data-block store.  The model
+        #: hierarchy itself is not paged (node reads stay physical): the
+        #: learned models are the in-memory directory, the blocks are storage.
+        self.cache = cache
+        self.store = BlockStore(self.config.block_capacity, self.stats, cache=cache)
         self.root: Optional[object] = None
         self.pmf_x: Optional[PiecewiseMappingFunction] = None
         self.pmf_y: Optional[PiecewiseMappingFunction] = None
@@ -113,7 +122,11 @@ class RSMI:
             raise ValueError("points must have shape (n, 2)")
         if points.shape[0] == 0:
             raise ValueError("cannot build an index over an empty point set")
-        self.store = BlockStore(self.config.block_capacity, self.stats)
+        if self.cache is not None:
+            # a fresh store reuses block ids 0..N: resident pages from the
+            # old store would alias them and produce phantom hits
+            self.cache.clear()
+        self.store = BlockStore(self.config.block_capacity, self.stats, cache=self.cache)
         rng = np.random.default_rng(self.config.seed)
         self.root = self._build_node(points, level=0, rng=rng)
         self.pmf_x = PiecewiseMappingFunction(points[:, 0], self.config.pmf_partitions)
@@ -311,6 +324,13 @@ class RSMI:
         from repro.core.updates import delete_point
 
         return delete_point(self, x, y)
+
+    # ------------------------------------------------------------------ caching --
+
+    def attach_cache(self, cache) -> None:
+        """Route all subsequent data-block reads through ``cache`` (None detaches)."""
+        self.cache = cache
+        self.store.attach_cache(cache)
 
     # ------------------------------------------------------------------ accounting --
 

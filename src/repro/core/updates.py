@@ -42,7 +42,7 @@ def insert_point(index, x: float, y: float) -> None:
     if target is None:
         target = index.store.allocate_overflow(last_block.block_id)
     target.append(x, y)
-    index.stats.record_block_write()
+    index.store.note_write(target.block_id)
 
     leaf.n_inserted += 1
     index._n_points += 1
@@ -57,7 +57,7 @@ def delete_point(index, x: float, y: float) -> bool:
     block = index.store.peek(result.block_id)
     removed = block.delete(x, y)
     if removed:
-        index.stats.record_block_write()
+        index.store.note_write(block.block_id)
         index._n_points -= 1
     return removed
 

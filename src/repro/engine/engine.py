@@ -36,6 +36,7 @@ from repro.core.window import window_corner_points
 from repro.engine.executor import run_sequential, run_threaded
 from repro.engine.routing import route_batch
 from repro.geometry import Rect
+from repro.storage import make_page_cache
 
 __all__ = ["BatchQueryEngine", "ENGINE_MODES"]
 
@@ -62,19 +63,45 @@ class BatchQueryEngine:
     n_workers:
         Thread-pool width for ``"threaded"`` mode (default: a small
         CPU-count-derived cap).
+    cache_blocks / cache_policy:
+        When ``cache_blocks`` is a positive number, a
+        :class:`~repro.storage.PageCache` of that capacity (replacement
+        ``cache_policy``, ``"lru"`` or ``"clock"``) is attached to the
+        index: reads served from the cache stop counting as physical block
+        accesses while the logical counters — and therefore every answer —
+        stay identical.  The cache persists across batches, which is where
+        hot working sets pay off.
 
     Every query method resets the index's :class:`AccessStats` (when present)
-    and reports the batch's total block/node reads on the returned
-    :class:`~repro.core.batch.BatchResult`, so speedups stay attributable to
-    saved block accesses.
+    and reports the batch's total logical and physical block/node reads on
+    the returned :class:`~repro.core.batch.BatchResult`, so speedups stay
+    attributable to saved block accesses.
     """
 
-    def __init__(self, index, mode: str = "auto", n_workers: int | None = None):
+    def __init__(
+        self,
+        index,
+        mode: str = "auto",
+        n_workers: int | None = None,
+        cache_blocks: int | None = None,
+        cache_policy: str = "lru",
+    ):
         if mode not in ENGINE_MODES:
             raise ValueError(f"unknown engine mode {mode!r}; available: {ENGINE_MODES}")
         self.index = index
         self.mode = mode
         self.n_workers = n_workers
+        cache = make_page_cache(cache_blocks, cache_policy)
+        if cache is not None:
+            attach = getattr(index, "attach_cache", None)
+            if attach is None:
+                raise ValueError(
+                    f"{type(index).__name__} does not support page caches "
+                    "(no attach_cache method)"
+                )
+            attach(cache)
+        #: the index's page cache after construction (None when uncached)
+        self.cache = cache if cache is not None else getattr(index, "cache", None)
 
         target = getattr(index, "wrapped", index)
         is_rsmi_like = (
@@ -102,7 +129,11 @@ class BatchQueryEngine:
             found = self._point_batch_vectorized(points)
         else:
             found = self._point_batch_fallback(points)
-        return BatchResult(results=found, total_block_accesses=self._total_reads(stats))
+        return BatchResult(
+            results=found,
+            total_block_accesses=self._total_reads(stats),
+            total_physical_accesses=self._physical_reads(stats),
+        )
 
     def window_queries(self, windows) -> BatchResult:
         """Window queries; each result is an ``(m, 2)`` point array in input order."""
@@ -112,7 +143,11 @@ class BatchQueryEngine:
             results = self._window_batch_vectorized(windows)
         else:
             results = self._window_batch_fallback(windows)
-        return BatchResult(results=results, total_block_accesses=self._total_reads(stats))
+        return BatchResult(
+            results=results,
+            total_block_accesses=self._total_reads(stats),
+            total_physical_accesses=self._physical_reads(stats),
+        )
 
     def knn_queries(self, queries: np.ndarray, k: int) -> BatchResult:
         """kNN queries; each result is a ``(k, 2)`` point array in input order.
@@ -132,7 +167,11 @@ class BatchQueryEngine:
             return answer.points if hasattr(answer, "points") else answer
 
         results = self._run_fallback(one, list(queries))
-        return BatchResult(results=results, total_block_accesses=self._total_reads(stats))
+        return BatchResult(
+            results=results,
+            total_block_accesses=self._total_reads(stats),
+            total_physical_accesses=self._physical_reads(stats),
+        )
 
     # ------------------------------------------------------------ vectorised paths --
 
@@ -283,6 +322,10 @@ class BatchQueryEngine:
     @staticmethod
     def _total_reads(stats) -> int | None:
         return stats.total_reads if stats is not None else None
+
+    @staticmethod
+    def _physical_reads(stats) -> int | None:
+        return getattr(stats, "physical_reads", None) if stats is not None else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         backing = "vectorized" if self._rsmi is not None else "fallback"

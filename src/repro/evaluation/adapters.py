@@ -77,6 +77,15 @@ class IndexAdapter(abc.ABC):
         """Index-specific metadata (height, error bounds, model count, ...)."""
         return {}
 
+    def attach_cache(self, cache) -> None:
+        """Install a :class:`~repro.storage.PageCache` on the wrapped index."""
+        self.wrapped.attach_cache(cache)
+
+    @property
+    def cache(self):
+        """The wrapped index's page cache (None when uncached)."""
+        return getattr(self.wrapped, "cache", None)
+
 
 class BaselineAdapter(IndexAdapter):
     """Pass-through adapter for the baseline indices."""

@@ -10,6 +10,8 @@ Examples::
     repro-experiment --scenario bulk-churn --scenario-ops 2000 --scenario-indices RSMI,Grid
     repro-experiment --scenario sharded-mixed --shards 4 --sharding-policy balanced
     repro-experiment sharded-scaling --profile tiny
+    repro-experiment --scenario cache-hotspot --cache-blocks 32 --cache-policy clock
+    repro-experiment cache-sweep --profile tiny
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from typing import Sequence
 from repro.experiments import EXPERIMENT_REGISTRY, profile_by_name
 from repro.experiments.scenario_sweeps import run_scenario_sweep
 from repro.sharding import SHARDING_POLICY_NAMES
+from repro.storage import PAGE_CACHE_POLICIES
 from repro.workloads import SCENARIO_PRESETS
 
 
@@ -62,6 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="how the data space is partitioned across shards (default: grid)",
     )
     parser.add_argument(
+        "--cache-blocks",
+        type=int,
+        default=None,
+        help="put a block cache of this many pages in front of every index "
+        "(per shard when sharded); 0 disables (applies to --scenario runs "
+        "and the cache-sweep experiment)",
+    )
+    parser.add_argument(
+        "--cache-policy",
+        default=None,
+        choices=PAGE_CACHE_POLICIES,
+        help="block-cache replacement policy (default: lru)",
+    )
+    parser.add_argument(
         "--scenario",
         choices=sorted(SCENARIO_PRESETS),
         help="replay a mixed read/write workload scenario (oracle-checked) "
@@ -92,6 +109,10 @@ def _apply_profile_overrides(args, profile):
         extras["shards"] = args.shards
     if args.sharding_policy is not None:
         extras["sharding_policy"] = args.sharding_policy
+    if args.cache_blocks is not None:
+        extras["cache_blocks"] = args.cache_blocks
+    if args.cache_policy is not None:
+        extras["cache_policy"] = args.cache_policy
     if extras == profile.extras:
         return profile
     return profile.with_overrides(extras=extras)
@@ -131,6 +152,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.shards is not None and args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
+        return 2
+
+    if args.cache_blocks is not None and args.cache_blocks < 0:
+        print("--cache-blocks must be >= 0", file=sys.stderr)
         return 2
 
     if args.scenario:

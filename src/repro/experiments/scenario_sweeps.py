@@ -24,6 +24,7 @@ from repro.experiments.base import ExperimentResult, register_experiment
 from repro.experiments.profiles import ScaleProfile
 from repro.experiments.sweeps import execution_mode, make_points
 from repro.sharding import EXACT_KINDS, ShardedSpatialIndex, shard_index_factory
+from repro.storage import make_page_cache
 from repro.workloads import (
     SCENARIO_PRESETS,
     OracleIndex,
@@ -104,6 +105,8 @@ def run_scenario_sweep(
     check: bool = True,
     shards: Optional[int] = None,
     sharding_policy: Optional[str] = None,
+    cache_blocks: Optional[int] = None,
+    cache_policy: Optional[str] = None,
 ) -> ExperimentResult:
     """Replay one scenario against every index; one row per snapshot.
 
@@ -111,6 +114,12 @@ def run_scenario_sweep(
     names, which the CLI's ``--shards``/``--sharding-policy`` flags set)
     wrap every index into a :class:`~repro.sharding.ShardedSpatialIndex`,
     so the oracle shadow validates the *sharded* answers under churn.
+
+    ``cache_blocks``/``cache_policy`` (or the same-named profile extras,
+    set by ``--cache-blocks``/``--cache-policy``) put a
+    :class:`~repro.storage.PageCache` in front of every index — per shard
+    when sharded — so the snapshot series reports the cache hit ratio while
+    the oracle keeps asserting that answers are unchanged.
     """
     spec = scenario_spec_for_profile(profile, scenario)
     names = tuple(index_names) if index_names is not None else SCENARIO_INDEX_NAMES
@@ -119,6 +128,16 @@ def run_scenario_sweep(
         sharding_policy
         if sharding_policy is not None
         else profile.extras.get("sharding_policy", "grid")
+    )
+    cache_blocks = (
+        cache_blocks
+        if cache_blocks is not None
+        else int(profile.extras.get("cache_blocks", 0))
+    )
+    cache_policy = (
+        cache_policy
+        if cache_policy is not None
+        else profile.extras.get("cache_policy", "lru")
     )
     points = make_points(profile)
     config = SuiteConfig(
@@ -137,6 +156,8 @@ def run_scenario_sweep(
         # fresh build per index: the stream mutates the structure
         if shards > 1:
             index = build_sharded_index(points, name, shards, sharding_policy, config)
+            if cache_blocks > 0:
+                index.attach_caches(cache_blocks, cache_policy)
         else:
             suite = build_index_suite(
                 points,
@@ -147,6 +168,8 @@ def run_scenario_sweep(
                 seed=config.seed,
             )
             index = suite[name]
+            if cache_blocks > 0:
+                index.attach_cache(make_page_cache(cache_blocks, cache_policy))
         oracle = OracleIndex().build(points) if check else None
         runner = ScenarioRunner(
             index,
@@ -168,10 +191,17 @@ def run_scenario_sweep(
                     _cell(snapshot.knn_recall),
                     _cell(snapshot.n_overflow_blocks),
                     _cell(snapshot.max_chain_depth),
+                    _cell(snapshot.cache_hit_ratio),
                 ]
             )
         if result.checked:
             notes.append(f"{name}: {result.n_ops} ops verified against the shadow oracle")
+        if cache_blocks > 0:
+            notes.append(
+                f"{name}: block cache {cache_blocks} blocks/{cache_policy}"
+                + (" per shard" if shards > 1 else "")
+                + f", whole-run hit ratio {result.cache_hit_ratio:.3f}"
+            )
         if shards > 1:
             per_shard_reads = [
                 (result.per_shard_block_accesses or {}).get(shard_id, 0)
@@ -209,6 +239,7 @@ def run_scenario_sweep(
             "knn_recall",
             "overflow_blocks",
             "max_chain_depth",
+            "cache_hit",
         ],
         rows=rows,
         notes=notes,

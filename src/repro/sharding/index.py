@@ -36,7 +36,7 @@ import numpy as np
 from repro.geometry import Rect
 from repro.sharding.policy import ShardingPolicy, make_policy
 from repro.sharding.router import ShardRouter
-from repro.storage import AccessStats
+from repro.storage import AccessStats, PageCache, make_page_cache
 
 __all__ = [
     "CompositeAccessStats",
@@ -111,10 +111,11 @@ def shard_index_factory(
 class CompositeAccessStats:
     """Aggregate view over the per-shard :class:`AccessStats` counters.
 
-    Implements the same read/reset surface as :class:`AccessStats`, so the
-    batched engines and the scenario runner can treat a sharded index like
-    any other; the underlying per-shard counters stay addressable for
-    locality assertions.
+    Implements the same read/reset/snapshot/delta surface as
+    :class:`AccessStats` — including the logical/physical read split — so
+    the batched engines and the scenario runner can treat a sharded index
+    exactly like a single-index one (per-query deltas included); the
+    underlying per-shard counters stay addressable for locality assertions.
     """
 
     def __init__(self, parts: Sequence[AccessStats]):
@@ -136,28 +137,68 @@ class CompositeAccessStats:
     def total_reads(self) -> int:
         return sum(part.total_reads for part in self._parts)
 
+    @property
+    def logical_reads(self) -> int:
+        return self.total_reads
+
+    @property
+    def physical_block_reads(self) -> int:
+        return sum(part.physical_block_reads for part in self._parts)
+
+    @property
+    def physical_node_reads(self) -> int:
+        return sum(part.physical_node_reads for part in self._parts)
+
+    @property
+    def physical_reads(self) -> int:
+        return sum(part.physical_reads for part in self._parts)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.logical_reads - self.physical_reads
+
+    @property
+    def hit_ratio(self) -> float:
+        logical = self.logical_reads
+        return self.cache_hits / logical if logical > 0 else 0.0
+
     def reset(self) -> None:
         for part in self._parts:
             part.reset()
 
     def snapshot(self) -> AccessStats:
         """The aggregated counters frozen into a plain :class:`AccessStats`."""
-        return AccessStats(self.block_reads, self.block_writes, self.node_reads)
+        return AccessStats(
+            self.block_reads,
+            self.block_writes,
+            self.node_reads,
+            self.physical_block_reads,
+            self.physical_node_reads,
+        )
+
+    def delta_since(self, earlier: AccessStats) -> AccessStats:
+        """Counters accumulated since ``earlier`` (an :class:`AccessStats`
+        snapshot, e.g. from :meth:`snapshot`) — same contract as
+        :meth:`AccessStats.delta_since`, so sharded runs report per-query
+        deltas exactly like single-index runs."""
+        return self.snapshot().delta_since(earlier)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompositeAccessStats(shards={len(self._parts)}, total={self.total_reads})"
 
 
 class _Shard:
-    """One shard: a region's stats, live-point count and lazily built index."""
+    """One shard: a region's stats, cache, live-point count and lazily built index."""
 
-    __slots__ = ("shard_id", "stats", "index", "exact")
+    __slots__ = ("shard_id", "stats", "index", "exact", "cache")
 
-    def __init__(self, shard_id: int, exact: bool):
+    def __init__(self, shard_id: int, exact: bool, cache: Optional[PageCache] = None):
         self.shard_id = shard_id
         self.stats = AccessStats()
         self.index: Optional[object] = None
         self.exact = exact
+        #: shard-local page cache; writes to this shard invalidate only here
+        self.cache = cache
 
     @property
     def n_points(self) -> int:
@@ -203,8 +244,16 @@ class _Shard:
                 else np.asarray([[x, y]], dtype=float)
             )
             self.index = factory(seedling, self.shard_id, self.stats)
+            if self.cache is not None:
+                self.attach_cache(self.cache)
             return
         self.index.insert(x, y)
+
+    def attach_cache(self, cache: Optional[PageCache]) -> None:
+        """Install this shard's page cache on its (possibly lazy) index."""
+        self.cache = cache
+        if self.index is not None:
+            self.index.attach_cache(cache)
 
     def delete(self, x: float, y: float) -> bool:
         if self.is_empty:
@@ -236,6 +285,13 @@ class ShardedSpatialIndex:
         True when the wrapped kind answers window/kNN exactly (or, for
         RSMI, to use the exact ``*_exact`` query variants — the RSMIa
         configuration).  Merged sharded answers are then exact too.
+    cache_blocks / cache_policy:
+        When ``cache_blocks`` is positive, every shard gets its **own**
+        :class:`~repro.storage.PageCache` of that capacity (policy
+        ``"lru"`` or ``"clock"``).  Caches are shard-local by construction:
+        a write routed to one shard invalidates pages in that shard's cache
+        only, so hot shards keep their working sets warm regardless of
+        churn elsewhere.
     """
 
     def __init__(
@@ -246,10 +302,14 @@ class ShardedSpatialIndex:
         data_space: Optional[Rect] = None,
         exact_queries: Optional[bool] = None,
         name: Optional[str] = None,
+        cache_blocks: Optional[int] = None,
+        cache_policy: str = "lru",
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         self.factory = factory
+        self.cache_blocks = cache_blocks
+        self.cache_policy = cache_policy
         kind = getattr(factory, "kind", None)
         if exact_queries is None:
             exact_queries = kind in EXACT_KINDS
@@ -283,7 +343,10 @@ class ShardedSpatialIndex:
                 self._policy_spec, self.n_shards, self.data_space, sample=points
             )
         self.router = ShardRouter(self.policy)
-        self.shards = [_Shard(i, self.exact_queries) for i in range(self.n_shards)]
+        self.shards = [
+            _Shard(i, self.exact_queries, make_page_cache(self.cache_blocks, self.cache_policy))
+            for i in range(self.n_shards)
+        ]
         self.stats = CompositeAccessStats([shard.stats for shard in self.shards])
         owners = self.router.shards_for_points(points)
         self.router.record_assignments(points, owners)
@@ -292,6 +355,19 @@ class ShardedSpatialIndex:
             if mine.shape[0] > 0:
                 shard.insert(float(mine[0, 0]), float(mine[0, 1]), self.factory, points=mine)
         return self
+
+    def attach_caches(self, cache_blocks: Optional[int], cache_policy: str = "lru") -> None:
+        """(Re)install one fresh shard-local page cache per shard.
+
+        ``cache_blocks`` is the per-shard capacity; ``None``/``0`` detaches
+        all caches.  Usable after :meth:`build` — e.g. by a serving engine
+        that decides cache sizing at deployment time.
+        """
+        self._require_built()
+        self.cache_blocks = cache_blocks
+        self.cache_policy = cache_policy
+        for shard in self.shards:
+            shard.attach_cache(make_page_cache(cache_blocks, cache_policy))
 
     def _require_built(self) -> None:
         if self.router is None:
@@ -383,6 +459,19 @@ class ShardedSpatialIndex:
         """Each shard's own :class:`AccessStats` (shared with its index)."""
         return [shard.stats for shard in self.shards]
 
+    def per_shard_caches(self) -> list[Optional[PageCache]]:
+        """Each shard's page cache (None entries when uncached)."""
+        return [shard.cache for shard in self.shards]
+
+    def cache_hit_ratio(self) -> Optional[float]:
+        """Aggregate hit ratio across all shard caches (None when uncached)."""
+        caches = [cache for cache in self.per_shard_caches() if cache is not None]
+        if not caches:
+            return None
+        accesses = sum(cache.accesses for cache in caches)
+        hits = sum(cache.hits for cache in caches)
+        return hits / accesses if accesses > 0 else 0.0
+
     def shard_extents(self) -> list[Rect]:
         """Effective extent of every shard (region plus overflow)."""
         self._require_built()
@@ -391,12 +480,18 @@ class ShardedSpatialIndex:
     def extra_metrics(self) -> dict:
         """Shard-level metadata for evaluation reports."""
         per_shard = self.per_shard_points()
-        return {
+        metrics = {
             "n_shards": self.n_shards,
             "policy": self.policy.describe() if self.policy is not None else self._policy_spec,
             "per_shard_points": per_shard,
             "empty_shards": sum(1 for n in per_shard if n == 0),
         }
+        hit_ratio = self.cache_hit_ratio()
+        if hit_ratio is not None:
+            metrics["cache_blocks_per_shard"] = self.cache_blocks
+            metrics["cache_policy"] = self.cache_policy
+            metrics["cache_hit_ratio"] = round(hit_ratio, 4)
+        return metrics
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,4 +1,4 @@
-"""Simulated external-memory block storage.
+"""Simulated external-memory block storage with a pluggable cache layer.
 
 The paper stores data points in fixed-capacity disk blocks (``B = 100``
 points per block, Section 6.1) and reports the number of block accesses per
@@ -10,11 +10,28 @@ storage layer in main memory:
 * :class:`~repro.storage.block_store.BlockStore` — the collection of blocks
   with global block ids, overflow-block insertion and access accounting,
 * :class:`~repro.storage.stats.AccessStats` — counters shared by every index
-  so experiments can report block accesses uniformly.
+  so experiments can report block accesses uniformly, split into **logical**
+  reads (what the algorithm touched — the paper's metric) and **physical**
+  reads (what actually hit storage once a cache sits in front),
+* :class:`~repro.storage.page_cache.PageCache` — a fixed-capacity buffer
+  pool (LRU or clock replacement) with dirty-page invalidation,
+* :class:`~repro.storage.paged.NodePager` — the paged-access façade that
+  gives node-based indices (Grid file, K-D-B-tree, the R-trees) stable page
+  ids and the same cache-aware accounting as ``BlockStore``.
 """
 
 from repro.storage.block import Block
 from repro.storage.block_store import BlockStore
+from repro.storage.page_cache import PAGE_CACHE_POLICIES, PageCache, make_page_cache
+from repro.storage.paged import NodePager
 from repro.storage.stats import AccessStats
 
-__all__ = ["Block", "BlockStore", "AccessStats"]
+__all__ = [
+    "Block",
+    "BlockStore",
+    "AccessStats",
+    "PageCache",
+    "NodePager",
+    "PAGE_CACHE_POLICIES",
+    "make_page_cache",
+]

@@ -7,6 +7,7 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.storage.block import Block
+from repro.storage.page_cache import PageCache
 from repro.storage.stats import AccessStats
 
 __all__ = ["BlockStore"]
@@ -25,16 +26,25 @@ class BlockStore:
       not shift the positions of base blocks, so the learned error bounds
       remain valid.
 
-    All reads go through :meth:`read`, which feeds the shared
-    :class:`~repro.storage.stats.AccessStats` counters used by the
-    experiments.
+    All reads go through :meth:`read` (or the internal :meth:`_touch`),
+    which feeds the shared :class:`~repro.storage.stats.AccessStats`
+    counters used by the experiments.  When a
+    :class:`~repro.storage.page_cache.PageCache` is attached, reads consult
+    it first: hits move only the logical counters, misses also the physical
+    ones, and writes invalidate the dirtied block's cache entry.
     """
 
-    def __init__(self, capacity: int, stats: Optional[AccessStats] = None):
+    def __init__(
+        self,
+        capacity: int,
+        stats: Optional[AccessStats] = None,
+        cache: Optional[PageCache] = None,
+    ):
         if capacity < 1:
             raise ValueError("block capacity must be >= 1")
         self.capacity = int(capacity)
         self.stats = stats if stats is not None else AccessStats()
+        self.cache = cache
         self._blocks: list[Block] = []
         #: position in curve order -> block id of the base block
         self._base_order: list[int] = []
@@ -91,15 +101,47 @@ class BlockStore:
             self._block_by_id(predecessor.next_id).prev_id = block.block_id
         predecessor.next_id = block.block_id
         self.stats.record_block_write()
+        if self.cache is not None:
+            # the predecessor's chain link changed on disk too
+            self.cache.invalidate(("b", predecessor.block_id))
         return block
 
     # -- access -------------------------------------------------------------------
 
     def read(self, block_id: int) -> Block:
-        """Read a block by id, recording a block access."""
+        """Read a block by id, recording a (cache-aware) block access."""
         block = self._block_by_id(block_id)
-        self.stats.record_block_read()
+        self._touch(block_id)
         return block
+
+    def _touch(self, block_id: int) -> None:
+        """Record one block read, consulting the cache when one is attached."""
+        cached = self.cache.access(("b", block_id)) if self.cache is not None else False
+        self.stats.record_block_read(cached=cached)
+
+    def touch_position(self, position: int) -> None:
+        """Record a read of the base block at ``position`` without returning it.
+
+        Directory-style probes (e.g. the ZM binary search over per-block
+        Z-ranges) charge a block access without needing the contents; this
+        keeps those probes on the same cache-aware accounting path.
+        """
+        self._touch(self.base_block_id(position))
+
+    def note_write(self, block_id: int) -> None:
+        """Record a write to ``block_id`` and invalidate its cached page.
+
+        Indices that mutate a block they located earlier (insert into a
+        non-full block, flag a deletion) call this instead of bumping the
+        write counter inline, so the dirty page cannot produce stale hits.
+        """
+        self.stats.record_block_write()
+        if self.cache is not None:
+            self.cache.invalidate(("b", block_id))
+
+    def attach_cache(self, cache: Optional[PageCache]) -> None:
+        """Install (or remove, with None) the block cache reads go through."""
+        self.cache = cache
 
     def peek(self, block_id: int) -> Block:
         """Read a block without recording an access (for build/maintenance code)."""
@@ -130,7 +172,7 @@ class BlockStore:
             candidate = self._block_by_id(next_id)
             if not candidate.is_overflow:
                 break
-            self.stats.record_block_read()
+            self._touch(candidate.block_id)
             yield candidate
             next_id = candidate.next_id
 

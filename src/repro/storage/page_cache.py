@@ -1,0 +1,219 @@
+"""A block/page cache with pluggable replacement policies.
+
+The paper's cost metric counts every block an algorithm touches; a serving
+deployment puts a buffer pool in front of the storage so repeated touches of
+the same block cost one physical read.  :class:`PageCache` simulates that
+buffer pool: it tracks *which* pages are resident (the page contents stay in
+the owning structure — this is an accounting cache, exactly like the rest of
+the simulated storage layer) and decides evictions under a fixed capacity.
+
+Two classic replacement policies are provided:
+
+* ``"lru"`` — strict least-recently-used via an ordered map,
+* ``"clock"`` — the second-chance approximation of LRU (one reference bit
+  per resident page, a sweeping hand), which is what real buffer pools tend
+  to ship because it avoids moving list nodes on every hit.
+
+Writes are handled by **invalidation**: when a page is written (a point
+lands in a block, a tree node splits, an overflow block grows a chain) the
+owner calls :meth:`invalidate` and the next read is a physical miss again.
+This is deliberately conservative — a write-back pool could keep the dirty
+page resident — so the measured hit ratios are lower bounds.
+
+Cache *state* is never persisted: pickling a structure that holds a
+``PageCache`` (see :mod:`repro.core.persistence`) keeps the configuration
+but drops the resident set and counters, so a freshly loaded index always
+starts cold.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+__all__ = ["PageCache", "PAGE_CACHE_POLICIES", "make_page_cache"]
+
+#: recognised replacement policies
+PAGE_CACHE_POLICIES = ("lru", "clock")
+
+
+class PageCache:
+    """A fixed-capacity set of resident page keys with hit/miss accounting.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident pages (>= 1).
+    policy:
+        ``"lru"`` or ``"clock"``.
+    """
+
+    def __init__(self, capacity: int, policy: str = "lru"):
+        if capacity < 1:
+            raise ValueError("page cache capacity must be >= 1")
+        if policy not in PAGE_CACHE_POLICIES:
+            raise ValueError(
+                f"unknown cache policy {policy!r}; available: {PAGE_CACHE_POLICIES}"
+            )
+        self.capacity = int(capacity)
+        self.policy = policy
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        # lru: key -> None in recency order (oldest first)
+        self._lru: OrderedDict[Hashable, None] = OrderedDict()
+        # clock: fixed ring of slots (None = free), key -> slot, per-slot ref bit
+        self._slots: list[Optional[Hashable]] = []
+        self._slot_of: dict[Hashable, int] = {}
+        self._ref: list[bool] = []
+        self._hand = 0
+
+    # -- the one hot-path entry point ------------------------------------------
+
+    def access(self, key: Hashable) -> bool:
+        """Touch ``key``: returns True on a hit; admits the page on a miss."""
+        if self.policy == "lru":
+            if key in self._lru:
+                self._lru.move_to_end(key)
+                self.hits += 1
+                return True
+            self.misses += 1
+            self._lru[key] = None
+            if len(self._lru) > self.capacity:
+                self._lru.popitem(last=False)
+                self.evictions += 1
+            return False
+        # clock
+        slot = self._slot_of.get(key)
+        if slot is not None:
+            self._ref[slot] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._admit_clock(key)
+        return False
+
+    def _admit_clock(self, key: Hashable) -> None:
+        # pages are admitted with the reference bit CLEAR: only a re-reference
+        # earns the second chance, which keeps one-touch scans evictable
+        if len(self._slots) < self.capacity:
+            self._slot_of[key] = len(self._slots)
+            self._slots.append(key)
+            self._ref.append(False)
+            return
+        # reuse a tombstoned slot if the sweep finds one, else pick a victim
+        while True:
+            slot = self._hand
+            self._hand = (self._hand + 1) % self.capacity
+            victim = self._slots[slot]
+            if victim is None:
+                break
+            if self._ref[slot]:
+                self._ref[slot] = False
+                continue
+            del self._slot_of[victim]
+            self.evictions += 1
+            break
+        self._slots[slot] = key
+        self._ref[slot] = False
+        self._slot_of[key] = slot
+
+    # -- maintenance ------------------------------------------------------------
+
+    def contains(self, key: Hashable) -> bool:
+        """True when ``key`` is resident (no recency/ref-bit side effects)."""
+        if self.policy == "lru":
+            return key in self._lru
+        return key in self._slot_of
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop ``key`` from the resident set (dirty page); True when it was resident."""
+        if self.policy == "lru":
+            if key not in self._lru:
+                return False
+            del self._lru[key]
+        else:
+            slot = self._slot_of.pop(key, None)
+            if slot is None:
+                return False
+            self._slots[slot] = None
+            self._ref[slot] = False
+        self.invalidations += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every resident page (counters are kept)."""
+        hits, misses, evictions, invalidations = (
+            self.hits, self.misses, self.evictions, self.invalidations,
+        )
+        self._reset_state()
+        self.hits, self.misses = hits, misses
+        self.evictions, self.invalidations = evictions, invalidations
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction counters (resident set is kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        if self.policy == "lru":
+            return len(self._lru)
+        return len(self._slot_of)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accesses that were hits (0.0 before any access)."""
+        total = self.accesses
+        return self.hits / total if total > 0 else 0.0
+
+    def metrics(self) -> dict:
+        """Counters as a plain dict (for reports and JSON exports)."""
+        return {
+            "capacity": self.capacity,
+            "policy": self.policy,
+            "resident": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_ratio": self.hit_ratio,
+        }
+
+    # -- persistence: configuration only, never cache state ----------------------
+
+    def __getstate__(self) -> dict:
+        return {"capacity": self.capacity, "policy": self.policy}
+
+    def __setstate__(self, state: dict) -> None:
+        self.capacity = state["capacity"]
+        self.policy = state["policy"]
+        self._reset_state()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PageCache(capacity={self.capacity}, policy={self.policy!r}, "
+            f"resident={len(self)}, hit_ratio={self.hit_ratio:.2f})"
+        )
+
+
+def make_page_cache(capacity: Optional[int], policy: str = "lru") -> Optional[PageCache]:
+    """A :class:`PageCache` for ``capacity`` blocks, or None when disabled.
+
+    ``capacity`` of ``None`` or ``0`` means "no cache", which lets callers
+    thread an optional CLI/config value straight through.
+    """
+    if capacity is None or capacity == 0:
+        return None
+    return PageCache(capacity, policy)

@@ -1,0 +1,96 @@
+"""The paged-access façade for node-based index structures.
+
+:class:`~repro.storage.block_store.BlockStore` already gives the learned
+indices (RSMI, ZM) one seam where every data-block read is recorded — and,
+with a :class:`~repro.storage.page_cache.PageCache` attached, where hits and
+misses are distinguished.  The tree baselines (Grid file, K-D-B-tree, HRR,
+RR*) keep their nodes as Python objects instead of numbered blocks, so they
+used to bump the :class:`~repro.storage.stats.AccessStats` counters inline
+and no cache could sit in front of them.
+
+:class:`NodePager` closes that gap: it assigns every node a **stable page
+id** on first touch (stored on the node itself, so ids survive arbitrary
+tree surgery), and routes every read through the same cache-aware
+accounting as ``BlockStore.read``:
+
+* :meth:`read_block` / :meth:`read_node` — a leaf (data page) or internal
+  node is touched by a query; logical counters always move, physical
+  counters only on a cache miss.
+* :meth:`write` — a page is dirtied (insert/delete landed in it); records
+  the write and invalidates the cached page.
+* :meth:`retire` — a page ceases to exist (node split replaced it); its
+  cache entry is dropped so the id can never produce a phantom hit.
+
+Page-id keys are namespaced (``("n", id)``) so a pager can share one
+:class:`PageCache` with a ``BlockStore`` (``("b", id)``) without collisions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.storage.page_cache import PageCache
+from repro.storage.stats import AccessStats
+
+__all__ = ["NodePager"]
+
+
+class NodePager:
+    """Stable page ids plus cache-aware access accounting for index nodes."""
+
+    def __init__(self, stats: Optional[AccessStats] = None, cache: Optional[PageCache] = None):
+        self.stats = stats if stats is not None else AccessStats()
+        self.cache = cache
+        self._next_id = 0
+
+    # -- page identity -----------------------------------------------------------
+
+    def page_id(self, node) -> int:
+        """The node's stable page id, assigned on first touch."""
+        pid = getattr(node, "page_id", None)
+        if pid is None:
+            pid = self._next_id
+            self._next_id += 1
+            node.page_id = pid
+        return pid
+
+    # -- reads -------------------------------------------------------------------
+
+    def read_block(self, node) -> None:
+        """Record a data-block (leaf page) read, cache-aware."""
+        self.stats.record_block_read(cached=self._touch(node))
+
+    def read_node(self, node) -> None:
+        """Record an internal-node page read, cache-aware."""
+        self.stats.record_node_read(cached=self._touch(node))
+
+    def _touch(self, node) -> bool:
+        if self.cache is None:
+            return False
+        return self.cache.access(("n", self.page_id(node)))
+
+    # -- writes & lifecycle --------------------------------------------------------
+
+    def write(self, node) -> None:
+        """Record a write to the node's page and invalidate its cached copy."""
+        self.stats.record_block_write()
+        if self.cache is not None:
+            self.cache.invalidate(("n", self.page_id(node)))
+
+    def retire(self, node) -> None:
+        """Drop a replaced/deleted page from the cache (splits, merges)."""
+        if self.cache is None:
+            return
+        pid = getattr(node, "page_id", None)
+        if pid is not None:
+            self.cache.invalidate(("n", pid))
+
+    # -- cache management -----------------------------------------------------------
+
+    def attach_cache(self, cache: Optional[PageCache]) -> None:
+        """Install (or remove, with None) the page cache reads go through."""
+        self.cache = cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backing = "uncached" if self.cache is None else repr(self.cache)
+        return f"NodePager(pages={self._next_id}, {backing})"

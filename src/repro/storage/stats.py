@@ -3,8 +3,22 @@
 Every index in the evaluation reports two cost numbers per query: wall-clock
 time and the number of blocks (data blocks plus index nodes) touched.  The
 latter is hardware independent, so it is the metric this reproduction tracks
-most carefully.  :class:`AccessStats` is a tiny counter object that indices
-increment whenever they read a data block or an internal node.
+most carefully.  :class:`AccessStats` is a tiny counter object that the paged
+storage layer increments whenever an index reads a data block or an internal
+node.
+
+With the block-cache layer (:mod:`repro.storage.page_cache`) the counters
+split into two views of every read:
+
+* **logical** reads (``block_reads`` / ``node_reads``) count what the query
+  *algorithm* touched — the paper's "# block accesses" metric.  They are
+  identical with and without a cache, which is what keeps cached runs
+  comparable to the paper's numbers.
+* **physical** reads (``physical_block_reads`` / ``physical_node_reads``)
+  count what actually had to come from (simulated) storage — a cache hit
+  bumps the logical counter only.  Without a cache the two views coincide.
+
+``cache_hits`` and ``hit_ratio`` are derived from the difference.
 """
 
 from __future__ import annotations
@@ -21,29 +35,66 @@ class AccessStats:
     block_reads: int = 0
     block_writes: int = 0
     node_reads: int = 0
+    #: block reads that missed (or bypassed) the page cache
+    physical_block_reads: int = 0
+    #: node reads that missed (or bypassed) the page cache
+    physical_node_reads: int = 0
 
-    def record_block_read(self, count: int = 1) -> None:
+    def record_block_read(self, count: int = 1, *, cached: bool = False) -> None:
         self.block_reads += count
+        if not cached:
+            self.physical_block_reads += count
 
     def record_block_write(self, count: int = 1) -> None:
         self.block_writes += count
 
-    def record_node_read(self, count: int = 1) -> None:
+    def record_node_read(self, count: int = 1, *, cached: bool = False) -> None:
         self.node_reads += count
+        if not cached:
+            self.physical_node_reads += count
 
     @property
     def total_reads(self) -> int:
-        """Data-block reads plus index-node reads (the paper's "# block accesses")."""
+        """Logical data-block plus index-node reads (the paper's "# block accesses")."""
         return self.block_reads + self.node_reads
+
+    @property
+    def logical_reads(self) -> int:
+        """Alias of :attr:`total_reads`, named for the logical/physical split."""
+        return self.total_reads
+
+    @property
+    def physical_reads(self) -> int:
+        """Reads that actually hit storage (post-cache)."""
+        return self.physical_block_reads + self.physical_node_reads
+
+    @property
+    def cache_hits(self) -> int:
+        """Logical reads served from the page cache."""
+        return self.logical_reads - self.physical_reads
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of logical reads served from the cache (0.0 when idle)."""
+        logical = self.logical_reads
+        return self.cache_hits / logical if logical > 0 else 0.0
 
     def reset(self) -> None:
         self.block_reads = 0
         self.block_writes = 0
         self.node_reads = 0
+        self.physical_block_reads = 0
+        self.physical_node_reads = 0
 
     def snapshot(self) -> "AccessStats":
         """A copy of the current counters (useful for per-query deltas)."""
-        return AccessStats(self.block_reads, self.block_writes, self.node_reads)
+        return AccessStats(
+            self.block_reads,
+            self.block_writes,
+            self.node_reads,
+            self.physical_block_reads,
+            self.physical_node_reads,
+        )
 
     def delta_since(self, earlier: "AccessStats") -> "AccessStats":
         """Counters accumulated since ``earlier`` was snapshotted."""
@@ -51,4 +102,6 @@ class AccessStats:
             self.block_reads - earlier.block_reads,
             self.block_writes - earlier.block_writes,
             self.node_reads - earlier.node_reads,
+            self.physical_block_reads - earlier.physical_block_reads,
+            self.physical_node_reads - earlier.physical_node_reads,
         )

@@ -74,6 +74,9 @@ class ScenarioSnapshot:
     max_chain_depth: Optional[int] = None
     #: live points per shard (None for unsharded indices)
     per_shard_points: Optional[list[int]] = None
+    #: fraction of the interval's logical reads served from the block cache
+    #: (None when no cache is attached)
+    cache_hit_ratio: Optional[float] = None
 
 
 @dataclass
@@ -92,6 +95,16 @@ class ScenarioResult:
     #: read accesses attributed per shard over the whole run (sharded
     #: indices only; writes are not attributed)
     per_shard_block_accesses: Optional[dict[int, int]] = None
+    #: physical (post-cache) reads over the whole run; equals
+    #: ``total_block_accesses`` when no cache is attached
+    total_physical_accesses: int = 0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of the run's logical reads served from the cache."""
+        if self.total_block_accesses <= 0:
+            return 0.0
+        return 1.0 - self.total_physical_accesses / self.total_block_accesses
 
     @property
     def ops_per_s(self) -> float:
@@ -104,6 +117,7 @@ class _IntervalAccumulator:
     def __init__(self):
         self.ops = 0
         self.block_accesses = 0
+        self.physical_accesses = 0
         self.op_counts: dict[str, int] = {}
         self.window_recalls: list[float] = []
         self.knn_recalls: list[float] = []
@@ -173,6 +187,7 @@ class ScenarioRunner:
         snapshots: list[ScenarioSnapshot] = []
         totals: dict[str, int] = {}
         total_accesses = 0
+        total_physical = 0
         pending: list[Operation] = []
         self._per_shard_reads: dict[int, int] = {}
         interval = _IntervalAccumulator()
@@ -182,19 +197,20 @@ class ScenarioRunner:
             if op.kind in ("point", "window", "knn"):
                 pending.append(op)
                 if len(pending) >= self.batch_size:
-                    interval.block_accesses += self._flush(pending, interval)
+                    self._flush(pending, interval)
             else:
-                interval.block_accesses += self._flush(pending, interval)
-                interval.block_accesses += self._apply_write(op)
+                self._flush(pending, interval)
+                self._apply_write(op, interval)
             interval.count(op.kind)
             totals[op.kind] = totals.get(op.kind, 0) + 1
 
             if (op_index + 1) % self.spec.snapshot_every == 0 or op_index + 1 == len(
                 operations
             ):
-                interval.block_accesses += self._flush(pending, interval)
+                self._flush(pending, interval)
                 snapshots.append(self._snapshot(op_index + 1, started, interval))
                 total_accesses += interval.block_accesses
+                total_physical += interval.physical_accesses
                 interval = _IntervalAccumulator()
 
         elapsed = time.perf_counter() - started
@@ -210,16 +226,16 @@ class ScenarioRunner:
             per_shard_block_accesses=(
                 dict(self._per_shard_reads) if self._per_shard_reads else None
             ),
+            total_physical_accesses=total_physical,
         )
 
     # -- batched reads --------------------------------------------------------
 
-    def _flush(self, pending: list[Operation], interval: _IntervalAccumulator) -> int:
-        """Execute the buffered reads (one engine batch per kind); returns the
-        block accesses they cost."""
+    def _flush(self, pending: list[Operation], interval: _IntervalAccumulator) -> None:
+        """Execute the buffered reads (one engine batch per kind), folding
+        their logical/physical access costs into ``interval``."""
         if not pending:
-            return 0
-        accesses = 0
+            return
         points = [op for op in pending if op.kind == "point"]
         windows = [op for op in pending if op.kind == "window"]
         knns = [op for op in pending if op.kind == "knn"]
@@ -228,39 +244,42 @@ class ScenarioRunner:
         if points:
             queries = np.asarray([(op.x, op.y) for op in points], dtype=float)
             batch = self.engine.point_queries(queries)
-            accesses += self._account(batch)
+            self._account(batch, interval)
             if self.oracle is not None:
                 for op, found in zip(points, batch.results):
                     self._check_point(op, bool(found))
         if windows:
             batch = self.engine.window_queries([op.window for op in windows])
-            accesses += self._account(batch)
+            self._account(batch, interval)
             if self.oracle is not None:
                 for op, reported in zip(windows, batch.results):
                     self._check_window(op, reported, interval)
         if knns:
             queries = np.asarray([(op.x, op.y) for op in knns], dtype=float)
             batch = self.engine.knn_queries(queries, self.spec.k)
-            accesses += self._account(batch)
+            self._account(batch, interval)
             if self.oracle is not None:
                 for op, reported in zip(knns, batch.results):
                     self._check_knn(op, reported, interval)
-        return accesses
 
-    def _account(self, batch) -> int:
-        """Fold one engine batch's access counters into the run totals."""
+    def _account(self, batch, interval: _IntervalAccumulator) -> None:
+        """Fold one engine batch's access counters into the interval/run totals."""
         if batch.per_shard_block_accesses:
             for shard_id, reads in batch.per_shard_block_accesses.items():
                 self._per_shard_reads[shard_id] = (
                     self._per_shard_reads.get(shard_id, 0) + reads
                 )
-        return batch.total_block_accesses or 0
+        logical = batch.total_block_accesses or 0
+        interval.block_accesses += logical
+        physical = batch.total_physical_accesses
+        interval.physical_accesses += logical if physical is None else physical
 
     # -- writes ---------------------------------------------------------------
 
-    def _apply_write(self, op: Operation) -> int:
+    def _apply_write(self, op: Operation, interval: _IntervalAccumulator) -> None:
         stats = getattr(self.index, "stats", None)
         before = stats.total_reads if stats is not None else 0
+        before_physical = stats.physical_reads if stats is not None else 0
         if op.kind == "insert":
             self.index.insert(op.x, op.y)
             if self.oracle is not None:
@@ -275,7 +294,9 @@ class ScenarioRunner:
                         f"oracle says {expected}"
                     )
         after = stats.total_reads if stats is not None else 0
-        return max(0, after - before)
+        after_physical = stats.physical_reads if stats is not None else 0
+        interval.block_accesses += max(0, after - before)
+        interval.physical_accesses += max(0, after_physical - before_physical)
 
     # -- oracle agreement -----------------------------------------------------
 
@@ -374,4 +395,18 @@ class ScenarioRunner:
                 if hasattr(self.index, "per_shard_points")
                 else None
             ),
+            cache_hit_ratio=self._interval_hit_ratio(interval),
         )
+
+    def _interval_hit_ratio(self, interval: _IntervalAccumulator) -> Optional[float]:
+        if not self._has_cache():
+            return None
+        if interval.block_accesses <= 0:
+            return 0.0
+        return 1.0 - interval.physical_accesses / interval.block_accesses
+
+    def _has_cache(self) -> bool:
+        if isinstance(self.index, ShardedSpatialIndex):
+            return self.index.cache_hit_ratio() is not None
+        target = getattr(self.index, "wrapped", self.index)
+        return getattr(target, "cache", None) is not None

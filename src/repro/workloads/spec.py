@@ -223,6 +223,18 @@ SCENARIO_PRESETS: dict[str, ScenarioSpec] = {
         distribution="hotspot",
         hotspot_extent=0.15,
     ),
+    # read-mostly traffic hammering one tiny region: the working set fits a
+    # small block cache, so physical reads collapse while the occasional
+    # write exercises dirty-page invalidation (run with --cache-blocks N;
+    # oracle agreement must be byte-identical with the cache on or off)
+    "cache-hotspot": ScenarioSpec(
+        name="cache-hotspot",
+        mix=OperationMix(point=0.6, window=0.2, knn=0.05, insert=0.1, delete=0.05),
+        distribution="hotspot",
+        hotspot_fraction=0.95,
+        hotspot_extent=0.08,
+        point_miss_fraction=0.1,
+    ),
 }
 
 

@@ -1,14 +1,22 @@
-"""Tests of index persistence (save_index / load_index)."""
+"""Tests of index persistence (save_index / load_index).
+
+Includes the paged-storage round-trip suite: overflow chains and
+``chain_depths()`` must survive a save/load, logical access accounting must
+be identical on a freshly loaded index, and page-cache **state** must never
+be persisted — a loaded index always starts cold (configuration only).
+"""
 
 import pickle
 
 import numpy as np
 import pytest
 
-from repro.baselines import GridFile
+from repro.baselines import GridFile, ZMConfig, ZMIndex
 from repro.core import RSMI, load_index, save_index
 from repro.core.persistence import FORMAT_VERSION, IndexArtifact, PersistenceError
 from repro.geometry import Rect
+from repro.nn import TrainingConfig
+from repro.storage import PageCache
 
 
 class TestSaveLoadRoundtrip:
@@ -39,6 +47,82 @@ class TestSaveLoadRoundtrip:
     def test_parent_directories_created(self, built_rsmi, tmp_path):
         path = save_index(built_rsmi, tmp_path / "nested" / "deep" / "rsmi.idx")
         assert path.exists()
+
+
+def _zm_with_overflow_chains(points):
+    """A small ZM whose store has grown real overflow chains via inserts."""
+    index = ZMIndex(
+        ZMConfig(block_capacity=16, training=TrainingConfig(epochs=6, seed=0))
+    ).build(points)
+    rng = np.random.default_rng(23)
+    # hammer one region so chains actually grow
+    for x, y in rng.uniform(0.4, 0.45, size=(80, 2)):
+        index.insert(float(x), float(y))
+    assert index.store.n_overflow_blocks > 0
+    return index
+
+
+class TestPagedStorageRoundtrip:
+    def test_overflow_chains_and_depths_survive(self, uniform_points, tmp_path):
+        index = _zm_with_overflow_chains(uniform_points)
+        loaded = load_index(save_index(index, tmp_path / "zm.idx"), expected_type=ZMIndex)
+        assert loaded.store.n_overflow_blocks == index.store.n_overflow_blocks
+        assert loaded.store.n_base_blocks == index.store.n_base_blocks
+        assert loaded.store.chain_depths() == index.store.chain_depths()
+        assert max(loaded.store.chain_depths()) >= 1
+        # every live point is still reachable through the chains
+        assert loaded.n_points == index.n_points
+        np.testing.assert_array_equal(loaded.store.all_points(), index.store.all_points())
+
+    def test_access_accounting_identical_cold_vs_warmed(self, uniform_points, tmp_path):
+        """Logical reads on a loaded index equal the original's, whether the
+        original ran cold or with a warm cache."""
+        index = _zm_with_overflow_chains(uniform_points)
+        index.attach_cache(PageCache(32, "lru"))
+        sample = uniform_points[:60]
+        for x, y in sample:  # warm the cache
+            index.contains(float(x), float(y))
+
+        loaded = load_index(save_index(index, tmp_path / "zm.idx"))
+
+        index.stats.reset()
+        warm_answers = [index.contains(float(x), float(y)) for x, y in sample]
+        loaded.stats.reset()
+        cold_answers = [loaded.contains(float(x), float(y)) for x, y in sample]
+
+        assert cold_answers == warm_answers
+        assert loaded.stats.logical_reads == index.stats.logical_reads
+        # the original served from a warm cache; the loaded one started cold
+        assert index.stats.physical_reads < index.stats.logical_reads
+        assert loaded.stats.physical_reads > index.stats.physical_reads
+
+    def test_cache_state_not_persisted(self, uniform_points, tmp_path):
+        """Pickling keeps the cache's configuration but drops its contents."""
+        index = _zm_with_overflow_chains(uniform_points)
+        index.attach_cache(PageCache(32, "clock"))
+        for x, y in uniform_points[:60]:
+            index.contains(float(x), float(y))
+        assert len(index.cache) > 0 and index.cache.hits > 0
+
+        loaded = load_index(save_index(index, tmp_path / "zm.idx"))
+        assert loaded.cache is not None
+        assert loaded.cache.capacity == 32 and loaded.cache.policy == "clock"
+        assert len(loaded.cache) == 0
+        assert loaded.cache.hits == 0 and loaded.cache.misses == 0
+        # the loaded store still routes reads through the (cold) cache
+        loaded.contains(*map(float, uniform_points[0]))
+        assert loaded.cache.misses > 0
+
+    def test_rsmi_store_roundtrip_with_cache(self, built_rsmi, skewed_points, tmp_path):
+        """The RSMI's block store keeps its cache config through a round-trip
+        without perturbing the session-scoped fixture."""
+        loaded = load_index(save_index(built_rsmi, tmp_path / "rsmi.idx"))
+        loaded.attach_cache(PageCache(16))
+        reloaded = load_index(save_index(loaded, tmp_path / "rsmi2.idx"))
+        assert reloaded.cache is not None and len(reloaded.cache) == 0
+        assert reloaded.store.chain_depths() == built_rsmi.store.chain_depths()
+        for x, y in skewed_points[:50]:
+            assert reloaded.contains(float(x), float(y))
 
 
 class TestPersistenceErrors:

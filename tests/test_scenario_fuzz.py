@@ -35,8 +35,10 @@ from repro.workloads import OracleIndex, ScenarioRunner, scenario_by_name
 INDEX_NAMES = ("Grid", "HRR", "KDB", "RR*", "ZM", "RSMI", "RSMIa")
 EXACT_INDICES = frozenset({"Grid", "HRR", "KDB", "RR*", "RSMIa"})
 
-#: five distinct operation mixes / key distributions (see SCENARIO_PRESETS)
-FUZZ_SCENARIOS = ("mixed", "hotspot", "drifting", "zipfian", "bulk-churn")
+#: six distinct operation mixes / key distributions (see SCENARIO_PRESETS);
+#: ``cache-hotspot`` is the block-cache preset — fuzzed here uncached, and
+#: again with caches attached in ``tests/test_cache_differential.py``
+FUZZ_SCENARIOS = ("mixed", "hotspot", "drifting", "zipfian", "bulk-churn", "cache-hotspot")
 
 DISTRIBUTIONS = ("uniform", "skewed", "osm")
 

@@ -1,0 +1,300 @@
+"""Unit tests of the paged-storage cache layer.
+
+Covers the :class:`~repro.storage.PageCache` replacement policies (LRU and
+clock), dirty-page invalidation, the logical/physical split on
+:class:`~repro.storage.AccessStats`, the :class:`~repro.storage.NodePager`
+façade, and the cache-aware :class:`~repro.storage.BlockStore` paths.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    PAGE_CACHE_POLICIES,
+    AccessStats,
+    BlockStore,
+    NodePager,
+    PageCache,
+    make_page_cache,
+)
+
+
+class TestAccessStatsSplit:
+    def test_uncached_reads_count_physical(self):
+        stats = AccessStats()
+        stats.record_block_read()
+        stats.record_node_read(2)
+        assert stats.logical_reads == 3
+        assert stats.physical_reads == 3
+        assert stats.cache_hits == 0
+        assert stats.hit_ratio == 0.0
+
+    def test_cached_reads_stay_logical_only(self):
+        stats = AccessStats()
+        stats.record_block_read(cached=True)
+        stats.record_block_read(cached=False)
+        stats.record_node_read(cached=True)
+        assert stats.logical_reads == 3
+        assert stats.physical_reads == 1
+        assert stats.cache_hits == 2
+        assert stats.hit_ratio == pytest.approx(2 / 3)
+
+    def test_total_reads_is_logical(self):
+        """The paper's metric must not change when a cache absorbs reads."""
+        stats = AccessStats()
+        for _ in range(5):
+            stats.record_block_read(cached=True)
+        assert stats.total_reads == 5
+
+    def test_snapshot_and_delta_carry_physical_counters(self):
+        stats = AccessStats()
+        stats.record_block_read()
+        snap = stats.snapshot()
+        stats.record_block_read(cached=True)
+        stats.record_block_write()
+        delta = stats.delta_since(snap)
+        assert delta.block_reads == 1
+        assert delta.physical_block_reads == 0
+        assert delta.block_writes == 1
+        assert snap.physical_block_reads == 1
+
+    def test_reset_clears_physical_counters(self):
+        stats = AccessStats()
+        stats.record_block_read()
+        stats.reset()
+        assert stats.physical_reads == 0
+
+
+class TestPageCacheLRU:
+    def test_hit_miss_accounting(self):
+        cache = PageCache(2, "lru")
+        assert not cache.access("a")  # miss
+        assert cache.access("a")  # hit
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_ratio == 0.5
+
+    def test_evicts_least_recently_used(self):
+        cache = PageCache(2, "lru")
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # refresh a; b is now LRU
+        cache.access("c")  # evicts b
+        assert cache.contains("a") and cache.contains("c")
+        assert not cache.contains("b")
+        assert cache.evictions == 1
+
+    def test_capacity_never_exceeded(self):
+        cache = PageCache(3, "lru")
+        for key in range(10):
+            cache.access(key)
+        assert len(cache) == 3
+
+    def test_invalidate(self):
+        cache = PageCache(2, "lru")
+        cache.access("a")
+        assert cache.invalidate("a")
+        assert not cache.contains("a")
+        assert not cache.invalidate("a")  # already gone
+        assert cache.invalidations == 1
+        assert not cache.access("a")  # re-reads are misses again
+
+
+class TestPageCacheClock:
+    def test_second_chance_spares_referenced_pages(self):
+        cache = PageCache(2, "clock")
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # sets a's reference bit
+        cache.access("c")  # sweep: a spared (bit cleared), b evicted
+        assert cache.contains("a") and cache.contains("c")
+        assert not cache.contains("b")
+
+    def test_tombstoned_slot_is_reused(self):
+        cache = PageCache(2, "clock")
+        cache.access("a")
+        cache.access("b")
+        cache.invalidate("a")
+        cache.access("c")  # should take a's slot without evicting b
+        assert cache.contains("b") and cache.contains("c")
+        assert cache.evictions == 0
+
+    def test_capacity_never_exceeded(self):
+        cache = PageCache(3, "clock")
+        for key in range(20):
+            cache.access(key)
+        assert len(cache) == 3
+
+    def test_full_rotation_evicts_someone(self):
+        cache = PageCache(2, "clock")
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")
+        cache.access("b")  # both referenced
+        cache.access("c")  # hand must clear both bits, then evict
+        assert cache.contains("c")
+        assert len(cache) == 2
+
+
+class TestPageCacheCommon:
+    @pytest.mark.parametrize("policy", PAGE_CACHE_POLICIES)
+    def test_clear_keeps_counters(self, policy):
+        cache = PageCache(4, policy)
+        cache.access("a")
+        cache.access("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1 and cache.misses == 1
+        cache.reset_counters()
+        assert cache.accesses == 0
+
+    @pytest.mark.parametrize("policy", PAGE_CACHE_POLICIES)
+    def test_metrics_dict(self, policy):
+        cache = PageCache(4, policy)
+        cache.access("x")
+        metrics = cache.metrics()
+        assert metrics["policy"] == policy
+        assert metrics["resident"] == 1
+        assert metrics["misses"] == 1
+
+    @pytest.mark.parametrize("policy", PAGE_CACHE_POLICIES)
+    def test_pickling_drops_cache_state(self, policy):
+        """Persistence keeps configuration but never cache contents."""
+        cache = PageCache(4, policy)
+        cache.access("a")
+        cache.access("a")
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.capacity == 4 and clone.policy == policy
+        assert len(clone) == 0
+        assert clone.hits == 0 and clone.misses == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageCache(0)
+        with pytest.raises(ValueError):
+            PageCache(4, "fifo")
+
+    def test_make_page_cache(self):
+        assert make_page_cache(None) is None
+        assert make_page_cache(0) is None
+        cache = make_page_cache(8, "clock")
+        assert isinstance(cache, PageCache)
+        assert cache.capacity == 8 and cache.policy == "clock"
+
+
+class _FakeNode:
+    """Anything with an assignable page_id works as a page."""
+
+    def __init__(self):
+        self.page_id = None
+
+
+class TestNodePager:
+    def test_stable_page_ids(self):
+        pager = NodePager()
+        a, b = _FakeNode(), _FakeNode()
+        assert pager.page_id(a) == 0
+        assert pager.page_id(b) == 1
+        assert pager.page_id(a) == 0  # stable across calls
+
+    def test_uncached_reads_are_physical(self):
+        pager = NodePager()
+        node = _FakeNode()
+        pager.read_block(node)
+        pager.read_node(node)
+        assert pager.stats.logical_reads == 2
+        assert pager.stats.physical_reads == 2
+
+    def test_cached_rereads_are_hits(self):
+        pager = NodePager(cache=PageCache(4))
+        node = _FakeNode()
+        pager.read_block(node)
+        pager.read_block(node)
+        assert pager.stats.block_reads == 2
+        assert pager.stats.physical_block_reads == 1
+        assert pager.stats.hit_ratio == 0.5
+
+    def test_write_records_and_invalidates(self):
+        pager = NodePager(cache=PageCache(4))
+        node = _FakeNode()
+        pager.read_block(node)
+        pager.write(node)
+        assert pager.stats.block_writes == 1
+        pager.read_block(node)  # must be a physical miss again
+        assert pager.stats.physical_block_reads == 2
+
+    def test_retire_drops_cached_page_without_write(self):
+        pager = NodePager(cache=PageCache(4))
+        node = _FakeNode()
+        pager.read_block(node)
+        pager.retire(node)
+        assert pager.stats.block_writes == 0
+        pager.read_block(node)
+        assert pager.stats.physical_block_reads == 2
+
+    def test_retire_of_never_touched_node_is_noop(self):
+        pager = NodePager(cache=PageCache(4))
+        pager.retire(_FakeNode())  # no page id yet — nothing to drop
+
+    def test_attach_cache_later(self):
+        pager = NodePager()
+        node = _FakeNode()
+        pager.read_block(node)
+        pager.attach_cache(PageCache(4))
+        pager.read_block(node)
+        pager.read_block(node)
+        assert pager.stats.physical_block_reads == 2  # first read after attach misses
+
+
+class TestBlockStoreCache:
+    def _store(self, cache=None, n_points=30, capacity=10):
+        stats = AccessStats()
+        store = BlockStore(capacity, stats, cache=cache)
+        points = np.random.default_rng(5).uniform(size=(n_points, 2))
+        store.pack_points(points)
+        return store, stats
+
+    def test_read_hits_after_first_touch(self):
+        store, stats = self._store(cache=PageCache(8))
+        block_id = store.base_block_id(0)
+        store.read(block_id)
+        store.read(block_id)
+        assert stats.block_reads == 2
+        assert stats.physical_block_reads == 1
+
+    def test_iter_chain_is_cache_aware(self):
+        store, stats = self._store(cache=PageCache(8))
+        list(store.iter_chain(1))
+        list(store.iter_chain(1))
+        assert stats.physical_block_reads < stats.block_reads
+
+    def test_touch_position_counts_like_a_read(self):
+        store, stats = self._store(cache=PageCache(8))
+        store.touch_position(2)
+        store.touch_position(2)
+        assert stats.block_reads == 2
+        assert stats.physical_block_reads == 1
+
+    def test_note_write_invalidates(self):
+        store, stats = self._store(cache=PageCache(8))
+        block_id = store.base_block_id(0)
+        store.read(block_id)
+        store.note_write(block_id)
+        assert stats.block_writes > 0
+        store.read(block_id)
+        assert stats.physical_block_reads == 2
+
+    def test_overflow_allocation_invalidates_predecessor(self):
+        store, stats = self._store(cache=PageCache(8))
+        block_id = store.base_block_id(0)
+        store.read(block_id)  # resident
+        store.allocate_overflow(block_id)  # chain link rewritten
+        store.read(block_id)
+        assert stats.physical_block_reads == 2
+
+    def test_uncached_store_unchanged(self):
+        store, stats = self._store(cache=None)
+        store.read(store.base_block_id(0))
+        store.read(store.base_block_id(0))
+        assert stats.block_reads == stats.physical_block_reads == 2
