@@ -17,13 +17,13 @@ layer can be tracked across commits.  Override the data size with
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from conftest import record_bench_result
 from repro.baselines import HRRTree, KDBTree, ZMConfig, ZMIndex
 from repro.datasets import dataset_by_name
 from repro.engine import BatchQueryEngine
@@ -81,12 +81,7 @@ def _build(kind: str, points: np.ndarray):
 
 
 def _record(name: str, payload: dict) -> None:
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    existing = {}
-    if RESULTS_PATH.exists():
-        existing = json.loads(RESULTS_PATH.read_text())
-    existing[name] = payload
-    RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    record_bench_result(RESULTS_PATH.name, name, payload, canonical=CACHE_N == 20000)
 
 
 @pytest.mark.parametrize("kind", ["KDB", "HRR", "ZM"])

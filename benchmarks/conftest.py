@@ -9,6 +9,7 @@ not micro-benchmarks), prints the regenerated rows and writes them to
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -16,6 +17,38 @@ import pytest
 from repro.experiments import EXPERIMENT_REGISTRY, profile_by_name
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def record_bench_result(
+    file_name: str, name: str, payload: dict, canonical: bool = True
+) -> None:
+    """Merge one benchmark payload into ``benchmarks/results/<file_name>``.
+
+    When ``canonical`` is true (the benchmark ran at its *default* budget)
+    the updated snapshot is also copied to the repo root, where the
+    canonical ``BENCH_*.json`` files are committed — ``benchmarks/results/``
+    is gitignored, so without the copy the perf trajectory would never be
+    tracked in-repo.  Reduced-budget runs (the CI perf gate, local
+    ``REPRO_BENCH_*_N`` overrides) only write the results dir, so they can
+    never clobber the committed trajectory with off-budget numbers.
+    ``tools/check_bench.py`` compares the results-dir file against the
+    committed baselines in ``benchmarks/baselines/``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    results_path = RESULTS_DIR / file_name
+    existing = {}
+    if results_path.exists():
+        existing = json.loads(results_path.read_text())
+    existing[name] = payload
+    text = json.dumps(existing, indent=2, sort_keys=True) + "\n"
+    results_path.write_text(text)
+    if not canonical:
+        return
+    try:
+        (REPO_ROOT / file_name).write_text(text)
+    except OSError:  # pragma: no cover - read-only checkouts still benchmark
+        pass
 
 
 def pytest_addoption(parser):

@@ -72,6 +72,48 @@ The CLI exposes the presets via ``repro-experiment --scenario <name>``;
 ``tests/test_scenario_fuzz.py`` fuzzes every index with the same machinery,
 and ``examples/scenario_run.py`` is a runnable tour.
 
+Latency-aware serving & multi-tenancy
+-------------------------------------
+
+Block accesses are load-independent; users feel latency under load, and
+its *tail* is what matters at serving scale.  :mod:`repro.workloads`
+measures it without threads: every :class:`~repro.workloads.ScenarioSpec`
+carries an **arrival model** — ``closed-loop`` (each operation issued as
+the previous completes, plus think time) or ``open-loop`` (a seeded
+virtual-time Poisson/bursty schedule at ``arrival_rate`` ops/s) — and the
+:class:`~repro.workloads.ScenarioRunner` feeds measured per-op service
+times through a :class:`~repro.workloads.VirtualClock`, yielding sojourn
+times that include queueing delay once the offered rate outpaces the
+server.  Percentiles come from seeded reservoir
+:class:`~repro.workloads.PercentileSketch` es and surface as p50/p95/p99
+on snapshots, results (per kind, per tenant, with a Jain fairness index)
+and on every engine :class:`~repro.core.batch.BatchResult` (per shard on
+the sharded engine)::
+
+    from repro.workloads import (
+        MultiTenantOracle, ScenarioRunner, generate_tenant_operations,
+        scenario_by_name,
+    )
+
+    spec = scenario_by_name("latency-hotspot")      # open-loop preset
+    result = ScenarioRunner(index, spec).run(points)
+    result.latency.p99_ms                           # queue-inclusive sojourn
+    result.service_latency.p99_ms                   # pure service time
+
+    # N independently-seeded tenant streams merged by arrival time, each
+    # checked against its own oracle shadow
+    ops, slices = generate_tenant_operations(spec, points, 3)
+    oracle = MultiTenantOracle(3).build(slices)
+    result = ScenarioRunner(index, spec, oracle=oracle).replay(ops)
+    result.latency_by_tenant                        # per-tenant p50/p95/p99
+    result.fairness                                 # Jain's index
+
+CLI: ``--tenants N``, ``--arrival-rate R``, the ``latency-sweep``
+experiment; ``benchmarks/bench_latency_serving.py`` emits
+``BENCH_latency.json``, gated against committed baselines by CI's
+perf-gate job via ``tools/check_bench.py``;
+``examples/latency_serving.py`` is a runnable tour.
+
 Paged storage & caching
 -----------------------
 
@@ -149,9 +191,17 @@ from repro.engine import BatchQueryEngine
 from repro.geometry import Rect
 from repro.sharding import ShardedBatchEngine, ShardedSpatialIndex
 from repro.storage import AccessStats, Block, BlockStore, PageCache
-from repro.workloads import OracleIndex, ScenarioRunner, ScenarioSpec
+from repro.workloads import (
+    LatencySummary,
+    MultiTenantOracle,
+    OracleIndex,
+    PercentileSketch,
+    ScenarioRunner,
+    ScenarioSpec,
+    VirtualClock,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "RSMI",
@@ -168,5 +218,9 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioRunner",
     "OracleIndex",
+    "MultiTenantOracle",
+    "PercentileSketch",
+    "LatencySummary",
+    "VirtualClock",
     "__version__",
 ]

@@ -28,9 +28,16 @@ are unwrapped so the vectorised path applies to them too).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from repro.core.batch import BatchResult, contains_callable
+from repro.core.batch import (
+    BatchResult,
+    contains_callable,
+    latency_from_durations,
+    latency_uniform,
+)
 from repro.core.rsmi import _outward_positions
 from repro.core.window import window_corner_points
 from repro.engine.executor import run_sequential, run_threaded
@@ -126,13 +133,17 @@ class BatchQueryEngine:
         points = np.asarray(points, dtype=float).reshape(-1, 2)
         stats = self._reset_stats()
         if self._vectorizes("point") and points.shape[0] > 0:
+            started = time.perf_counter()
             found = self._point_batch_vectorized(points)
+            latency = latency_uniform(time.perf_counter() - started, points.shape[0])
         else:
-            found = self._point_batch_fallback(points)
+            found, durations = self._point_batch_fallback(points)
+            latency = latency_from_durations(durations)
         return BatchResult(
             results=found,
             total_block_accesses=self._total_reads(stats),
             total_physical_accesses=self._physical_reads(stats),
+            latency=latency,
         )
 
     def window_queries(self, windows) -> BatchResult:
@@ -140,13 +151,17 @@ class BatchQueryEngine:
         windows = list(windows)
         stats = self._reset_stats()
         if self._vectorizes("window") and windows:
+            started = time.perf_counter()
             results = self._window_batch_vectorized(windows)
+            latency = latency_uniform(time.perf_counter() - started, len(windows))
         else:
-            results = self._window_batch_fallback(windows)
+            results, durations = self._window_batch_fallback(windows)
+            latency = latency_from_durations(durations)
         return BatchResult(
             results=results,
             total_block_accesses=self._total_reads(stats),
             total_physical_accesses=self._physical_reads(stats),
+            latency=latency,
         )
 
     def knn_queries(self, queries: np.ndarray, k: int) -> BatchResult:
@@ -166,11 +181,12 @@ class BatchQueryEngine:
             answer = self.index.knn_query(float(row[0]), float(row[1]), k)
             return answer.points if hasattr(answer, "points") else answer
 
-        results = self._run_fallback(one, list(queries))
+        results, durations = self._run_fallback(one, list(queries))
         return BatchResult(
             results=results,
             total_block_accesses=self._total_reads(stats),
             total_physical_accesses=self._physical_reads(stats),
+            latency=latency_from_durations(durations),
         )
 
     # ------------------------------------------------------------ vectorised paths --
@@ -281,7 +297,7 @@ class BatchQueryEngine:
 
     # ------------------------------------------------------------- fallback paths --
 
-    def _point_batch_fallback(self, points: np.ndarray) -> list[bool]:
+    def _point_batch_fallback(self, points: np.ndarray):
         contains = contains_callable(self.index)
 
         def one(row) -> bool:
@@ -289,17 +305,31 @@ class BatchQueryEngine:
 
         return self._run_fallback(one, list(points))
 
-    def _window_batch_fallback(self, windows: list[Rect]) -> list[np.ndarray]:
+    def _window_batch_fallback(self, windows: list[Rect]):
         def one(window: Rect) -> np.ndarray:
             answer = self.index.window_query(window)
             return answer.points if hasattr(answer, "points") else answer
 
         return self._run_fallback(one, windows)
 
-    def _run_fallback(self, fn, items: list) -> list:
+    def _run_fallback(self, fn, items: list) -> tuple[list, list[float]]:
+        """Run the per-query path, returning results plus per-query wall times.
+
+        Durations are appended as queries finish, so in threaded mode their
+        order does not match the item order — irrelevant for percentile
+        summaries, which are order-free.
+        """
+        durations: list[float] = []
+
+        def timed(item):
+            started = time.perf_counter()
+            out = fn(item)
+            durations.append(time.perf_counter() - started)
+            return out
+
         if self.mode == "threaded":
-            return run_threaded(fn, items, self.n_workers)
-        return run_sequential(fn, items)
+            return run_threaded(timed, items, self.n_workers), durations
+        return run_sequential(timed, items), durations
 
     # ------------------------------------------------------------------- plumbing --
 

@@ -12,13 +12,22 @@ Examples::
     repro-experiment sharded-scaling --profile tiny
     repro-experiment --scenario cache-hotspot --cache-blocks 32 --cache-policy clock
     repro-experiment cache-sweep --profile tiny
+    repro-experiment --scenario tenant-mixed --tenants 3
+    repro-experiment --scenario latency-hotspot --arrival-rate 5000
+    repro-experiment latency-sweep --profile tiny
+
+Every run's text table is also written to ``<results dir>/<id>.txt``; the
+results directory is ``$REPRO_RESULTS_DIR`` when set, else ``./results``
+(gitignored), never the current package/test tree.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from pathlib import Path
 from typing import Sequence
 
 from repro.experiments import EXPERIMENT_REGISTRY, profile_by_name
@@ -79,6 +88,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="block-cache replacement policy (default: lru)",
     )
     parser.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="split a --scenario run into this many independently-seeded "
+        "tenant streams merged by virtual arrival time (per-tenant oracle "
+        "shadows, per-tenant latency percentiles, fairness index)",
+    )
+    parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        help="offered open-loop load in ops per virtual second for "
+        "--scenario runs (forces the open-loop arrival model; default: "
+        "the scenario's own arrival model and rate)",
+    )
+    parser.add_argument(
         "--scenario",
         choices=sorted(SCENARIO_PRESETS),
         help="replay a mixed read/write workload scenario (oracle-checked) "
@@ -113,9 +138,36 @@ def _apply_profile_overrides(args, profile):
         extras["cache_blocks"] = args.cache_blocks
     if args.cache_policy is not None:
         extras["cache_policy"] = args.cache_policy
+    if args.tenants is not None:
+        extras["tenants"] = args.tenants
+    if args.arrival_rate is not None:
+        extras["arrival_rate"] = args.arrival_rate
     if extras == profile.extras:
         return profile
     return profile.with_overrides(extras=extras)
+
+
+def results_dir() -> Path:
+    """Where experiment/scenario text output is persisted.
+
+    ``$REPRO_RESULTS_DIR`` when set, else ``results/`` under the current
+    working directory (gitignored).  Output never lands in the source or
+    test trees.
+    """
+    override = os.environ.get("REPRO_RESULTS_DIR", "").strip()
+    return Path(override) if override else Path.cwd() / "results"
+
+
+def _persist_result_text(experiment_id: str, text: str) -> Path | None:
+    """Best-effort write of one result table to the results directory."""
+    directory = results_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{experiment_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+    except OSError:
+        return None
 
 
 def _run_scenario(args, profile) -> int:
@@ -138,10 +190,14 @@ def _run_scenario(args, profile) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - start
-    print(result.to_text())
+    text = result.to_text()
+    print(text)
+    saved = _persist_result_text(result.experiment_id, text)
     print(
         f"  (scenario '{args.scenario}' completed in {elapsed:.1f}s "
-        f"at profile '{profile.name}')"
+        f"at profile '{profile.name}'"
+        + (f"; table saved to {saved}" if saved else "")
+        + ")"
     )
     return 0
 
@@ -156,6 +212,18 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.cache_blocks is not None and args.cache_blocks < 0:
         print("--cache-blocks must be >= 0", file=sys.stderr)
+        return 2
+
+    if args.tenants is not None and args.tenants < 1:
+        print("--tenants must be >= 1", file=sys.stderr)
+        return 2
+
+    if args.arrival_rate is not None and args.arrival_rate <= 0:
+        print("--arrival-rate must be positive", file=sys.stderr)
+        return 2
+
+    if (args.tenants is not None or args.arrival_rate is not None) and not args.scenario:
+        print("--tenants/--arrival-rate require --scenario", file=sys.stderr)
         return 2
 
     if args.scenario:
@@ -192,8 +260,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         start = time.perf_counter()
         result = spec.run(profile)
         elapsed = time.perf_counter() - start
-        print(result.to_text())
-        print(f"  ({name} completed in {elapsed:.1f}s at profile '{profile.name}')")
+        text = result.to_text()
+        print(text)
+        saved = _persist_result_text(name, text)
+        print(
+            f"  ({name} completed in {elapsed:.1f}s at profile '{profile.name}'"
+            + (f"; table saved to {saved}" if saved else "")
+            + ")"
+        )
         print()
     return 0
 

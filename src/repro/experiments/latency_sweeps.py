@@ -1,0 +1,133 @@
+"""Latency sweep: sojourn percentiles vs offered load, closed vs open loop.
+
+The paper's block-access metric is load-independent; what users feel is not.
+This experiment replays the ``latency-hotspot`` scenario against each index
+first **closed-loop** (each operation issued as the previous completes, so
+sojourn == service and the measured throughput is the server's capacity μ)
+and then **open-loop** at offered loads expressed as fractions of that
+measured μ.  Below saturation the sojourn percentiles track the service
+percentiles; past it the virtual queue grows and p99 separates — the
+hockey-stick every serving system shows, reproduced here in a
+single-threaded, fully deterministic replay (arrival schedules are virtual;
+only service times are wall-clock).
+
+Offered loads are relative to each index's own measured capacity, so the
+sweep reads the same on any machine and at every profile scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.evaluation.adapters import build_index_suite
+from repro.experiments.base import ExperimentResult, register_experiment
+from repro.experiments.profiles import ScaleProfile
+from repro.experiments.sweeps import make_points
+from repro.nn import TrainingConfig
+from repro.workloads import ScenarioRunner, scenario_by_name
+
+__all__ = ["LATENCY_SWEEP_INDEX_NAMES", "LOAD_FRACTIONS", "run_latency_sweep"]
+
+#: indices the sweep drives by default: one tree descent, one learned layout
+LATENCY_SWEEP_INDEX_NAMES = ("KDB", "RSMI")
+
+#: open-loop offered load as a fraction of the measured closed-loop capacity
+LOAD_FRACTIONS = (0.5, 0.9, 1.5)
+
+
+def run_latency_sweep(
+    profile: ScaleProfile,
+    index_names: Optional[Sequence[str]] = None,
+    fractions: Sequence[float] = LOAD_FRACTIONS,
+) -> ExperimentResult:
+    """One row per (index, arrival mode): sojourn p50/p95/p99 and capacity."""
+    names = tuple(index_names) if index_names is not None else LATENCY_SWEEP_INDEX_NAMES
+    points = make_points(profile)
+    base = scenario_by_name("latency-hotspot").with_overrides(
+        n_ops=int(profile.extras.get("scenario_ops", max(300, profile.n_points // 5))),
+        seed=profile.seed + 307,
+        k=profile.default_k,
+        window_area_fraction=profile.default_window_area,
+    )
+    base = base.with_overrides(snapshot_every=max(1, base.n_ops // 2))
+
+    rows: list[list] = []
+    notes: list[str] = [
+        f"scenario 'latency-hotspot': {base.n_ops} ops; open-loop rates are "
+        f"fractions of each index's measured closed-loop capacity"
+    ]
+
+    def build(name: str):
+        suite = build_index_suite(
+            points,
+            index_names=[name],
+            block_capacity=profile.block_capacity,
+            partition_threshold=profile.partition_threshold,
+            training=TrainingConfig(epochs=profile.training_epochs, seed=profile.seed),
+            seed=profile.seed,
+        )
+        return suite[name]
+
+    for name in names:
+        closed = ScenarioRunner(
+            build(name), base.with_overrides(arrival_model="closed-loop")
+        ).run(points)
+        capacity = closed.ops_per_s
+        rows.append(
+            [
+                name,
+                "closed-loop",
+                "-",
+                round(capacity, 1),
+                round(closed.latency.p50_ms, 3),
+                round(closed.latency.p95_ms, 3),
+                round(closed.latency.p99_ms, 3),
+                round(closed.service_latency.p99_ms, 3),
+            ]
+        )
+        for fraction in fractions:
+            rate = max(capacity * fraction, 1e-6)
+            open_spec = base.with_overrides(
+                arrival_model="open-loop", arrival_rate=rate
+            )
+            result = ScenarioRunner(build(name), open_spec).run(points)
+            rows.append(
+                [
+                    name,
+                    "open-loop",
+                    round(fraction, 2),
+                    round(result.ops_per_s, 1),
+                    round(result.latency.p50_ms, 3),
+                    round(result.latency.p95_ms, 3),
+                    round(result.latency.p99_ms, 3),
+                    round(result.service_latency.p99_ms, 3),
+                ]
+            )
+        notes.append(
+            f"{name}: measured closed-loop capacity {capacity:.0f} ops/s; "
+            f"sojourn p99 at 1.5x offered load includes virtual queueing delay"
+        )
+    return ExperimentResult(
+        experiment_id="latency-sweep",
+        title="Sojourn percentiles vs offered load (closed vs open loop)",
+        paper_reference="beyond the paper (ROADMAP: arrival-rate pacing)",
+        header=[
+            "index",
+            "arrival",
+            "load_fraction",
+            "ops_per_s",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "service_p99_ms",
+        ],
+        rows=rows,
+        notes=notes,
+    )
+
+
+register_experiment(
+    "latency-sweep",
+    "Sojourn latency percentiles vs offered load (closed vs open loop)",
+    "beyond the paper",
+)(run_latency_sweep)

@@ -27,9 +27,11 @@ from repro.sharding import EXACT_KINDS, ShardedSpatialIndex, shard_index_factory
 from repro.storage import make_page_cache
 from repro.workloads import (
     SCENARIO_PRESETS,
+    MultiTenantOracle,
     OracleIndex,
     ScenarioRunner,
     ScenarioSpec,
+    generate_tenant_operations,
     scenario_by_name,
 )
 
@@ -107,6 +109,8 @@ def run_scenario_sweep(
     sharding_policy: Optional[str] = None,
     cache_blocks: Optional[int] = None,
     cache_policy: Optional[str] = None,
+    tenants: Optional[int] = None,
+    arrival_rate: Optional[float] = None,
 ) -> ExperimentResult:
     """Replay one scenario against every index; one row per snapshot.
 
@@ -120,10 +124,30 @@ def run_scenario_sweep(
     :class:`~repro.storage.PageCache` in front of every index — per shard
     when sharded — so the snapshot series reports the cache hit ratio while
     the oracle keeps asserting that answers are unchanged.
+
+    ``tenants`` (CLI ``--tenants``) splits the scenario into that many
+    independently-seeded streams merged by virtual arrival time, each tenant
+    shadowed by its own oracle; the notes then report per-tenant sojourn
+    percentiles and the fairness index.  ``arrival_rate`` (CLI
+    ``--arrival-rate``) overrides the spec's open-loop offered load.
     """
     spec = scenario_spec_for_profile(profile, scenario)
     names = tuple(index_names) if index_names is not None else SCENARIO_INDEX_NAMES
     shards = shards if shards is not None else int(profile.extras.get("shards", 0))
+    tenants = tenants if tenants is not None else int(profile.extras.get("tenants", 0))
+    arrival_rate = (
+        arrival_rate
+        if arrival_rate is not None
+        else profile.extras.get("arrival_rate")
+    )
+    if arrival_rate is not None:
+        spec = spec.with_overrides(
+            arrival_rate=float(arrival_rate), arrival_model="open-loop"
+        )
+    if tenants > 1:
+        # tenant streams are merged by virtual arrival time, so the replay
+        # must follow the same open-loop schedule the merge order came from
+        spec = spec.with_overrides(arrival_model="open-loop")
     sharding_policy = (
         sharding_policy
         if sharding_policy is not None
@@ -170,7 +194,14 @@ def run_scenario_sweep(
             index = suite[name]
             if cache_blocks > 0:
                 index.attach_cache(make_page_cache(cache_blocks, cache_policy))
-        oracle = OracleIndex().build(points) if check else None
+        if tenants > 1:
+            operations, tenant_points = generate_tenant_operations(
+                spec, points, tenants
+            )
+            oracle = MultiTenantOracle(tenants).build(tenant_points) if check else None
+        else:
+            operations = None
+            oracle = OracleIndex().build(points) if check else None
         runner = ScenarioRunner(
             index,
             spec,
@@ -178,7 +209,7 @@ def run_scenario_sweep(
             exact_results=name in EXACT_RESULT_INDICES,
             engine_mode=engine_mode,
         )
-        result = runner.run(points)
+        result = runner.replay(operations) if operations is not None else runner.run(points)
         for snapshot in result.snapshots:
             rows.append(
                 [
@@ -192,10 +223,35 @@ def run_scenario_sweep(
                     _cell(snapshot.n_overflow_blocks),
                     _cell(snapshot.max_chain_depth),
                     _cell(snapshot.cache_hit_ratio),
+                    _latency_cell(snapshot.latency, "p50_ms"),
+                    _latency_cell(snapshot.latency, "p95_ms"),
+                    _latency_cell(snapshot.latency, "p99_ms"),
                 ]
             )
         if result.checked:
             notes.append(f"{name}: {result.n_ops} ops verified against the shadow oracle")
+        if result.latency is not None:
+            notes.append(
+                f"{name}: sojourn p50/p95/p99 = {result.latency.p50_ms:.3f}/"
+                f"{result.latency.p95_ms:.3f}/{result.latency.p99_ms:.3f} ms "
+                f"({spec.arrival_model}"
+                + (
+                    f" @ {spec.arrival_rate:.0f} ops/s offered"
+                    if spec.arrival_model == "open-loop"
+                    else ""
+                )
+                + f"), service p99 = {result.service_latency.p99_ms:.3f} ms"
+            )
+        if tenants > 1:
+            breakdown = ", ".join(
+                f"t{tenant}: {summary.p50_ms:.3f}/{summary.p95_ms:.3f}/"
+                f"{summary.p99_ms:.3f} ms ({summary.count} ops)"
+                for tenant, summary in result.latency_by_tenant.items()
+            )
+            notes.append(
+                f"{name}: per-tenant sojourn p50/p95/p99 — {breakdown}; "
+                f"fairness index {result.fairness:.3f}"
+            )
         if cache_blocks > 0:
             notes.append(
                 f"{name}: block cache {cache_blocks} blocks/{cache_policy}"
@@ -212,6 +268,12 @@ def run_scenario_sweep(
                 f"{index.per_shard_points()}, per-shard read accesses (whole run) "
                 f"{per_shard_reads}"
             )
+            if result.per_shard_service_s:
+                busy = [
+                    round(result.per_shard_service_s.get(shard_id, 0.0) * 1e3, 2)
+                    for shard_id in range(shards)
+                ]
+                notes.append(f"{name}: per-shard service time (ms, whole run) {busy}")
 
     mix = ", ".join(
         f"{kind}={p:.2f}"
@@ -223,7 +285,10 @@ def run_scenario_sweep(
     notes.insert(
         0,
         f"scenario '{spec.name}': {spec.n_ops} ops, distribution={spec.distribution}, "
-        f"arrival={spec.arrival}, mix: {mix}",
+        f"arrival={spec.arrival}/{spec.arrival_model}"
+        + (f" @ {spec.arrival_rate:.0f} ops/s" if spec.arrival_model == "open-loop" else "")
+        + (f" across {tenants} tenants" if tenants > 1 else "")
+        + f", mix: {mix}",
     )
     return ExperimentResult(
         experiment_id=f"scenario-{spec.name}",
@@ -240,6 +305,9 @@ def run_scenario_sweep(
             "overflow_blocks",
             "max_chain_depth",
             "cache_hit",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
         ],
         rows=rows,
         notes=notes,
@@ -253,6 +321,13 @@ def _cell(value):
     if isinstance(value, float):
         return round(value, 3)
     return value
+
+
+def _latency_cell(summary, field: str):
+    """One percentile of an optional LatencySummary as a table cell."""
+    if summary is None:
+        return "-"
+    return round(getattr(summary, field), 3)
 
 
 def _register_presets() -> None:

@@ -19,9 +19,11 @@ batch only touched two shards") stay checkable.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from repro.core.batch import BatchResult
+from repro.core.batch import BatchResult, latency_from_durations, latency_uniform
 from repro.engine import BatchQueryEngine, ENGINE_MODES, run_threaded
 from repro.sharding.index import ShardedSpatialIndex
 
@@ -94,18 +96,22 @@ class ShardedBatchEngine:
                                per_shard_block_accesses={},
                                total_physical_accesses=0)
         owners = self.index.router.shards_for_points(points)
+        shard_positions = {
+            int(shard_id): np.nonzero(owners == shard_id)[0].tolist()
+            for shard_id in np.unique(owners)
+        }
 
         def one_shard(shard_id: int) -> None:
-            positions = np.nonzero(owners == shard_id)[0]
+            positions = shard_positions[shard_id]
             shard = self.index.shards[shard_id]
             if shard.is_empty:
                 return
             batch = self._engine_for(shard_id).point_queries(points[positions])
-            for position, found in zip(positions.tolist(), batch.results):
+            for position, found in zip(positions, batch.results):
                 results[position] = bool(found)
 
-        self._dispatch(one_shard, np.unique(owners).tolist())
-        return self._finalize(results)
+        timings = self._dispatch(one_shard, sorted(shard_positions))
+        return self._finalize(results, timings=timings, shard_positions=shard_positions)
 
     def window_queries(self, windows) -> BatchResult:
         """Window queries; each result is an ``(m, 2)`` array in input order.
@@ -136,13 +142,13 @@ class ShardedBatchEngine:
             for window_index, chunk in zip(window_indices, batch.results):
                 parts[window_index].append((shard_id, chunk))
 
-        self._dispatch(one_shard, sorted(by_shard))
+        timings = self._dispatch(one_shard, sorted(by_shard))
         results = []
         for chunks in parts:
             chunks = [chunk for _, chunk in sorted(chunks, key=lambda c: c[0])]
             chunks = [chunk for chunk in chunks if chunk.shape[0] > 0]
             results.append(np.vstack(chunks) if chunks else _EMPTY.copy())
-        return self._finalize(results)
+        return self._finalize(results, timings=timings, shard_positions=by_shard)
 
     def knn_queries(self, queries: np.ndarray, k: int) -> BatchResult:
         """kNN queries via the index's best-first shard expansion per query."""
@@ -151,8 +157,13 @@ class ShardedBatchEngine:
         queries = np.asarray(queries, dtype=float).reshape(-1, 2)
         self.index.stats.reset()
 
+        durations: list[float] = []
+
         def one(row) -> np.ndarray:
-            return self.index.knn_query(float(row[0]), float(row[1]), k)
+            started = time.perf_counter()
+            answer = self.index.knn_query(float(row[0]), float(row[1]), k)
+            durations.append(time.perf_counter() - started)
+            return answer
 
         if self._parallel and queries.shape[0] > 1:
             # concurrent queries may share shards: results stay exact, the
@@ -161,7 +172,9 @@ class ShardedBatchEngine:
             results = run_threaded(one, list(queries), self.n_workers)
         else:
             results = [one(row) for row in queries]
-        return self._finalize(results)
+        # a kNN query's best-first expansion crosses shards, so latency is
+        # attributed per query only, never per shard
+        return self._finalize(results, durations=durations)
 
     # ------------------------------------------------------------------ plumbing --
 
@@ -182,19 +195,52 @@ class ShardedBatchEngine:
         self._engines[shard_id] = (id(shard.index), engine)
         return engine
 
-    def _dispatch(self, fn, shard_ids: list[int]) -> None:
+    def _dispatch(self, fn, shard_ids: list[int]) -> dict[int, float]:
+        """Run ``fn`` per shard, returning each shard's dispatch wall seconds."""
+        timings: dict[int, float] = {}
+
+        def timed(shard_id: int) -> None:
+            started = time.perf_counter()
+            fn(shard_id)
+            timings[shard_id] = time.perf_counter() - started
+
         if self._parallel and len(shard_ids) > 1:
-            run_threaded(fn, shard_ids, self.n_workers)
+            run_threaded(timed, shard_ids, self.n_workers)
         else:
             for shard_id in shard_ids:
-                fn(shard_id)
+                timed(shard_id)
+        return timings
 
-    def _finalize(self, results: list) -> BatchResult:
+    def _finalize(
+        self,
+        results: list,
+        timings: dict[int, float] | None = None,
+        shard_positions: dict[int, list[int]] | None = None,
+        durations: list[float] | None = None,
+    ) -> BatchResult:
         per_shard = {
             shard.shard_id: shard.stats.total_reads
             for shard in self.index.shards
             if shard.stats.total_reads > 0
         }
+        per_shard_latency = None
+        latency = latency_from_durations(durations)
+        if timings is not None and shard_positions is not None:
+            # each shard's sub-batch wall time, attributed uniformly across
+            # the sub-batch's queries (mirrors the vectorised engine path);
+            # the batch summary is per *query*: a window spanning several
+            # shards accumulates its share from each, so count == n queries
+            per_shard_latency = {}
+            per_query = np.zeros(len(results), dtype=float)
+            for shard_id, elapsed in sorted(timings.items()):
+                positions = shard_positions.get(shard_id) or []
+                summary = latency_uniform(elapsed, len(positions))
+                if summary is None:
+                    continue
+                per_shard_latency[shard_id] = summary
+                per_query[positions] += elapsed / len(positions)
+            if per_shard_latency:
+                latency = latency_from_durations(per_query)
         return BatchResult(
             results=results,
             total_block_accesses=sum(per_shard.values()),
@@ -202,6 +248,8 @@ class ShardedBatchEngine:
             total_physical_accesses=sum(
                 shard.stats.physical_reads for shard in self.index.shards
             ),
+            latency=latency,
+            per_shard_latency=per_shard_latency,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -18,6 +18,14 @@ against brute force, and any disagreement raises
 over this package.
 """
 
+from repro.workloads.latency import (
+    LatencyRecorder,
+    LatencySummary,
+    PercentileSketch,
+    VirtualClock,
+    jains_fairness_index,
+    summarize_durations,
+)
 from repro.workloads.oracle import OracleIndex
 from repro.workloads.runner import (
     ScenarioMismatch,
@@ -26,6 +34,7 @@ from repro.workloads.runner import (
     ScenarioSnapshot,
 )
 from repro.workloads.spec import (
+    ARRIVAL_MODELS,
     ARRIVAL_PATTERNS,
     KEY_DISTRIBUTIONS,
     OPERATION_KINDS,
@@ -34,7 +43,17 @@ from repro.workloads.spec import (
     ScenarioSpec,
     scenario_by_name,
 )
-from repro.workloads.stream import Operation, generate_operations
+from repro.workloads.stream import (
+    Operation,
+    generate_arrival_schedule,
+    generate_operations,
+)
+from repro.workloads.tenants import (
+    MultiTenantOracle,
+    derive_tenant_specs,
+    generate_tenant_operations,
+    split_tenant_points,
+)
 
 __all__ = [
     "OperationMix",
@@ -43,12 +62,24 @@ __all__ = [
     "scenario_by_name",
     "KEY_DISTRIBUTIONS",
     "ARRIVAL_PATTERNS",
+    "ARRIVAL_MODELS",
     "OPERATION_KINDS",
     "Operation",
     "generate_operations",
+    "generate_arrival_schedule",
     "OracleIndex",
     "ScenarioRunner",
     "ScenarioResult",
     "ScenarioSnapshot",
     "ScenarioMismatch",
+    "PercentileSketch",
+    "LatencySummary",
+    "LatencyRecorder",
+    "VirtualClock",
+    "jains_fairness_index",
+    "summarize_durations",
+    "MultiTenantOracle",
+    "derive_tenant_specs",
+    "generate_tenant_operations",
+    "split_tenant_points",
 ]

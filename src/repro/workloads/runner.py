@@ -21,6 +21,16 @@ scenario into a randomized model-based differential fuzz case.
 Periodic :class:`ScenarioSnapshot` records capture throughput, block
 accesses, recall and overflow-chain growth so the same machinery doubles as
 the load generator behind ``experiments/scenario_sweeps.py``.
+
+Latency is measured per operation against the spec's arrival model: each
+engine batch / write is timed (its wall time attributed across the batch's
+operations as *service* time) and fed through a
+:class:`~repro.workloads.latency.VirtualClock` — under ``closed-loop`` the
+next arrival follows the previous completion (plus think time), so sojourn
+equals service; under ``open-loop`` arrivals follow the stream's virtual
+schedule, so sojourn additionally includes the queueing delay a saturated
+server builds up.  p50/p95/p99 summaries surface per snapshot interval, per
+operation kind, per tenant (with a fairness index) and for the whole run.
 """
 
 from __future__ import annotations
@@ -34,6 +44,12 @@ import numpy as np
 from repro.engine import BatchQueryEngine
 from repro.evaluation.metrics import knn_recall, window_recall
 from repro.sharding import ShardedBatchEngine, ShardedSpatialIndex
+from repro.workloads.latency import (
+    LatencyRecorder,
+    LatencySummary,
+    PercentileSketch,
+    VirtualClock,
+)
 from repro.workloads.oracle import OracleIndex
 from repro.workloads.spec import ScenarioSpec
 from repro.workloads.stream import Operation, generate_operations
@@ -77,6 +93,9 @@ class ScenarioSnapshot:
     #: fraction of the interval's logical reads served from the block cache
     #: (None when no cache is attached)
     cache_hit_ratio: Optional[float] = None
+    #: sojourn-time percentiles over the interval (queue delay + service
+    #: under open-loop arrivals; pure service under closed-loop)
+    latency: Optional[LatencySummary] = None
 
 
 @dataclass
@@ -98,6 +117,20 @@ class ScenarioResult:
     #: physical (post-cache) reads over the whole run; equals
     #: ``total_block_accesses`` when no cache is attached
     total_physical_accesses: int = 0
+    #: whole-run sojourn percentiles (arrival-model dependent, see runner doc)
+    latency: Optional[LatencySummary] = None
+    #: whole-run service-time percentiles (arrival-model independent)
+    service_latency: Optional[LatencySummary] = None
+    #: sojourn percentiles split by operation kind
+    latency_by_kind: dict[str, LatencySummary] = field(default_factory=dict)
+    #: sojourn percentiles split by tenant id (one entry for single-tenant runs)
+    latency_by_tenant: dict[int, LatencySummary] = field(default_factory=dict)
+    #: Jain's fairness index over per-tenant mean sojourns (None unless the
+    #: stream interleaved >= 2 tenants)
+    fairness: Optional[float] = None
+    #: measured service seconds attributed per shard over the whole run
+    #: (sharded indices only)
+    per_shard_service_s: Optional[dict[int, float]] = None
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -114,13 +147,14 @@ class ScenarioResult:
 class _IntervalAccumulator:
     """Counters reset at every snapshot boundary."""
 
-    def __init__(self):
+    def __init__(self, seed: int = 0):
         self.ops = 0
         self.block_accesses = 0
         self.physical_accesses = 0
         self.op_counts: dict[str, int] = {}
         self.window_recalls: list[float] = []
         self.knn_recalls: list[float] = []
+        self.sojourns = PercentileSketch(seed=seed)
         self.started_at = time.perf_counter()
 
     def count(self, kind: str) -> None:
@@ -174,6 +208,9 @@ class ScenarioRunner:
             self.engine = BatchQueryEngine(index, mode=engine_mode)
         self.batch_size = batch_size
         self._name = getattr(index, "name", type(index).__name__)
+        #: multi-tenant oracles take the op's tenant on writes
+        self._tenant_aware_oracle = bool(getattr(oracle, "tenant_aware", False))
+        self._open_loop = spec.arrival_model == "open-loop"
 
     # -- public entry ---------------------------------------------------------
 
@@ -190,7 +227,10 @@ class ScenarioRunner:
         total_physical = 0
         pending: list[Operation] = []
         self._per_shard_reads: dict[int, int] = {}
-        interval = _IntervalAccumulator()
+        self._per_shard_service: dict[int, float] = {}
+        self._clock = VirtualClock()
+        self._latency = LatencyRecorder(seed=self.spec.seed)
+        interval = _IntervalAccumulator(seed=self.spec.seed)
         started = time.perf_counter()
 
         for op_index, op in enumerate(operations):
@@ -211,7 +251,7 @@ class ScenarioRunner:
                 snapshots.append(self._snapshot(op_index + 1, started, interval))
                 total_accesses += interval.block_accesses
                 total_physical += interval.physical_accesses
-                interval = _IntervalAccumulator()
+                interval = _IntervalAccumulator(seed=self.spec.seed)
 
         elapsed = time.perf_counter() - started
         return ScenarioResult(
@@ -227,40 +267,82 @@ class ScenarioRunner:
                 dict(self._per_shard_reads) if self._per_shard_reads else None
             ),
             total_physical_accesses=total_physical,
+            latency=self._latency.sojourn_summary(),
+            service_latency=self._latency.service_summary(),
+            latency_by_kind=self._latency.by_kind(),
+            latency_by_tenant=self._latency.by_tenant(),
+            fairness=self._latency.fairness(),
+            per_shard_service_s=(
+                {shard: round(total, 6) for shard, total in self._per_shard_service.items()}
+                if self._per_shard_service
+                else None
+            ),
         )
 
     # -- batched reads --------------------------------------------------------
 
     def _flush(self, pending: list[Operation], interval: _IntervalAccumulator) -> None:
         """Execute the buffered reads (one engine batch per kind), folding
-        their logical/physical access costs into ``interval``."""
+        their logical/physical access costs and measured latencies into
+        ``interval``.
+
+        Each engine batch is timed as a whole and its wall time attributed
+        uniformly across the batch's operations as per-op *service* time
+        (oracle checking is excluded from the timing); the virtual clock then
+        replays the flushed operations in stream order to derive sojourns.
+        """
         if not pending:
             return
-        points = [op for op in pending if op.kind == "point"]
-        windows = [op for op in pending if op.kind == "window"]
-        knns = [op for op in pending if op.kind == "knn"]
+        ops = list(pending)
         pending.clear()
+        services = [0.0] * len(ops)
+        by_kind: dict[str, list[int]] = {"point": [], "window": [], "knn": []}
+        for position, op in enumerate(ops):
+            by_kind[op.kind].append(position)
 
-        if points:
-            queries = np.asarray([(op.x, op.y) for op in points], dtype=float)
-            batch = self.engine.point_queries(queries)
+        positions = by_kind["point"]
+        if positions:
+            queries = np.asarray([(ops[p].x, ops[p].y) for p in positions], dtype=float)
+            batch, per_op = self._timed(lambda: self.engine.point_queries(queries), positions)
             self._account(batch, interval)
+            for p in positions:
+                services[p] = per_op
             if self.oracle is not None:
-                for op, found in zip(points, batch.results):
-                    self._check_point(op, bool(found))
-        if windows:
-            batch = self.engine.window_queries([op.window for op in windows])
+                for p, found in zip(positions, batch.results):
+                    self._check_point(ops[p], bool(found))
+        positions = by_kind["window"]
+        if positions:
+            windows = [ops[p].window for p in positions]
+            batch, per_op = self._timed(lambda: self.engine.window_queries(windows), positions)
             self._account(batch, interval)
+            for p in positions:
+                services[p] = per_op
             if self.oracle is not None:
-                for op, reported in zip(windows, batch.results):
-                    self._check_window(op, reported, interval)
-        if knns:
-            queries = np.asarray([(op.x, op.y) for op in knns], dtype=float)
-            batch = self.engine.knn_queries(queries, self.spec.k)
+                for p, reported in zip(positions, batch.results):
+                    self._check_window(ops[p], reported, interval)
+        positions = by_kind["knn"]
+        if positions:
+            queries = np.asarray([(ops[p].x, ops[p].y) for p in positions], dtype=float)
+            batch, per_op = self._timed(
+                lambda: self.engine.knn_queries(queries, self.spec.k), positions
+            )
             self._account(batch, interval)
+            for p in positions:
+                services[p] = per_op
             if self.oracle is not None:
-                for op, reported in zip(knns, batch.results):
-                    self._check_knn(op, reported, interval)
+                for p, reported in zip(positions, batch.results):
+                    self._check_knn(ops[p], reported, interval)
+
+        # the flushed reads re-enter the virtual timeline in stream order
+        for op, service in zip(ops, services):
+            self._observe_latency(op, service, interval)
+
+    @staticmethod
+    def _timed(run, positions):
+        """Run one engine batch, returning it plus its per-op wall seconds."""
+        started = time.perf_counter()
+        batch = run()
+        return batch, (time.perf_counter() - started) / max(len(positions), 1)
 
     def _account(self, batch, interval: _IntervalAccumulator) -> None:
         """Fold one engine batch's access counters into the interval/run totals."""
@@ -269,10 +351,30 @@ class ScenarioRunner:
                 self._per_shard_reads[shard_id] = (
                     self._per_shard_reads.get(shard_id, 0) + reads
                 )
+        if batch.per_shard_latency:
+            for shard_id, summary in batch.per_shard_latency.items():
+                self._per_shard_service[shard_id] = self._per_shard_service.get(
+                    shard_id, 0.0
+                ) + (summary.mean_ms / 1e3) * summary.count
         logical = batch.total_block_accesses or 0
         interval.block_accesses += logical
         physical = batch.total_physical_accesses
         interval.physical_accesses += logical if physical is None else physical
+
+    # -- latency --------------------------------------------------------------
+
+    def _observe_latency(
+        self, op: Operation, service: float, interval: _IntervalAccumulator
+    ) -> None:
+        """Feed one executed operation through the virtual clock and sketches."""
+        if self._open_loop:
+            arrival = op.arrival_time
+        else:
+            # closed loop: issued think_time after the previous completion
+            arrival = self._clock.server_free + self.spec.think_time
+        sojourn = self._clock.serve(arrival, service)
+        interval.sojourns.add(sojourn)
+        self._latency.record(op.kind, op.tenant, service, sojourn)
 
     # -- writes ---------------------------------------------------------------
 
@@ -280,14 +382,17 @@ class ScenarioRunner:
         stats = getattr(self.index, "stats", None)
         before = stats.total_reads if stats is not None else 0
         before_physical = stats.physical_reads if stats is not None else 0
+        started = time.perf_counter()
         if op.kind == "insert":
             self.index.insert(op.x, op.y)
-            if self.oracle is not None:
-                self.oracle.insert(op.x, op.y)
         else:
             removed = bool(self.index.delete(op.x, op.y))
-            if self.oracle is not None:
-                expected = self.oracle.delete(op.x, op.y)
+        service = time.perf_counter() - started
+        if self.oracle is not None:
+            if op.kind == "insert":
+                self._oracle_write(op)
+            else:
+                expected = self._oracle_write(op)
                 if removed != expected:
                     raise ScenarioMismatch(
                         f"{self._name}: delete({op.x}, {op.y}) returned {removed}, "
@@ -297,6 +402,17 @@ class ScenarioRunner:
         after_physical = stats.physical_reads if stats is not None else 0
         interval.block_accesses += max(0, after - before)
         interval.physical_accesses += max(0, after_physical - before_physical)
+        self._observe_latency(op, service, interval)
+
+    def _oracle_write(self, op: Operation):
+        """Replay one write on the shadow (routing tenants when supported)."""
+        if op.kind == "insert":
+            if self._tenant_aware_oracle:
+                return self.oracle.insert(op.x, op.y, tenant=op.tenant)
+            return self.oracle.insert(op.x, op.y)
+        if self._tenant_aware_oracle:
+            return self.oracle.delete(op.x, op.y, tenant=op.tenant)
+        return self.oracle.delete(op.x, op.y)
 
     # -- oracle agreement -----------------------------------------------------
 
@@ -396,6 +512,7 @@ class ScenarioRunner:
                 else None
             ),
             cache_hit_ratio=self._interval_hit_ratio(interval),
+            latency=LatencySummary.from_sketch(interval.sojourns),
         )
 
     def _interval_hit_ratio(self, interval: _IntervalAccumulator) -> Optional[float]:

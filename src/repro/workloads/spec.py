@@ -25,6 +25,7 @@ __all__ = [
     "ScenarioSpec",
     "KEY_DISTRIBUTIONS",
     "ARRIVAL_PATTERNS",
+    "ARRIVAL_MODELS",
     "OPERATION_KINDS",
     "SCENARIO_PRESETS",
     "scenario_by_name",
@@ -38,6 +39,13 @@ KEY_DISTRIBUTIONS = ("uniform", "data", "hotspot", "drifting", "zipfian", "bulk-
 
 #: how operations arrive: independently per op, or in runs of one kind
 ARRIVAL_PATTERNS = ("steady", "bursty")
+
+#: how load is offered when replaying: ``closed-loop`` issues the next
+#: operation as soon as the previous completes (plus ``think_time``), so
+#: latency equals service time; ``open-loop`` fixes a virtual-time arrival
+#: schedule (Poisson at ``arrival_rate``, bursty when ``arrival="bursty"``)
+#: independent of the server, so sojourn times include queueing delay
+ARRIVAL_MODELS = ("closed-loop", "open-loop")
 
 
 @dataclass(frozen=True)
@@ -99,6 +107,14 @@ class ScenarioSpec:
     window_aspect_ratio: float = 1.0
     #: mean run length of one operation kind under ``arrival="bursty"``
     burst_length: int = 32
+    #: load-offering model, one of :data:`ARRIVAL_MODELS`
+    arrival_model: str = "closed-loop"
+    #: offered load in operations per *virtual* second (``open-loop`` only);
+    #: under multi-tenancy this is the total across tenants
+    arrival_rate: float = 1_000.0
+    #: virtual seconds between an operation's completion and the next issue
+    #: (``closed-loop`` only)
+    think_time: float = 0.0
     #: fraction of operations whose key falls inside the hot region
     #: (``hotspot``/``drifting``/``bulk-churn`` distributions)
     hotspot_fraction: float = 0.9
@@ -139,6 +155,15 @@ class ScenarioSpec:
             raise ValueError("window_aspect_ratio must be positive")
         if self.burst_length < 1:
             raise ValueError("burst_length must be >= 1")
+        if self.arrival_model not in ARRIVAL_MODELS:
+            raise ValueError(
+                f"unknown arrival model {self.arrival_model!r}; "
+                f"available: {ARRIVAL_MODELS}"
+            )
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.think_time < 0:
+            raise ValueError("think_time must be >= 0")
         if not 0 <= self.hotspot_fraction <= 1:
             raise ValueError("hotspot_fraction must lie in [0, 1]")
         if not 0 < self.hotspot_extent <= 1:
@@ -231,6 +256,32 @@ SCENARIO_PRESETS: dict[str, ScenarioSpec] = {
         name="cache-hotspot",
         mix=OperationMix(point=0.6, window=0.2, knn=0.05, insert=0.1, delete=0.05),
         distribution="hotspot",
+        hotspot_fraction=0.95,
+        hotspot_extent=0.08,
+        point_miss_fraction=0.1,
+    ),
+    # the multi-tenant serving mix: run with ``--tenants N`` to split it into
+    # N independently-seeded streams merged by virtual arrival time, each
+    # tenant shadowed by its own oracle; open-loop arrivals make per-tenant
+    # sojourn percentiles (and the fairness index) meaningful
+    "tenant-mixed": ScenarioSpec(
+        name="tenant-mixed",
+        mix=OperationMix(point=0.5, window=0.15, knn=0.05, insert=0.2, delete=0.1),
+        distribution="uniform",
+        arrival_model="open-loop",
+        arrival_rate=2_000.0,
+        point_miss_fraction=0.3,
+    ),
+    # read-mostly traffic hammering one tiny region under an open-loop
+    # arrival schedule: when the offered rate outpaces the measured service
+    # rate the virtual queue grows, so p99 sojourn separates from p99 service
+    # — the latency view of a hotspot the block-access metric cannot show
+    "latency-hotspot": ScenarioSpec(
+        name="latency-hotspot",
+        mix=OperationMix(point=0.55, window=0.2, knn=0.05, insert=0.15, delete=0.05),
+        distribution="hotspot",
+        arrival_model="open-loop",
+        arrival_rate=3_000.0,
         hotspot_fraction=0.95,
         hotspot_extent=0.08,
         point_miss_fraction=0.1,

@@ -23,7 +23,7 @@ from repro.geometry import Rect
 from repro.workloads.pointset import LivePointSet
 from repro.workloads.spec import OPERATION_KINDS, ScenarioSpec
 
-__all__ = ["Operation", "generate_operations"]
+__all__ = ["Operation", "generate_operations", "generate_arrival_schedule"]
 
 
 @dataclass(frozen=True)
@@ -32,7 +32,10 @@ class Operation:
 
     ``x``/``y`` carry the key for point/knn/insert/delete operations (and the
     window centre for window operations); ``window`` is set for window
-    queries only and ``k`` for kNN queries only.
+    queries only and ``k`` for kNN queries only.  ``arrival_time`` is the
+    operation's virtual arrival instant in seconds (the open-loop schedule;
+    0.0 under closed-loop, where arrivals are completion-driven), and
+    ``tenant`` identifies the originating stream of a multi-tenant merge.
     """
 
     kind: str
@@ -40,6 +43,8 @@ class Operation:
     y: float
     window: Optional[Rect] = None
     k: int = 0
+    arrival_time: float = 0.0
+    tenant: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in OPERATION_KINDS:
@@ -143,17 +148,53 @@ class _StreamState:
         raise RuntimeError("could not draw a fresh key; data space saturated")
 
 
+def generate_arrival_schedule(spec: ScenarioSpec, n_ops: int) -> np.ndarray:
+    """Virtual arrival instants (seconds) for ``n_ops`` operations of ``spec``.
+
+    Under ``closed-loop`` the schedule is all zeros — arrivals are
+    completion-driven and computed while replaying.  Under ``open-loop`` it
+    is a Poisson process at ``spec.arrival_rate``; with ``arrival="bursty"``
+    arrivals instead come in geometric bursts (mean ``spec.burst_length``)
+    whose members share one instant, with exponential gaps scaled so the
+    long-run rate still matches ``arrival_rate``.
+
+    The schedule RNG is keyed independently of both the data set and the
+    operation-content RNG, so the same spec + seed always yields identical
+    per-op timestamps (and adding arrival times did not reshuffle any
+    previously generated stream's contents).
+    """
+    if n_ops < 0:
+        raise ValueError("n_ops must be >= 0")
+    if spec.arrival_model == "closed-loop":
+        return np.zeros(n_ops, dtype=float)
+    rng = np.random.default_rng(np.random.SeedSequence((spec.seed, 0xA881)))
+    if spec.arrival != "bursty":
+        gaps = rng.exponential(1.0 / spec.arrival_rate, size=n_ops)
+        return np.cumsum(gaps)
+    times = np.empty(n_ops, dtype=float)
+    now = 0.0
+    filled = 0
+    while filled < n_ops:
+        burst = min(int(rng.geometric(1.0 / spec.burst_length)), n_ops - filled)
+        now += float(rng.exponential(burst / spec.arrival_rate))
+        times[filled : filled + burst] = now
+        filled += burst
+    return times
+
+
 def generate_operations(spec: ScenarioSpec, initial_points: np.ndarray) -> list[Operation]:
     """The deterministic operation stream of ``spec`` over ``initial_points``.
 
     ``initial_points`` is the data set the index under test was built on; the
     stream's deletion victims and point-query hits are drawn from it (plus
-    any points the stream itself inserted earlier).
+    any points the stream itself inserted earlier).  Each operation carries
+    its virtual arrival instant per :func:`generate_arrival_schedule`.
     """
     initial_points = np.asarray(initial_points, dtype=float).reshape(-1, 2)
     if initial_points.shape[0] == 0:
         raise ValueError("scenario streams require a non-empty initial data set")
     state = _StreamState(spec, initial_points)
+    arrivals = generate_arrival_schedule(spec, spec.n_ops)
     spec_area = spec.window_area_fraction * spec.data_space.area
     window_height = math.sqrt(spec_area / spec.window_aspect_ratio)
     window_width = spec_area / window_height
@@ -162,6 +203,7 @@ def generate_operations(spec: ScenarioSpec, initial_points: np.ndarray) -> list[
     for op_index in range(spec.n_ops):
         region = state.region_for_op(op_index)
         kind = state.next_kind()
+        at = float(arrivals[op_index])
 
         if kind == "delete" and len(state.mirror) == 0:
             kind = "insert"  # nothing left to delete; keep the stream length
@@ -171,25 +213,25 @@ def generate_operations(spec: ScenarioSpec, initial_points: np.ndarray) -> list[
                 x, y = state.unique_fresh_key(region)
             else:
                 x, y = state.live_key(region)
-            operations.append(Operation("point", x, y))
+            operations.append(Operation("point", x, y, arrival_time=at))
         elif kind == "window":
             cx, cy = state.fresh_location(region)
             window = Rect.from_center(cx, cy, window_width, window_height).clip_to(
                 spec.data_space
             )
-            operations.append(Operation("window", cx, cy, window=window))
+            operations.append(Operation("window", cx, cy, window=window, arrival_time=at))
         elif kind == "knn":
             x, y = state.fresh_location(region)
-            operations.append(Operation("knn", x, y, k=spec.k))
+            operations.append(Operation("knn", x, y, k=spec.k, arrival_time=at))
         elif kind == "insert":
             x, y = state.unique_fresh_key(region)
             state.mirror.add((x, y))
-            operations.append(Operation("insert", x, y))
+            operations.append(Operation("insert", x, y, arrival_time=at))
         else:  # delete
             if float(state.rng.random()) < spec.delete_miss_fraction:
                 x, y = state.unique_fresh_key(region)
             else:
                 x, y = state.live_key(region)
                 state.mirror.discard((x, y))
-            operations.append(Operation("delete", x, y))
+            operations.append(Operation("delete", x, y, arrival_time=at))
     return operations

@@ -1,0 +1,172 @@
+"""Tests of the perf-regression gate (``tools/check_bench.py``)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench",
+    Path(__file__).resolve().parent.parent / "tools" / "check_bench.py",
+)
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+
+BASELINE = {
+    "hotspot/KDB": {
+        "n_points": 6000,
+        "cache_blocks": 12,
+        "cache_policy": "lru",
+        "hit_ratio": 0.95,
+        "logical_reads": 6000,
+        "physical_reads_cached": 200,
+        "physical_reduction": 30.0,
+        "p99_ms": 0.4,
+    }
+}
+
+
+def _write(directory: Path, payload: dict, name: str = "BENCH_cache.json") -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(payload))
+
+
+def _run(tmp_path: Path, current: dict) -> int:
+    _write(tmp_path / "baselines", BASELINE)
+    _write(tmp_path / "results", current)
+    return check_bench.main(
+        ["--results", str(tmp_path / "results"), "--baselines", str(tmp_path / "baselines")]
+    )
+
+
+class TestClassification:
+    def test_config_vs_gated_vs_informational(self):
+        assert check_bench.classify("a/KDB.n_points") == ("config", 0.0)
+        assert check_bench.classify("a/KDB.cache_policy") == ("config", 0.0)
+        kind, tol = check_bench.classify("a/KDB.hit_ratio")
+        assert kind == "higher" and tol > 0
+        kind, tol = check_bench.classify("policy/KDB.hit_ratios.lru")
+        assert kind == "higher"
+        kind, _ = check_bench.classify("a/KDB.logical_reads")
+        assert kind == "lower"
+        assert check_bench.classify("a/KDB.p99_ms")[0] == "info"
+        assert check_bench.classify("a/KDB.queueing_ratio")[0] == "info"
+
+    def test_flatten_keeps_config_dicts_whole(self):
+        flat = check_bench.flatten(
+            {"x": {"per_tenant_ops": {"0": 1}, "nested": {"p99_ms": 2.0}}}
+        )
+        assert flat == {"x.per_tenant_ops": {"0": 1}, "x.nested.p99_ms": 2.0}
+
+
+class TestGate:
+    def test_identical_results_pass(self, tmp_path, capsys):
+        assert _run(tmp_path, BASELINE) == 0
+        assert "perf gate passed" in capsys.readouterr().out
+
+    def test_improvement_passes(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        current["hotspot/KDB"]["hit_ratio"] = 0.99
+        current["hotspot/KDB"]["physical_reads_cached"] = 100
+        current["hotspot/KDB"]["physical_reduction"] = 60.0
+        assert _run(tmp_path, current) == 0
+
+    def test_hit_ratio_regression_fails(self, tmp_path, capsys):
+        current = json.loads(json.dumps(BASELINE))
+        current["hotspot/KDB"]["hit_ratio"] = 0.70
+        assert _run(tmp_path, current) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_physical_reads_regression_fails(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        current["hotspot/KDB"]["physical_reads_cached"] = 400
+        assert _run(tmp_path, current) == 1
+
+    def test_within_tolerance_passes(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        current["hotspot/KDB"]["hit_ratio"] = 0.94  # ~1% below, tol 2%
+        current["hotspot/KDB"]["physical_reads_cached"] = 210  # 5% above, tol 10%
+        assert _run(tmp_path, current) == 0
+
+    def test_wall_clock_metrics_never_gate(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        current["hotspot/KDB"]["p99_ms"] = 400.0  # 1000x slower: info only
+        assert _run(tmp_path, current) == 0
+
+    def test_config_mismatch_fails(self, tmp_path, capsys):
+        current = json.loads(json.dumps(BASELINE))
+        current["hotspot/KDB"]["n_points"] = 4000
+        assert _run(tmp_path, current) == 1
+        assert "CONFIG MISMATCH" in capsys.readouterr().out
+
+    def test_missing_metric_fails(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        del current["hotspot/KDB"]["hit_ratio"]
+        assert _run(tmp_path, current) == 1
+
+    def test_missing_results_file_fails(self, tmp_path):
+        _write(tmp_path / "baselines", BASELINE)
+        (tmp_path / "results").mkdir()
+        code = check_bench.main(
+            ["--results", str(tmp_path / "results"),
+             "--baselines", str(tmp_path / "baselines")]
+        )
+        assert code == 1
+
+    def test_no_baselines_fails(self, tmp_path):
+        (tmp_path / "baselines").mkdir()
+        _write(tmp_path / "results", BASELINE)
+        code = check_bench.main(
+            ["--results", str(tmp_path / "results"),
+             "--baselines", str(tmp_path / "baselines")]
+        )
+        assert code == 1
+
+    def test_extra_results_only_noted(self, tmp_path, capsys):
+        _write(tmp_path / "baselines", BASELINE)
+        _write(tmp_path / "results", BASELINE)
+        _write(tmp_path / "results", {"new/metric": {"p99_ms": 1.0}}, "BENCH_new.json")
+        assert check_bench.main(
+            ["--results", str(tmp_path / "results"),
+             "--baselines", str(tmp_path / "baselines")]
+        ) == 0
+        assert "has no baseline yet" in capsys.readouterr().out
+
+
+class TestUpdate:
+    def test_update_copies_results(self, tmp_path):
+        _write(tmp_path / "results", BASELINE)
+        code = check_bench.main(
+            ["--results", str(tmp_path / "results"),
+             "--baselines", str(tmp_path / "baselines"), "--update"]
+        )
+        assert code == 0
+        copied = json.loads((tmp_path / "baselines" / "BENCH_cache.json").read_text())
+        assert copied == BASELINE
+
+    def test_update_without_results_fails(self, tmp_path):
+        (tmp_path / "results").mkdir()
+        code = check_bench.main(
+            ["--results", str(tmp_path / "results"),
+             "--baselines", str(tmp_path / "baselines"), "--update"]
+        )
+        assert code == 1
+
+
+class TestRepoBaselines:
+    def test_committed_baselines_exist_and_parse(self):
+        baselines = sorted(check_bench.BASELINES_DIR.glob("BENCH_*.json"))
+        names = {path.name for path in baselines}
+        assert {"BENCH_cache.json", "BENCH_latency.json"} <= names
+        for path in baselines:
+            payload = json.loads(path.read_text())
+            assert payload, f"{path.name} is empty"
+
+    def test_canonical_root_snapshots_exist_and_parse(self):
+        for name in ("BENCH_cache.json", "BENCH_latency.json"):
+            path = check_bench.REPO_ROOT / name
+            assert path.exists(), f"canonical {name} missing from the repo root"
+            assert json.loads(path.read_text())
