@@ -15,7 +15,9 @@ file can execute code when loaded.
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -54,6 +56,13 @@ def save_index(index: Any, path: str | Path) -> Path:
     Works for :class:`~repro.core.rsmi.RSMI` and every baseline index; the
     object is stored as-is, so anything reachable from it (block store,
     models, statistics counters) is preserved.
+
+    The write is **atomic with respect to crashes**: the artefact is
+    written to a temporary file in the destination directory, flushed and
+    ``fsync``'d, then moved into place with ``os.replace``.  A process
+    killed mid-save therefore leaves either the previous artefact or the
+    new one at ``path`` — never a torn file — which is what lets the
+    durability layer treat checkpoints as always-loadable.
     """
     from repro import __version__
 
@@ -65,9 +74,22 @@ def save_index(index: Any, path: str | Path) -> Path:
         payload=index,
     )
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("wb") as handle:
-        handle.write(_MAGIC)
-        pickle.dump(artifact, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(_MAGIC)
+            pickle.dump(artifact, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already renamed or removed
+            pass
+        raise
     return path
 
 
@@ -89,10 +111,22 @@ def load_index(path: str | Path, expected_type: type | None = None) -> Any:
         magic = handle.read(len(_MAGIC))
         if magic != _MAGIC:
             raise PersistenceError(f"{path} is not a repro index artefact")
-        try:
-            artifact: IndexArtifact = pickle.load(handle)
-        except Exception as exc:  # pragma: no cover - corrupt file path
-            raise PersistenceError(f"failed to unpickle {path}: {exc}") from exc
+        payload_bytes = handle.read()
+    if not payload_bytes:
+        raise PersistenceError(
+            f"{path} is truncated: a valid header but no payload follows"
+        )
+    try:
+        artifact: IndexArtifact = pickle.loads(payload_bytes)
+    except (EOFError, pickle.UnpicklingError, AttributeError, IndexError) as exc:
+        # the torn state a crash mid-write produces: a valid magic header
+        # followed by a cut-off pickle stream
+        raise PersistenceError(
+            f"{path} is truncated or corrupt after its header "
+            f"({len(payload_bytes)} payload bytes): {exc}"
+        ) from exc
+    except Exception as exc:  # pragma: no cover - other corrupt-file paths
+        raise PersistenceError(f"failed to unpickle {path}: {exc}") from exc
     if not isinstance(artifact, IndexArtifact):
         raise PersistenceError(f"{path} does not contain an IndexArtifact envelope")
     if artifact.format_version != FORMAT_VERSION:

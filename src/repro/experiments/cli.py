@@ -15,6 +15,7 @@ Examples::
     repro-experiment --scenario tenant-mixed --tenants 3
     repro-experiment --scenario latency-hotspot --arrival-rate 5000
     repro-experiment latency-sweep --profile tiny
+    repro-experiment --scenario write-heavy --storage-backend disk --checkpoint-every 128
 
 Every run's text table is also written to ``<results dir>/<id>.txt``; the
 results directory is ``$REPRO_RESULTS_DIR`` when set, else ``./results``
@@ -33,7 +34,7 @@ from typing import Sequence
 from repro.experiments import EXPERIMENT_REGISTRY, profile_by_name
 from repro.experiments.scenario_sweeps import run_scenario_sweep
 from repro.sharding import SHARDING_POLICY_NAMES
-from repro.storage import PAGE_CACHE_POLICIES
+from repro.storage import PAGE_CACHE_POLICIES, STORAGE_BACKENDS
 from repro.workloads import SCENARIO_PRESETS
 
 
@@ -104,6 +105,22 @@ def build_parser() -> argparse.ArgumentParser:
         "the scenario's own arrival model and rate)",
     )
     parser.add_argument(
+        "--storage-backend",
+        choices=sorted(STORAGE_BACKENDS),
+        default=None,
+        help="where blocks live during a --scenario run: 'memory' (default) "
+        "simulates storage in RAM; 'disk' wraps every index in a durable "
+        "store (write-ahead log + periodic checkpoints + block files under "
+        "$REPRO_STORAGE_DIR or ./storage) whose reads perform actual I/O",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="writes between checkpoints for --storage-backend disk "
+        "(default: 256)",
+    )
+    parser.add_argument(
         "--scenario",
         choices=sorted(SCENARIO_PRESETS),
         help="replay a mixed read/write workload scenario (oracle-checked) "
@@ -142,6 +159,10 @@ def _apply_profile_overrides(args, profile):
         extras["tenants"] = args.tenants
     if args.arrival_rate is not None:
         extras["arrival_rate"] = args.arrival_rate
+    if args.storage_backend is not None:
+        extras["storage_backend"] = args.storage_backend
+    if args.checkpoint_every is not None:
+        extras["checkpoint_every"] = args.checkpoint_every
     if extras == profile.extras:
         return profile
     return profile.with_overrides(extras=extras)
@@ -224,6 +245,16 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if (args.tenants is not None or args.arrival_rate is not None) and not args.scenario:
         print("--tenants/--arrival-rate require --scenario", file=sys.stderr)
+        return 2
+
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        print("--checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
+
+    if (
+        args.storage_backend is not None or args.checkpoint_every is not None
+    ) and not args.scenario:
+        print("--storage-backend/--checkpoint-every require --scenario", file=sys.stderr)
         return 2
 
     if args.scenario:

@@ -24,7 +24,12 @@ from repro.experiments.base import ExperimentResult, register_experiment
 from repro.experiments.profiles import ScaleProfile
 from repro.experiments.sweeps import execution_mode, make_points
 from repro.sharding import EXACT_KINDS, ShardedSpatialIndex, shard_index_factory
-from repro.storage import make_page_cache
+from repro.storage import (
+    STORAGE_BACKENDS,
+    DurableIndex,
+    make_page_cache,
+    storage_root,
+)
 from repro.workloads import (
     SCENARIO_PRESETS,
     MultiTenantOracle,
@@ -111,6 +116,8 @@ def run_scenario_sweep(
     cache_policy: Optional[str] = None,
     tenants: Optional[int] = None,
     arrival_rate: Optional[float] = None,
+    storage_backend: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> ExperimentResult:
     """Replay one scenario against every index; one row per snapshot.
 
@@ -130,6 +137,14 @@ def run_scenario_sweep(
     shadowed by its own oracle; the notes then report per-tenant sojourn
     percentiles and the fairness index.  ``arrival_rate`` (CLI
     ``--arrival-rate``) overrides the spec's open-loop offered load.
+
+    ``storage_backend`` (CLI ``--storage-backend``, default ``"memory"``)
+    set to ``"disk"`` wraps every index in a
+    :class:`~repro.storage.DurableIndex` rooted under
+    :func:`~repro.storage.storage_root`: writes go through a WAL, the index
+    checkpoints every ``checkpoint_every`` writes (CLI
+    ``--checkpoint-every``), and blocks mirror into per-index block files —
+    while the shadow oracle keeps asserting that answers are unchanged.
     """
     spec = scenario_spec_for_profile(profile, scenario)
     names = tuple(index_names) if index_names is not None else SCENARIO_INDEX_NAMES
@@ -163,6 +178,21 @@ def run_scenario_sweep(
         if cache_policy is not None
         else profile.extras.get("cache_policy", "lru")
     )
+    storage_backend = (
+        storage_backend
+        if storage_backend is not None
+        else profile.extras.get("storage_backend", "memory")
+    )
+    if storage_backend not in STORAGE_BACKENDS:
+        raise ValueError(
+            f"unknown storage backend {storage_backend!r}; "
+            f"available: {STORAGE_BACKENDS}"
+        )
+    checkpoint_every = (
+        checkpoint_every
+        if checkpoint_every is not None
+        else int(profile.extras.get("checkpoint_every", 256))
+    )
     points = make_points(profile)
     config = SuiteConfig(
         n_points=points.shape[0],
@@ -194,6 +224,16 @@ def run_scenario_sweep(
             index = suite[name]
             if cache_blocks > 0:
                 index.attach_cache(make_page_cache(cache_blocks, cache_policy))
+        durable: Optional[DurableIndex] = None
+        if storage_backend == "disk":
+            slug = name.lower().replace("*", "star")
+            durable = DurableIndex(
+                index,
+                storage_root() / f"scenario-{spec.name}" / slug,
+                checkpoint_every=checkpoint_every,
+                backend="disk",
+            )
+            index = durable
         if tenants > 1:
             operations, tenant_points = generate_tenant_operations(
                 spec, points, tenants
@@ -274,6 +314,14 @@ def run_scenario_sweep(
                     for shard_id in range(shards)
                 ]
                 notes.append(f"{name}: per-shard service time (ms, whole run) {busy}")
+        if durable is not None:
+            notes.append(
+                f"{name}: durable (backend=disk, checkpoint every "
+                f"{checkpoint_every} writes) — {durable.n_checkpoints} "
+                f"checkpoint(s), {durable.wal_records_pending} WAL record(s) "
+                f"pending at shutdown under {durable.directory}"
+            )
+            durable.close()
 
     mix = ", ".join(
         f"{kind}={p:.2f}"

@@ -29,6 +29,7 @@ assert that window queries skip non-intersecting shards).
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
@@ -37,6 +38,7 @@ from repro.geometry import Rect
 from repro.sharding.policy import ShardingPolicy, make_policy
 from repro.sharding.router import ShardRouter
 from repro.storage import AccessStats, PageCache, make_page_cache
+from repro.storage.block_file import BlockFile
 
 __all__ = [
     "CompositeAccessStats",
@@ -56,6 +58,51 @@ SHARDABLE_KINDS = ("RSMI", "RSMIa", "Grid", "KDB", "HRR", "RR*", "ZM")
 EXACT_KINDS = frozenset({"Grid", "KDB", "HRR", "RR*", "RSMIa"})
 
 
+class _ShardIndexFactory:
+    """Picklable ``factory(points, shard_id, stats) -> index`` for one kind.
+
+    A plain class (not a closure) so a built :class:`ShardedSpatialIndex`
+    — which keeps its factory for lazily rebuilding emptied shards — can be
+    checkpointed through :func:`~repro.core.persistence.save_index`.
+    """
+
+    def __init__(self, kind, block_capacity, partition_threshold, training, seed):
+        self.kind = kind
+        self.block_capacity = block_capacity
+        self.partition_threshold = partition_threshold
+        self.training = training
+        self.seed = seed
+
+    def __call__(
+        self, points: np.ndarray, shard_id: int, stats: Optional[AccessStats] = None
+    ) -> object:
+        from repro.baselines import GridFile, HRRTree, KDBTree, RStarTree, ZMConfig, ZMIndex
+        from repro.core import RSMI, RSMIConfig
+
+        shard_seed = self.seed + 7919 * shard_id
+        stats = stats if stats is not None else AccessStats()
+        if self.kind in ("RSMI", "RSMIa"):
+            config = RSMIConfig(
+                block_capacity=self.block_capacity,
+                partition_threshold=self.partition_threshold,
+                training=self.training,
+                seed=shard_seed,
+            )
+            return RSMI(config, stats=stats).build(points)
+        if self.kind == "ZM":
+            config = ZMConfig(
+                block_capacity=self.block_capacity, training=self.training, seed=shard_seed
+            )
+            return ZMIndex(config, stats=stats).build(points)
+        if self.kind == "Grid":
+            return GridFile(block_capacity=self.block_capacity, stats=stats).build(points)
+        if self.kind == "KDB":
+            return KDBTree(block_capacity=self.block_capacity, stats=stats).build(points)
+        if self.kind == "HRR":
+            return HRRTree(block_capacity=self.block_capacity, stats=stats).build(points)
+        return RStarTree(block_capacity=self.block_capacity, stats=stats).build(points)
+
+
 def shard_index_factory(
     kind: str,
     block_capacity: int = 50,
@@ -69,43 +116,18 @@ def shard_index_factory(
     an independent instance (with a shard-decorrelated seed for the learned
     kinds) recording its block accesses into the shard's ``stats`` counter.
     ``partition_threshold`` applies per shard, so it should be sized for the
-    expected per-shard population, not the global one.
+    expected per-shard population, not the global one.  The factory is
+    picklable, so sharded indices can be checkpointed by the durable tier.
     """
-    from repro.baselines import GridFile, HRRTree, KDBTree, RStarTree, ZMConfig, ZMIndex
-    from repro.core import RSMI, RSMIConfig
     from repro.nn import TrainingConfig
 
     normalized = kind.strip()
     if normalized not in SHARDABLE_KINDS:
         raise ValueError(f"unknown index kind {kind!r}; available: {SHARDABLE_KINDS}")
     training = training if training is not None else TrainingConfig()
-
-    def factory(points: np.ndarray, shard_id: int, stats: Optional[AccessStats] = None) -> object:
-        shard_seed = seed + 7919 * shard_id
-        stats = stats if stats is not None else AccessStats()
-        if normalized in ("RSMI", "RSMIa"):
-            config = RSMIConfig(
-                block_capacity=block_capacity,
-                partition_threshold=partition_threshold,
-                training=training,
-                seed=shard_seed,
-            )
-            return RSMI(config, stats=stats).build(points)
-        if normalized == "ZM":
-            config = ZMConfig(
-                block_capacity=block_capacity, training=training, seed=shard_seed
-            )
-            return ZMIndex(config, stats=stats).build(points)
-        if normalized == "Grid":
-            return GridFile(block_capacity=block_capacity, stats=stats).build(points)
-        if normalized == "KDB":
-            return KDBTree(block_capacity=block_capacity, stats=stats).build(points)
-        if normalized == "HRR":
-            return HRRTree(block_capacity=block_capacity, stats=stats).build(points)
-        return RStarTree(block_capacity=block_capacity, stats=stats).build(points)
-
-    factory.kind = normalized  # type: ignore[attr-defined]
-    return factory
+    return _ShardIndexFactory(
+        normalized, block_capacity, partition_threshold, training, seed
+    )
 
 
 class CompositeAccessStats:
@@ -190,7 +212,7 @@ class CompositeAccessStats:
 class _Shard:
     """One shard: a region's stats, cache, live-point count and lazily built index."""
 
-    __slots__ = ("shard_id", "stats", "index", "exact", "cache")
+    __slots__ = ("shard_id", "stats", "index", "exact", "cache", "disk_path")
 
     def __init__(self, shard_id: int, exact: bool, cache: Optional[PageCache] = None):
         self.shard_id = shard_id
@@ -199,6 +221,10 @@ class _Shard:
         self.exact = exact
         #: shard-local page cache; writes to this shard invalidate only here
         self.cache = cache
+        #: where this shard's block-file mirror lives, when the durable tier
+        #: asked for one (the open handle lives on the index's block store
+        #: and is never pickled; the path survives so lazy builds re-attach)
+        self.disk_path: Optional[Path] = None
 
     @property
     def n_points(self) -> int:
@@ -246,6 +272,8 @@ class _Shard:
             self.index = factory(seedling, self.shard_id, self.stats)
             if self.cache is not None:
                 self.attach_cache(self.cache)
+            if self.disk_path is not None:
+                self.attach_disk(self.disk_path)
             return
         self.index.insert(x, y)
 
@@ -254,6 +282,27 @@ class _Shard:
         self.cache = cache
         if self.index is not None:
             self.index.attach_cache(cache)
+
+    def attach_disk(self, path: Optional[Path]) -> None:
+        """Install (or remove, with None) this shard's block-file mirror.
+
+        Only block-store-backed shard kinds mirror to disk; tree baselines
+        (NodePager nodes) record the path but attach nothing.  A lazily
+        built shard attaches its mirror the moment its index first exists.
+        """
+        self.disk_path = path
+        store = getattr(self.index, "store", None) if self.index is not None else None
+        if store is None or not hasattr(store, "attach_disk"):
+            return
+        if path is None:
+            disk = store.disk
+            store.attach_disk(None)
+            if disk is not None:
+                disk.close()
+            return
+        if path.exists():
+            path.unlink()  # stale mirror from an earlier attach
+        store.attach_disk(BlockFile(path, store.capacity))
 
     def delete(self, x: float, y: float) -> bool:
         if self.is_empty:
@@ -368,6 +417,26 @@ class ShardedSpatialIndex:
         self.cache_policy = cache_policy
         for shard in self.shards:
             shard.attach_cache(make_page_cache(cache_blocks, cache_policy))
+
+    def attach_disk(self, directory: Union[str, Path]) -> None:
+        """Give every shard its own block-file mirror under ``directory``.
+
+        Shard ``i`` writes through to ``shard-<i>.blocks``; shards whose
+        wrapped kind has no block store (the tree baselines) are skipped.
+        The durability layer calls this for ``--storage-backend disk`` runs,
+        and again after recovery — the mirrors are rebuilt from the
+        recovered in-memory state, which is authoritative.
+        """
+        self._require_built()
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for shard in self.shards:
+            shard.attach_disk(directory / f"shard-{shard.shard_id}.blocks")
+
+    def detach_disk(self) -> None:
+        """Close and remove every shard's block-file mirror."""
+        for shard in self.shards:
+            shard.attach_disk(None)
 
     def _require_built(self) -> None:
         if self.router is None:

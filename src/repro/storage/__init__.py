@@ -17,14 +17,32 @@ storage layer in main memory:
   pool (LRU or clock replacement) with dirty-page invalidation,
 * :class:`~repro.storage.paged.NodePager` — the paged-access façade that
   gives node-based indices (Grid file, K-D-B-tree, the R-trees) stable page
-  ids and the same cache-aware accounting as ``BlockStore``.
+  ids and the same cache-aware accounting as ``BlockStore``,
+* :class:`~repro.storage.block_file.BlockFile` — the optional disk tier: one
+  CRC-checked fixed-size record per block, written through on every
+  mutation and deserialised back on cache-missing reads,
+* :class:`~repro.storage.wal.WriteAheadLog` — framed, checksummed logical
+  mutation log with torn-tail truncation on recovery,
+* :class:`~repro.storage.durability.DurableIndex` — checkpoint + WAL
+  durability (and optionally the block-file tier) around any built index,
+  with :meth:`~repro.storage.durability.DurableIndex.recover` bringing a
+  killed process's index back to a state the crash-recovery fuzz harness
+  can verify against an oracle.
 """
 
 from repro.storage.block import Block
+from repro.storage.block_file import BlockFile, BlockFileError
 from repro.storage.block_store import BlockStore
+from repro.storage.durability import (
+    STORAGE_BACKENDS,
+    DurableIndex,
+    RecoveryReport,
+    storage_root,
+)
 from repro.storage.page_cache import PAGE_CACHE_POLICIES, PageCache, make_page_cache
 from repro.storage.paged import NodePager
 from repro.storage.stats import AccessStats
+from repro.storage.wal import WalError, WriteAheadLog
 
 __all__ = [
     "Block",
@@ -34,4 +52,12 @@ __all__ = [
     "NodePager",
     "PAGE_CACHE_POLICIES",
     "make_page_cache",
+    "BlockFile",
+    "BlockFileError",
+    "WriteAheadLog",
+    "WalError",
+    "DurableIndex",
+    "RecoveryReport",
+    "STORAGE_BACKENDS",
+    "storage_root",
 ]

@@ -7,6 +7,7 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.storage.block import Block
+from repro.storage.block_file import BlockFile
 from repro.storage.page_cache import PageCache
 from repro.storage.stats import AccessStats
 
@@ -32,6 +33,13 @@ class BlockStore:
     :class:`~repro.storage.page_cache.PageCache` is attached, reads consult
     it first: hits move only the logical counters, misses also the physical
     ones, and writes invalidate the dirtied block's cache entry.
+
+    When a :class:`~repro.storage.block_file.BlockFile` is attached (see
+    :meth:`attach_disk`) the store becomes write-through: every block
+    mutation is serialised to the file, and a read that misses the cache
+    *re-deserialises the block from the file*, replacing the in-memory
+    object — so physical reads are actual I/O and the file is load-bearing,
+    not just a backup.
     """
 
     def __init__(
@@ -45,6 +53,7 @@ class BlockStore:
         self.capacity = int(capacity)
         self.stats = stats if stats is not None else AccessStats()
         self.cache = cache
+        self._disk: Optional[BlockFile] = None
         self._blocks: list[Block] = []
         #: position in curve order -> block id of the base block
         self._base_order: list[int] = []
@@ -86,7 +95,11 @@ class BlockStore:
             previous_tail = self._chain_tail(self._base_order[-1])
             previous_tail.next_id = block.block_id
             block.prev_id = previous_tail.block_id
+            # the relink dirties the previous tail: account the write and
+            # drop its cached page, symmetric with allocate_overflow
+            self.note_write(previous_tail.block_id)
         self._base_order.append(block.block_id)
+        self._disk_write(block.block_id)
         return block
 
     def allocate_overflow(self, after_block_id: int) -> Block:
@@ -99,25 +112,35 @@ class BlockStore:
         block.prev_id = predecessor.block_id
         if predecessor.next_id is not None:
             self._block_by_id(predecessor.next_id).prev_id = block.block_id
+            self._disk_write(predecessor.next_id)
         predecessor.next_id = block.block_id
         self.stats.record_block_write()
         if self.cache is not None:
             # the predecessor's chain link changed on disk too
             self.cache.invalidate(("b", predecessor.block_id))
+        self._disk_write(predecessor.block_id)
+        self._disk_write(block.block_id)
         return block
 
     # -- access -------------------------------------------------------------------
 
     def read(self, block_id: int) -> Block:
         """Read a block by id, recording a (cache-aware) block access."""
-        block = self._block_by_id(block_id)
+        self._block_by_id(block_id)  # validate the id before any accounting
         self._touch(block_id)
-        return block
+        return self._block_by_id(block_id)
 
     def _touch(self, block_id: int) -> None:
-        """Record one block read, consulting the cache when one is attached."""
+        """Record one block read, consulting the cache when one is attached.
+
+        With a disk tier attached, a cache miss performs the actual I/O:
+        the block is re-deserialised from the block file and replaces the
+        in-memory object, so stale on-disk state cannot hide behind memory.
+        """
         cached = self.cache.access(("b", block_id)) if self.cache is not None else False
         self.stats.record_block_read(cached=cached)
+        if not cached and self._disk is not None:
+            self._blocks[block_id] = self._disk.read_block(block_id)
 
     def touch_position(self, position: int) -> None:
         """Record a read of the base block at ``position`` without returning it.
@@ -134,14 +157,46 @@ class BlockStore:
         Indices that mutate a block they located earlier (insert into a
         non-full block, flag a deletion) call this instead of bumping the
         write counter inline, so the dirty page cannot produce stale hits.
+        With a disk tier attached, the dirtied block is written through.
         """
         self.stats.record_block_write()
         if self.cache is not None:
             self.cache.invalidate(("b", block_id))
+        self._disk_write(block_id)
 
     def attach_cache(self, cache: Optional[PageCache]) -> None:
         """Install (or remove, with None) the block cache reads go through."""
         self.cache = cache
+
+    def attach_disk(self, disk: Optional[BlockFile]) -> None:
+        """Install (or remove, with None) a write-through block-file mirror.
+
+        Attaching dumps every current block into the file, so the disk tier
+        is immediately consistent; from then on every mutation writes
+        through and cache-missing reads deserialise from the file (see
+        :meth:`_touch`).  The file handle is never pickled — a checkpointed
+        store loads back disk-less and the durability manager re-attaches.
+        """
+        if disk is not None and disk.capacity != self.capacity:
+            raise ValueError(
+                f"block file holds capacity-{disk.capacity} records, "
+                f"store uses capacity {self.capacity}"
+            )
+        self._disk = disk
+        if disk is not None:
+            for block in self._blocks:
+                disk.write_block(block)
+            disk.sync()
+
+    @property
+    def disk(self) -> Optional[BlockFile]:
+        """The attached block-file mirror, when one exists."""
+        return self._disk
+
+    def _disk_write(self, block_id: int) -> None:
+        """Write one block through to the attached block file, if any."""
+        if self._disk is not None:
+            self._disk.write_block(self._blocks[block_id])
 
     def peek(self, block_id: int) -> Block:
         """Read a block without recording an access (for build/maintenance code)."""
@@ -173,6 +228,9 @@ class BlockStore:
             if not candidate.is_overflow:
                 break
             self._touch(candidate.block_id)
+            # the touch may have re-read the block from disk; yield the
+            # current object so callers mutate what the store holds
+            candidate = self._block_by_id(next_id)
             yield candidate
             next_id = candidate.next_id
 
@@ -240,6 +298,7 @@ class BlockStore:
             block = self.allocate_base()
             block.bulk_fill(points[start : start + self.capacity])
             self.stats.record_block_write()
+            self._disk_write(block.block_id)
         return first_position, self.n_base_blocks - 1
 
     # -- internals ----------------------------------------------------------------------
@@ -257,6 +316,19 @@ class BlockStore:
                 break
             block = candidate
         return block
+
+    # -- persistence: the disk handle is never pickled ----------------------------
+
+    def __getstate__(self) -> dict:
+        """Drop the block-file handle: checkpoints hold the blocks themselves,
+        and the durability manager re-attaches a mirror after recovery."""
+        state = self.__dict__.copy()
+        state["_disk"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state.setdefault("_disk", None)  # artefacts written before the disk tier
+        self.__dict__.update(state)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

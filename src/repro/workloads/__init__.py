@@ -16,8 +16,18 @@ against brute force, and any disagreement raises
 :class:`~repro.workloads.runner.ScenarioMismatch`.  The experiment CLI's
 ``--scenario`` flag and ``tests/test_scenario_fuzz.py`` are both thin layers
 over this package.
+
+:func:`~repro.workloads.crash.run_crash_recovery` extends the same
+differential idea across a process kill: replay a scenario prefix against a
+:class:`~repro.storage.DurableIndex`, crash it (optionally tearing the WAL
+tail), recover, and verify the surviving state against the oracle.
 """
 
+from repro.workloads.crash import (
+    CrashOutcome,
+    CrashRecoveryMismatch,
+    run_crash_recovery,
+)
 from repro.workloads.latency import (
     LatencyRecorder,
     LatencySummary,
@@ -82,4 +92,7 @@ __all__ = [
     "derive_tenant_specs",
     "generate_tenant_operations",
     "split_tenant_points",
+    "CrashOutcome",
+    "CrashRecoveryMismatch",
+    "run_crash_recovery",
 ]

@@ -44,6 +44,7 @@ import numpy as np
 from repro.engine import BatchQueryEngine
 from repro.evaluation.metrics import knn_recall, window_recall
 from repro.sharding import ShardedBatchEngine, ShardedSpatialIndex
+from repro.storage import DurableIndex
 from repro.workloads.latency import (
     LatencyRecorder,
     LatencySummary,
@@ -55,6 +56,14 @@ from repro.workloads.spec import ScenarioSpec
 from repro.workloads.stream import Operation, generate_operations
 
 __all__ = ["ScenarioMismatch", "ScenarioSnapshot", "ScenarioResult", "ScenarioRunner"]
+
+
+def _innermost(index):
+    """Peel every wrapper layer (DurableIndex, evaluation adapters) off."""
+    target = index
+    while hasattr(target, "wrapped"):
+        target = target.wrapped
+    return target
 
 
 class ScenarioMismatch(AssertionError):
@@ -200,12 +209,15 @@ class ScenarioRunner:
         self.spec = spec
         self.oracle = oracle
         self.exact_results = exact_results
-        if isinstance(index, ShardedSpatialIndex):
+        # a DurableIndex serves reads straight from the index it wraps (only
+        # writes need the WAL, and those go through self.index.insert/delete)
+        served = index.wrapped if isinstance(index, DurableIndex) else index
+        if isinstance(served, ShardedSpatialIndex):
             # sharded indices batch through the shard-grouping dispatcher so
             # every read still fans out to the minimal shard set
-            self.engine = ShardedBatchEngine(index, mode=engine_mode)
+            self.engine = ShardedBatchEngine(served, mode=engine_mode)
         else:
-            self.engine = BatchQueryEngine(index, mode=engine_mode)
+            self.engine = BatchQueryEngine(served, mode=engine_mode)
         self.batch_size = batch_size
         self._name = getattr(index, "name", type(index).__name__)
         #: multi-tenant oracles take the op's tenant on writes
@@ -478,7 +490,7 @@ class ScenarioRunner:
     ) -> ScenarioSnapshot:
         now = time.perf_counter()
         interval_s = max(now - interval.started_at, 1e-9)
-        target = getattr(self.index, "wrapped", self.index)
+        target = _innermost(self.index)
         store = getattr(target, "store", None)
         n_overflow = max_depth = None
         if store is not None and hasattr(store, "chain_depths"):
@@ -523,7 +535,10 @@ class ScenarioRunner:
         return 1.0 - interval.physical_accesses / interval.block_accesses
 
     def _has_cache(self) -> bool:
-        if isinstance(self.index, ShardedSpatialIndex):
-            return self.index.cache_hit_ratio() is not None
-        target = getattr(self.index, "wrapped", self.index)
+        served = (
+            self.index.wrapped if isinstance(self.index, DurableIndex) else self.index
+        )
+        if isinstance(served, ShardedSpatialIndex):
+            return served.cache_hit_ratio() is not None
+        target = _innermost(self.index)
         return getattr(target, "cache", None) is not None

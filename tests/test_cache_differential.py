@@ -388,6 +388,45 @@ def test_grid_delete_scan_counts_block_reads():
     assert index.stats.physical_block_reads == before  # scan hit the cache
 
 
+def test_allocate_base_invalidates_previous_tail_page():
+    """Growing the store with a new base block rewrites the previous chain
+    tail's next link; the tail's cached page must be dropped and the write
+    accounted — the regression was a silent in-place mutation that left the
+    stale page resident (and, with a disk tier, the stale link on disk)."""
+    from repro.storage import BlockStore
+
+    store = BlockStore(capacity=4, cache=PageCache(8, "lru"))
+    first = store.allocate_base()
+    first.bulk_fill(np.asarray([[0.1, 0.1]], dtype=float))
+    store.read(first.block_id)
+    assert store.cache.contains(("b", first.block_id))
+
+    writes_before = store.stats.block_writes
+    second = store.allocate_base()
+    assert store.peek(first.block_id).next_id == second.block_id
+    assert store.stats.block_writes > writes_before, "relink write not accounted"
+    assert not store.cache.contains(
+        ("b", first.block_id)
+    ), "previous tail's dirty page stayed resident after the relink"
+
+
+def test_allocate_base_writes_relink_through_to_disk(tmp_path):
+    """With a block file attached, the previous tail's rewritten next link
+    must reach the file — a cache-missing read deserialises from disk, so a
+    missed write-through truncates the chain to any such reader."""
+    from repro.storage import BlockFile, BlockStore
+
+    store = BlockStore(capacity=4, cache=PageCache(8, "lru"))
+    first = store.allocate_base()
+    first.bulk_fill(np.asarray([[0.1, 0.1]], dtype=float))
+    store.attach_disk(BlockFile(tmp_path / "blocks.dat", store.capacity))
+    second = store.allocate_base()
+    on_disk = store.disk.read_block(first.block_id)
+    assert on_disk.next_id == second.block_id
+    # and the cache-missing read path serves exactly that disk state
+    assert store.read(first.block_id).next_id == second.block_id
+
+
 def test_make_page_cache_disabled_paths():
     """attach_caches(None)/(0) detaches; extra_metrics drops cache keys."""
     points = dataset_by_name("uniform", 200, seed=3)

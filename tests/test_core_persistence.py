@@ -125,6 +125,89 @@ class TestPagedStorageRoundtrip:
             assert reloaded.contains(float(x), float(y))
 
 
+class TestAtomicSave:
+    """save_index must be crash-atomic: an interrupted save leaves the
+    previous artefact untouched and no temp debris behind."""
+
+    def test_failed_save_preserves_existing_artifact(
+        self, uniform_points, tmp_path, monkeypatch
+    ):
+        grid = GridFile(block_capacity=20).build(uniform_points)
+        path = save_index(grid, tmp_path / "grid.idx")
+        original_bytes = path.read_bytes()
+
+        import repro.core.persistence as persistence
+
+        def partial_write_then_die(obj, handle, protocol=None):
+            handle.write(b"some bytes that made it out before the crash")
+            raise OSError("simulated full disk mid-save")
+
+        monkeypatch.setattr(persistence.pickle, "dump", partial_write_then_die)
+        with pytest.raises(OSError):
+            save_index(grid, path)
+        # the artefact in place is byte-identical and still loads
+        assert path.read_bytes() == original_bytes
+        loaded = load_index(path, expected_type=GridFile)
+        assert loaded.n_points == grid.n_points
+
+    def test_failed_save_leaves_no_temp_files(self, uniform_points, tmp_path, monkeypatch):
+        grid = GridFile(block_capacity=20).build(uniform_points)
+
+        import repro.core.persistence as persistence
+
+        def die(obj, handle, protocol=None):
+            raise OSError("simulated failure")
+
+        monkeypatch.setattr(persistence.pickle, "dump", die)
+        with pytest.raises(OSError):
+            save_index(grid, tmp_path / "grid.idx")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_save_leaves_only_the_artifact(self, uniform_points, tmp_path):
+        grid = GridFile(block_capacity=20).build(uniform_points)
+        path = save_index(grid, tmp_path / "grid.idx")
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_overwrite_is_atomic_replacement(self, uniform_points, tmp_path):
+        grid = GridFile(block_capacity=20).build(uniform_points)
+        path = save_index(grid, tmp_path / "grid.idx")
+        grid.insert(0.123, 0.456)
+        save_index(grid, path)
+        assert load_index(path).contains(0.123, 0.456)
+
+
+class TestTruncatedArtifacts:
+    """A valid magic header followed by a cut-off pickle stream (what a
+    crash mid-write used to produce) must fail as PersistenceError with a
+    clear message, never a bare EOFError/UnpicklingError."""
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header-only.idx"
+        path.write_bytes(b"RSMIREPRO")
+        with pytest.raises(PersistenceError, match="truncated"):
+            load_index(path)
+
+    @pytest.mark.parametrize("keep_fraction", (0.25, 0.5, 0.9, 0.99))
+    def test_truncated_payload_rejected(self, uniform_points, tmp_path, keep_fraction):
+        grid = GridFile(block_capacity=20).build(uniform_points)
+        path = save_index(grid, tmp_path / "grid.idx")
+        data = path.read_bytes()
+        keep = max(len(b"RSMIREPRO") + 1, int(len(data) * keep_fraction))
+        torn = tmp_path / "torn.idx"
+        torn.write_bytes(data[:keep])
+        with pytest.raises(PersistenceError, match="truncated|corrupt"):
+            load_index(torn)
+
+    def test_truncation_error_names_the_file(self, uniform_points, tmp_path):
+        grid = GridFile(block_capacity=20).build(uniform_points)
+        path = save_index(grid, tmp_path / "grid.idx")
+        torn = tmp_path / "torn.idx"
+        torn.write_bytes(path.read_bytes()[:-40])
+        with pytest.raises(PersistenceError) as excinfo:
+            load_index(torn)
+        assert "torn.idx" in str(excinfo.value)
+
+
 class TestPersistenceErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(PersistenceError):

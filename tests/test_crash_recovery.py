@@ -1,0 +1,260 @@
+"""Crash-recovery fuzz matrix: kill-point × checkpoint-interval × backend.
+
+Every case drives :func:`repro.workloads.run_crash_recovery`: replay a
+seeded write-heavy scenario stream through a
+:class:`~repro.storage.DurableIndex`, kill the "process" after a chosen
+operation (optionally tearing the final WAL record), recover from
+checkpoint + WAL tail, and verify exact agreement with an oracle over the
+surviving prefix.  The harness raises
+:class:`~repro.workloads.CrashRecoveryMismatch` on any disagreement, so
+these tests simply assert the returned outcome's shape.
+
+Tier-1 keeps the budgets small (400 points, 120 operations); the
+``--runslow`` cases widen the kill-point grid and run the matrix over the
+RSMI itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GridFile, ZMConfig, ZMIndex
+from repro.core import RSMI
+from repro.nn import TrainingConfig
+from repro.sharding import ShardedSpatialIndex, shard_index_factory
+from repro.workloads import run_crash_recovery, scenario_by_name
+
+_TRAINING = TrainingConfig(epochs=6, seed=0)
+
+
+def _spec(n_ops=120, seed=29):
+    return scenario_by_name("write-heavy").with_overrides(n_ops=n_ops, seed=seed)
+
+
+def _zm_factory(points):
+    return ZMIndex(ZMConfig(block_capacity=16, training=_TRAINING)).build(points)
+
+
+def _grid_factory(points):
+    return GridFile(block_capacity=16).build(points)
+
+
+#: tier-1 index kinds: one learned (soundness-checked windows), one exact
+_FACTORIES = {"ZM": (_zm_factory, False), "Grid": (_grid_factory, True)}
+
+
+@pytest.fixture()
+def crash_points(uniform_points):
+    return uniform_points[:400]
+
+
+class TestKillPointMatrix:
+    @pytest.mark.parametrize("kind", sorted(_FACTORIES))
+    @pytest.mark.parametrize("kill_at", (0.25, 0.75))
+    @pytest.mark.parametrize("checkpoint_every", (16, 64))
+    def test_kill_and_recover(self, crash_points, tmp_path, kind, kill_at, checkpoint_every):
+        factory, exact = _FACTORIES[kind]
+        outcome = run_crash_recovery(
+            factory,
+            _spec(),
+            crash_points,
+            tmp_path,
+            kill_at=kill_at,
+            checkpoint_every=checkpoint_every,
+            exact=exact,
+        )
+        assert outcome.writes_survived == outcome.writes_applied
+        assert outcome.kill_at == int(round(kill_at * 120))
+        # the WAL never accumulates a full interval: a checkpoint fires at it
+        assert outcome.replayed < checkpoint_every
+        assert outcome.checkpoints >= 1
+
+    def test_kill_before_any_operation(self, crash_points, tmp_path):
+        outcome = run_crash_recovery(
+            _grid_factory, _spec(), crash_points, tmp_path, kill_at=0
+        )
+        assert outcome.writes_applied == 0
+        assert outcome.replayed == 0
+        assert outcome.n_points == crash_points.shape[0]
+
+    def test_kill_after_the_whole_stream(self, crash_points, tmp_path):
+        outcome = run_crash_recovery(
+            _grid_factory, _spec(), crash_points, tmp_path, kill_at=1.0
+        )
+        assert outcome.kill_at == 120
+        assert outcome.writes_survived == outcome.writes_applied > 0
+
+    def test_checkpoint_every_write_leaves_empty_wal(self, crash_points, tmp_path):
+        outcome = run_crash_recovery(
+            _grid_factory,
+            _spec(),
+            crash_points,
+            tmp_path,
+            kill_at=0.5,
+            checkpoint_every=1,
+        )
+        assert outcome.replayed == 0  # every write was folded into a checkpoint
+        assert outcome.checkpoints >= outcome.writes_applied
+
+
+class TestTornTail:
+    @pytest.mark.parametrize("kind", sorted(_FACTORIES))
+    def test_torn_record_is_lost_everything_else_kept(self, crash_points, tmp_path, kind):
+        factory, exact = _FACTORIES[kind]
+        outcome = run_crash_recovery(
+            factory,
+            _spec(),
+            crash_points,
+            tmp_path,
+            kill_at=0.6,
+            checkpoint_every=64,
+            exact=exact,
+            torn_tail=True,
+        )
+        assert outcome.torn_tail
+        assert outcome.writes_survived == outcome.writes_applied - 1
+
+    def test_torn_tail_ignored_on_checkpoint_boundary(self, crash_points, tmp_path):
+        # checkpoint_every=1 keeps the WAL empty, so there is nothing to tear
+        outcome = run_crash_recovery(
+            _grid_factory,
+            _spec(),
+            crash_points,
+            tmp_path,
+            kill_at=0.5,
+            checkpoint_every=1,
+            torn_tail=True,
+        )
+        assert not outcome.torn_tail
+        assert outcome.writes_survived == outcome.writes_applied
+
+
+class TestDiskBackend:
+    @pytest.mark.parametrize("kind", sorted(_FACTORIES))
+    def test_disk_backed_recovery(self, crash_points, tmp_path, kind):
+        """With backend='disk' the block mirror is rebuilt on recovery and
+        the store-vs-oracle sweep still holds exactly."""
+        factory, exact = _FACTORIES[kind]
+        outcome = run_crash_recovery(
+            factory,
+            _spec(),
+            crash_points,
+            tmp_path,
+            kill_at=0.5,
+            checkpoint_every=32,
+            backend="disk",
+            exact=exact,
+        )
+        assert outcome.writes_survived == outcome.writes_applied
+
+    def test_disk_backed_torn_tail(self, crash_points, tmp_path):
+        outcome = run_crash_recovery(
+            _zm_factory,
+            _spec(seed=31),
+            crash_points,
+            tmp_path,
+            kill_at=0.7,
+            checkpoint_every=64,
+            backend="disk",
+            exact=False,
+            torn_tail=True,
+        )
+        assert outcome.torn_tail
+        assert outcome.writes_survived == outcome.writes_applied - 1
+
+
+class TestShardedIndex:
+    @staticmethod
+    def _factory(kind):
+        def factory(points):
+            sharded = ShardedSpatialIndex(
+                shard_index_factory("ZM", block_capacity=16, training=_TRAINING)
+                if kind == "ZM"
+                else shard_index_factory(kind, block_capacity=16),
+                n_shards=2,
+                policy="grid",
+            )
+            return sharded.build(points)
+
+        return factory
+
+    def test_sharded_kill_and_recover(self, crash_points, tmp_path):
+        outcome = run_crash_recovery(
+            self._factory("Grid"),
+            _spec(seed=37),
+            crash_points,
+            tmp_path,
+            kill_at=0.5,
+            checkpoint_every=24,
+            exact=True,
+        )
+        assert outcome.writes_survived == outcome.writes_applied
+
+    def test_sharded_disk_backend_mirrors_each_shard(self, crash_points, tmp_path):
+        """Block-store-backed shard kinds get one block file per shard;
+        recovery re-attaches them and still agrees with the oracle."""
+        outcome = run_crash_recovery(
+            self._factory("ZM"),
+            _spec(seed=37),
+            crash_points,
+            tmp_path,
+            kill_at=0.5,
+            checkpoint_every=24,
+            backend="disk",
+            exact=False,
+        )
+        assert outcome.writes_survived == outcome.writes_applied
+        assert sorted(p.name for p in tmp_path.glob("shard-*.blocks")) == [
+            "shard-0.blocks",
+            "shard-1.blocks",
+        ]
+
+
+@pytest.mark.slow
+class TestSlowFuzz:
+    """The wide matrix: full kill-point grid, larger budgets, RSMI itself."""
+
+    @pytest.mark.parametrize("kill_at", (0.1, 0.3, 0.5, 0.7, 0.9, 1.0))
+    @pytest.mark.parametrize("torn_tail", (False, True))
+    def test_grid_full_quartiles(self, uniform_points, tmp_path, kill_at, torn_tail):
+        outcome = run_crash_recovery(
+            _grid_factory,
+            _spec(n_ops=400, seed=41),
+            uniform_points,
+            tmp_path,
+            kill_at=kill_at,
+            checkpoint_every=48,
+            torn_tail=torn_tail,
+        )
+        assert outcome.writes_survived <= outcome.writes_applied
+
+    @pytest.mark.parametrize("kill_at", (0.25, 0.5, 0.75))
+    def test_rsmi_disk_backed(self, uniform_points, small_rsmi_config, tmp_path, kill_at):
+        def factory(points):
+            return RSMI(small_rsmi_config).build(points)
+
+        outcome = run_crash_recovery(
+            factory,
+            _spec(n_ops=200, seed=43),
+            uniform_points,
+            tmp_path,
+            kill_at=kill_at,
+            checkpoint_every=64,
+            backend="disk",
+            exact=False,
+        )
+        assert outcome.writes_survived == outcome.writes_applied
+
+    @pytest.mark.parametrize("seed", (11, 17, 23, 29))
+    def test_seed_sweep_zm_torn(self, uniform_points, tmp_path, seed):
+        outcome = run_crash_recovery(
+            _zm_factory,
+            _spec(n_ops=300, seed=seed),
+            uniform_points,
+            tmp_path,
+            kill_at=0.8,
+            checkpoint_every=32,
+            backend="disk",
+            exact=False,
+            torn_tail=True,
+        )
+        assert outcome.torn_tail == (outcome.writes_survived == outcome.writes_applied - 1)

@@ -51,6 +51,8 @@ CONFIG_KEYS = {
     "count",
     "per_tenant_ops",
     "per_shard_query_counts",
+    "checkpoint_every",
+    "n_wal_replayed",
 }
 
 #: gated metrics that may not drop below baseline * (1 - tolerance)
@@ -59,6 +61,9 @@ HIGHER_IS_BETTER = {
     "hit_ratios": 0.02,
     "physical_reduction": 0.20,
     "fairness_index": 0.30,
+    # wall-clock ratio, but its structural margin (training time vs
+    # unpickling) is huge — gate only a total collapse of the recovery win
+    "cold_start_speedup": 0.50,
 }
 
 #: gated metrics that may not rise above baseline * (1 + tolerance)
