@@ -9,6 +9,20 @@ A sharded companion asserts the same ≥3x reduction through the
 :class:`~repro.sharding.ShardedBatchEngine` with per-shard caches, and a
 policy comparison reports LRU vs clock hit ratios on the same workload.
 
+The buffer-pool/layout additions assert the tentpole claims of the shared
+:class:`~repro.storage.SharedBufferPool` and the Hilbert block layout:
+
+* ``ZMConfig(layout="hilbert")`` answers window batches with **several times
+  fewer block reads** than the Morton span scan (``layout_read_reduction``),
+  because windows decompose into far fewer contiguous key runs
+  (``run_reduction``);
+* a hilbert-layout ZM behind a shared pool cuts physical reads on hot
+  window batches at least as hard as the point-query headline;
+* a TinyLFU pool keeps serving the hot set while one-touch sweeps stream
+  through (``scan-thrash``), where an equal-capacity LRU pool collapses;
+* one shared pool follows a drifting hotspot across shards, beating the
+  same total capacity statically split into per-shard LRU caches.
+
 Results are persisted machine-readably to
 ``benchmarks/results/BENCH_cache.json`` so the perf trajectory of the cache
 layer can be tracked across commits.  Override the data size with
@@ -25,11 +39,13 @@ import pytest
 
 from conftest import record_bench_result
 from repro.baselines import HRRTree, KDBTree, ZMConfig, ZMIndex
+from repro.curves import curve_by_name
 from repro.datasets import dataset_by_name
 from repro.engine import BatchQueryEngine
+from repro.geometry import Rect
 from repro.nn import TrainingConfig
 from repro.sharding import ShardedBatchEngine, ShardedSpatialIndex, shard_index_factory
-from repro.storage import PageCache
+from repro.storage import PageCache, SharedBufferPool, window_key_runs
 
 CACHE_N = int(os.environ.get("REPRO_BENCH_CACHE_N", "20000"))
 BLOCK_CAPACITY = 50
@@ -191,3 +207,228 @@ def test_lru_vs_clock_policies(benchmark, workload):
     index.attach_cache(PageCache(cache_blocks, "clock"))
     engine = BatchQueryEngine(index)
     benchmark(lambda: engine.point_queries(queries))
+
+
+# -- buffer pool + Hilbert layout ------------------------------------------------
+
+
+def _hotspot_windows(n: int, seed: int, extent: float = 0.03) -> list[Rect]:
+    """Window batch clustered in one hot region (plus a cold remainder)."""
+    rng = np.random.default_rng(seed)
+    hot_lo = rng.uniform(0.2, 0.7, size=2)
+    windows = []
+    for i in range(n):
+        if i < int(n * HOT_FRACTION):
+            lo = hot_lo + rng.random(2) * (HOT_EXTENT - extent)
+        else:
+            lo = rng.random(2) * (1.0 - extent)
+        windows.append(Rect(lo[0], lo[1], lo[0] + extent, lo[1] + extent))
+    rng.shuffle(windows)
+    return windows
+
+
+def _build_zm(points: np.ndarray, layout: str) -> ZMIndex:
+    return ZMIndex(
+        ZMConfig(block_capacity=BLOCK_CAPACITY, training=TrainingConfig(epochs=25),
+                 layout=layout)
+    ).build(points)
+
+
+def test_hilbert_layout_cuts_window_reads(benchmark, workload):
+    """Run-scanning over a Hilbert block layout touches several times fewer
+    blocks per window batch than the Morton corner-to-corner span scan."""
+    points, _ = workload
+    windows = _hotspot_windows(200, seed=23)
+
+    z_index = _build_zm(points, "z")
+    h_index = _build_zm(points, "hilbert")
+    z_batch = BatchQueryEngine(z_index).window_queries(windows)
+    h_batch = BatchQueryEngine(h_index).window_queries(windows)
+
+    # the physical order changes, the answers must not
+    for a, b in zip(z_batch.results, h_batch.results):
+        np.testing.assert_array_equal(np.sort(a, axis=0), np.sort(b, axis=0))
+
+    read_reduction = z_batch.total_block_accesses / max(h_batch.total_block_accesses, 1)
+    # the structural reason: windows decompose into far fewer contiguous runs
+    z_runs = sum(len(window_key_runs(curve_by_name("z", 10), w, Rect.unit()))
+                 for w in windows)
+    h_runs = sum(len(window_key_runs(curve_by_name("hilbert", 10), w, Rect.unit()))
+                 for w in windows)
+    run_reduction = z_runs / max(h_runs, 1)
+
+    payload = {
+        "n_points": points.shape[0],
+        "n_windows": len(windows),
+        "block_capacity": BLOCK_CAPACITY,
+        "logical_reads_z": z_batch.total_block_accesses,
+        "logical_reads_hilbert": h_batch.total_block_accesses,
+        "layout_read_reduction": round(read_reduction, 2),
+        "window_runs_z": z_runs,
+        "window_runs_hilbert": h_runs,
+        "run_reduction": round(run_reduction, 2),
+    }
+    _record("zm_layout_windows", payload)
+    benchmark.extra_info.update(payload)
+    engine = BatchQueryEngine(h_index)
+    benchmark(lambda: engine.window_queries(windows))
+    assert read_reduction >= MIN_REDUCTION, (
+        f"hilbert layout only cut window block reads {read_reduction:.2f}x "
+        f"(z {z_batch.total_block_accesses}, hilbert {h_batch.total_block_accesses})"
+    )
+    assert run_reduction > 1.3, f"window run counts did not drop: {payload}"
+
+
+def test_pooled_hilbert_windows_cut_physical_reads(benchmark, workload):
+    """The tentpole combination — hilbert layout + shared pool with run
+    prefetch — reaches the headline reduction on hot *window* batches too."""
+    points, _ = workload
+    n_blocks = max(1, points.shape[0] // BLOCK_CAPACITY)
+    pool_blocks = max(1, int(CACHE_FRACTION * n_blocks))
+    windows = _hotspot_windows(200, seed=29)
+
+    index = _build_zm(points, "hilbert")
+    uncached = BatchQueryEngine(index).window_queries(windows)
+    assert uncached.total_physical_accesses == uncached.total_block_accesses
+
+    pool = SharedBufferPool(pool_blocks, admission="tinylfu")
+    pooled_engine = BatchQueryEngine(index, shared_pool=pool, pool_client="zm")
+    pooled = pooled_engine.window_queries(windows)
+
+    for a, b in zip(pooled.results, uncached.results):
+        np.testing.assert_array_equal(np.sort(a, axis=0), np.sort(b, axis=0))
+    assert pooled.total_block_accesses == uncached.total_block_accesses
+
+    reduction = uncached.total_physical_accesses / max(pooled.total_physical_accesses, 1)
+    payload = {
+        "n_points": points.shape[0],
+        "n_windows": len(windows),
+        "pool_blocks": pool_blocks,
+        "pool_admission": "tinylfu",
+        "logical_reads": uncached.total_block_accesses,
+        "physical_reads_uncached": uncached.total_physical_accesses,
+        "physical_reads_cached": pooled.total_physical_accesses,
+        "physical_reduction": round(reduction, 2),
+        "pool_hit_ratio": round(pool.hit_ratio, 4),
+        "prefetch_issued": pool.prefetch_issued,
+        "prefetch_used": pool.prefetch_used,
+    }
+    _record("pooled_hilbert_windows/ZM", payload)
+    benchmark.extra_info.update(payload)
+    benchmark(lambda: pooled_engine.window_queries(windows))
+    assert reduction >= MIN_REDUCTION, (
+        f"pool of {pool_blocks}/{n_blocks} blocks only cut window physical reads "
+        f"{reduction:.2f}x"
+    )
+
+
+def test_shared_pool_scan_resistance(benchmark, workload):
+    """Scan-thrash: interleave a pool-sized hot working set with full-space
+    sweeps.  The metric is **hot-set refaults after each sweep**: an LRU pool
+    re-reads the whole hot set every round, the TinyLFU pool rejects the
+    one-touch sweep pages and keeps the hot set resident throughout."""
+    points, _ = workload
+    n_blocks = max(1, points.shape[0] // BLOCK_CAPACITY)
+    pool_blocks = max(1, int(CACHE_FRACTION * n_blocks))
+    # hot region sized to ~1/3 of the pool: the KDB working set it induces
+    # (leaf spread + node pages) then fits comfortably inside the capacity
+    extent = min(0.8, np.sqrt((pool_blocks / 3) * BLOCK_CAPACITY / points.shape[0]))
+    sweep = Rect(0.0, 0.0, 1.0, 1.0)
+
+    # average over several hot regions: a single region can land on a
+    # count-min collision (hash seeds vary per process) and blur the gap
+    refaults = {"tinylfu": 0, "lru": 0}
+    ratios = {}
+    for region_seed in (37, 38, 39):
+        rng = np.random.default_rng(region_seed)
+        lo = rng.uniform(0.1, 0.9 - extent, size=2)
+        mask = (
+            (points[:, 0] >= lo[0]) & (points[:, 0] <= lo[0] + extent)
+            & (points[:, 1] >= lo[1]) & (points[:, 1] <= lo[1] + extent)
+        )
+        hot_pool = points[mask]
+        chunks = [
+            hot_pool[rng.integers(0, hot_pool.shape[0], size=400)] for _ in range(4)
+        ]
+        for admission in ("tinylfu", "lru"):
+            index = _build("KDB", points)
+            pool = SharedBufferPool(pool_blocks, admission=admission)
+            engine = BatchQueryEngine(index, shared_pool=pool, pool_client="kdb")
+            engine.point_queries(chunks[0])  # warm the hot set
+            for chunk in chunks[1:]:
+                engine.window_queries([sweep])  # one-touch scan of every block
+                refaults[admission] += engine.point_queries(chunk).total_physical_accesses
+            ratios[admission] = round(pool.hit_ratio, 4)
+
+    advantage = refaults["lru"] / max(refaults["tinylfu"], 1)
+    payload = {
+        "n_points": points.shape[0],
+        "pool_blocks": pool_blocks,
+        "hot_refaults_tinylfu": refaults["tinylfu"],
+        "hot_refaults_lru": refaults["lru"],
+        "scan_advantage": round(advantage, 2),
+        "pool_hit_ratio": ratios["tinylfu"],
+        "pool_hit_ratio_lru": ratios["lru"],
+    }
+    _record("scan_thrash_pool/KDB", payload)
+    benchmark.extra_info.update(payload)
+    index = _build("KDB", points)
+    engine = BatchQueryEngine(
+        index, shared_pool=SharedBufferPool(pool_blocks), pool_client="kdb"
+    )
+    benchmark(lambda: engine.point_queries(chunks[1]))
+    assert advantage >= 2.0, f"TinyLFU did not resist the sweeps: {payload}"
+    assert ratios["tinylfu"] >= ratios["lru"]
+
+
+def test_shared_pool_follows_drifting_hotspot(benchmark, workload):
+    """One shared pool vs the same capacity split into per-shard LRU caches,
+    under a hotspot that drifts across all four shards."""
+    points, _ = workload
+    n_shards = 4
+    n_blocks = max(1, points.shape[0] // BLOCK_CAPACITY)
+    pool_blocks = max(4, int(CACHE_FRACTION * n_blocks))
+    rng = np.random.default_rng(31)
+
+    # per-phase hot batches: stored points from one quadrant's hot region
+    phases = []
+    for qx, qy in ((0.05, 0.05), (0.55, 0.05), (0.55, 0.55), (0.05, 0.55)):
+        mask = (
+            (points[:, 0] >= qx) & (points[:, 0] <= qx + 0.25)
+            & (points[:, 1] >= qy) & (points[:, 1] <= qy + 0.25)
+        )
+        pool_points = points[mask]
+        phases.append(pool_points[rng.integers(0, pool_points.shape[0], size=600)])
+
+    factory = shard_index_factory("KDB", block_capacity=BLOCK_CAPACITY)
+
+    lru_index = ShardedSpatialIndex(factory, n_shards=n_shards, policy="grid").build(points)
+    lru_index.attach_caches(pool_blocks // n_shards, "lru")
+    lru_engine = ShardedBatchEngine(lru_index)
+    for phase in phases:
+        lru_engine.point_queries(phase)
+    caches = lru_index.per_shard_caches()
+    lru_ratio = sum(c.hits for c in caches) / max(sum(c.accesses for c in caches), 1)
+
+    pool = SharedBufferPool(pool_blocks, admission="tinylfu")
+    pool_index = ShardedSpatialIndex(factory, n_shards=n_shards, policy="grid").build(points)
+    pool_index.attach_shared_pool(pool)
+    pool_engine = ShardedBatchEngine(pool_index)
+    for phase in phases:
+        pool_engine.point_queries(phase)
+
+    payload = {
+        "n_points": points.shape[0],
+        "n_shards": n_shards,
+        "pool_blocks": pool_blocks,
+        "cache_blocks_per_shard": pool_blocks // n_shards,
+        "pool_hit_ratio": round(pool.hit_ratio, 4),
+        "per_shard_lru_hit_ratio": round(lru_ratio, 4),
+        "drift_advantage": round(pool.hit_ratio / max(lru_ratio, 1e-9), 2),
+    }
+    _record("drifting_pool/sharded_KDB", payload)
+    benchmark.extra_info.update(payload)
+    benchmark(lambda: pool_engine.point_queries(phases[0]))
+    assert pool.hit_ratio > lru_ratio, (
+        f"shared pool did not beat static split: {payload}"
+    )

@@ -17,6 +17,14 @@ Query processing follows the paper:
   the range in between,
 * kNN queries use the paper's expanding-window strategy because ZM has no
   native kNN algorithm (Section 6.2.4).
+
+``ZMConfig(layout="hilbert")`` swaps the Morton order for a **Hilbert block
+layout**: points are sorted by Hilbert key before packing, and window
+queries scan the window's contiguous key *runs* (see
+:mod:`repro.storage.layout`) instead of the corner-to-corner span — the
+Hilbert curve's better clustering yields ~40% fewer runs, so spanning
+windows touch fewer, more contiguous blocks.  Everything else (the learned
+hierarchy, point queries, updates) is curve-agnostic.
 """
 
 from __future__ import annotations
@@ -30,11 +38,18 @@ import numpy as np
 from repro.baselines.common import expanding_window_knn
 from repro.baselines.interface import SpatialIndex
 from repro.curves import ZCurve
+from repro.curves.hilbert import HilbertCurve
 from repro.geometry import Rect, mbr_of_points
 from repro.nn import MLPRegressor, TrainingConfig, train_regressor
 from repro.storage import AccessStats, BlockStore, PageCache
+from repro.storage.layout import window_key_runs
 
-__all__ = ["ZMConfig", "ZMIndex"]
+__all__ = ["ZMConfig", "ZMIndex", "ZM_LAYOUTS"]
+
+#: block layouts: ``"z"`` is the paper's ZM (Morton order, window scans the
+#: whole corner-to-corner key span); ``"hilbert"`` sorts blocks by Hilbert
+#: key and scans windows per contiguous key run instead
+ZM_LAYOUTS = ("z", "hilbert")
 
 
 @dataclass(frozen=True)
@@ -46,6 +61,8 @@ class ZMConfig:
     hidden_size: int = 16
     training: TrainingConfig = field(default_factory=TrainingConfig)
     seed: int = 0
+    #: physical block layout — see :data:`ZM_LAYOUTS`
+    layout: str = "z"
 
     def __post_init__(self) -> None:
         if self.block_capacity < 1:
@@ -54,6 +71,8 @@ class ZMConfig:
             raise ValueError("curve_order must lie in [1, 31]")
         if self.hidden_size < 1:
             raise ValueError("hidden_size must be >= 1")
+        if self.layout not in ZM_LAYOUTS:
+            raise ValueError(f"unknown layout {self.layout!r}; available: {ZM_LAYOUTS}")
 
 
 class _ZMLevelModel:
@@ -83,7 +102,11 @@ class ZMIndex(SpatialIndex):
         super().__init__(stats, cache)
         self.config = config if config is not None else ZMConfig()
         self.store = BlockStore(self.config.block_capacity, self.stats, cache=self.cache)
-        self.curve = ZCurve(self.config.curve_order)
+        self.curve = (
+            HilbertCurve(self.config.curve_order)
+            if self.config.layout == "hilbert"
+            else ZCurve(self.config.curve_order)
+        )
         self._n_points = 0
         #: cardinality at build time; the rank -> block mapping and the error
         #: bounds are defined relative to it, so it must not drift with updates
@@ -92,6 +115,9 @@ class ZMIndex(SpatialIndex):
         self._levels: list[list[_ZMLevelModel]] = []
         self._block_zmin = np.empty(0, dtype=np.int64)
         self._block_zmax = np.empty(0, dtype=np.int64)
+        # lazily rebuilt monotone envelopes of the (possibly widened)
+        # per-block key ranges, used by the run-scanning window path
+        self._envelopes: Optional[tuple[np.ndarray, np.ndarray]] = None
         self._z_max_value = float(self.curve.n_cells - 1)
 
     # -- Z-value computation --------------------------------------------------------
@@ -142,6 +168,7 @@ class ZMIndex(SpatialIndex):
         self._block_zmax = np.array(
             [sorted_z[min((i + 1) * capacity, n) - 1] for i in range(n_blocks)], dtype=np.int64
         )
+        self._envelopes = None
 
         self._train_hierarchy(sorted_z, n)
         return self
@@ -258,7 +285,53 @@ class ZMIndex(SpatialIndex):
                 hi = mid
         return lo
 
+    def _directory_envelopes(self) -> tuple[np.ndarray, np.ndarray]:
+        """Monotone conservative bounds over the per-block key ranges.
+
+        Inserts widen individual ``zmin``/``zmax`` entries, which can break
+        their sortedness; the running max of ``zmax`` and the suffix min of
+        ``zmin`` stay monotone, so binary searches over them find a
+        conservative (complete) block range for any key interval.
+        """
+        if self._envelopes is None:
+            cummax = np.maximum.accumulate(self._block_zmax)
+            suffmin = np.minimum.accumulate(self._block_zmin[::-1])[::-1]
+            self._envelopes = (cummax, suffmin)
+        return self._envelopes
+
+    def _window_query_runs(self, window: Rect) -> np.ndarray:
+        """Window scan along the window's contiguous curve-key runs.
+
+        Exact for any layout: the runs cover every key the window can
+        contain, and every point's key lies inside its block's directory
+        range (widened on insert), so the envelope searches cannot skip a
+        holding block.  This is what makes the Hilbert layout pay off — its
+        corner-to-corner span is wider than Z-order's, but it decomposes
+        into far fewer runs.
+        """
+        space = self._data_space if self._data_space is not None else Rect.unit()
+        cummax, suffmin = self._directory_envelopes()
+        n_blocks = self.store.n_base_blocks
+        collected: list[np.ndarray] = []
+        next_unscanned = 0  # blocks are scanned whole: never rescan one
+        for key_lo, key_hi in window_key_runs(self.curve, window, space):
+            begin = max(int(np.searchsorted(cummax, key_lo, side="left")), next_unscanned)
+            end = int(np.searchsorted(suffmin, key_hi, side="right")) - 1
+            if begin >= n_blocks or end < begin:
+                continue
+            next_unscanned = end + 1
+            for block in self.store.scan_positions(begin, end):
+                points = block.points()
+                if points.shape[0] == 0:
+                    continue
+                mask = window.contains_points(points)
+                if mask.any():
+                    collected.append(points[mask])
+        return np.vstack(collected) if collected else np.empty((0, 2), dtype=float)
+
     def window_query(self, window: Rect) -> np.ndarray:
+        if self.config.layout != "z":
+            return self._window_query_runs(window)
         z_low = self.z_value(window.xlo, window.ylo)
         z_high = self.z_value(window.xhi, window.yhi)
         low_pred, low_below, _ = self._predict_block(z_low)
@@ -308,6 +381,12 @@ class ZMIndex(SpatialIndex):
         # query's scan cutoff keeps the block visible for this Z-value
         if self._block_zmin.size and z < self._block_zmin[position]:
             self._block_zmin[position] = z
+            self._envelopes = None
+        # symmetric upper widening so the run-scanning window path's
+        # envelopes keep covering every stored key
+        if self._block_zmax.size and z > self._block_zmax[position]:
+            self._block_zmax[position] = z
+            self._envelopes = None
         self.store.note_write(target.block_id)
         self._n_points += 1
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-__all__ = ["IndexArtifact", "save_index", "load_index", "PersistenceError"]
+__all__ = ["IndexArtifact", "save_index", "load_index", "PersistenceError", "fsync_dir"]
 
 #: bump when the on-disk layout of the envelope changes
 FORMAT_VERSION = 1
@@ -32,6 +32,24 @@ _MAGIC = b"RSMIREPRO"
 
 class PersistenceError(RuntimeError):
     """Raised when an artefact cannot be read back."""
+
+
+def fsync_dir(directory: str | Path) -> None:
+    """``fsync`` a directory so a just-renamed/created entry survives a crash.
+
+    ``os.replace`` makes a rename atomic, but the *directory entry* itself
+    lives in the parent directory's data — until that is flushed, a crash
+    can silently roll the rename back and resurrect the old file.  No-op on
+    platforms whose directories cannot be opened for syncing.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 @dataclass
@@ -84,6 +102,11 @@ def save_index(index: Any, path: str | Path) -> Path:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        # the rename only becomes durable once the parent directory's entry
+        # table is flushed; without this a crash right after os.replace can
+        # silently lose the new checkpoint (the caller has typically already
+        # reset its WAL by the time anyone notices)
+        fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)

@@ -34,7 +34,7 @@ from typing import Sequence
 from repro.experiments import EXPERIMENT_REGISTRY, profile_by_name
 from repro.experiments.scenario_sweeps import run_scenario_sweep
 from repro.sharding import SHARDING_POLICY_NAMES
-from repro.storage import PAGE_CACHE_POLICIES, STORAGE_BACKENDS
+from repro.storage import PAGE_CACHE_POLICIES, POOL_ADMISSIONS, STORAGE_BACKENDS
 from repro.workloads import SCENARIO_PRESETS
 
 
@@ -87,6 +87,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=PAGE_CACHE_POLICIES,
         help="block-cache replacement policy (default: lru)",
+    )
+    parser.add_argument(
+        "--shared-pool-blocks",
+        type=int,
+        default=None,
+        help="serve every index from one shared buffer pool of this total "
+        "capacity (all shards share it when sharded) instead of private "
+        "caches; 0 disables (mutually exclusive with --cache-blocks)",
+    )
+    parser.add_argument(
+        "--pool-admission",
+        default=None,
+        choices=POOL_ADMISSIONS,
+        help="shared-pool admission policy: 'tinylfu' (frequency-sketch "
+        "gated, scan-resistant; default) or 'lru' (always admit)",
+    )
+    parser.add_argument(
+        "--batch-reorder",
+        action="store_true",
+        help="execute batched fallback queries in Hilbert-key order (results "
+        "scatter back to input order), so co-located queries share cached "
+        "blocks (applies to --execution batched/threaded)",
     )
     parser.add_argument(
         "--tenants",
@@ -155,6 +177,12 @@ def _apply_profile_overrides(args, profile):
         extras["cache_blocks"] = args.cache_blocks
     if args.cache_policy is not None:
         extras["cache_policy"] = args.cache_policy
+    if args.shared_pool_blocks is not None:
+        extras["shared_pool_blocks"] = args.shared_pool_blocks
+    if args.pool_admission is not None:
+        extras["pool_admission"] = args.pool_admission
+    if args.batch_reorder:
+        extras["batch_reorder"] = True
     if args.tenants is not None:
         extras["tenants"] = args.tenants
     if args.arrival_rate is not None:
@@ -233,6 +261,15 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.cache_blocks is not None and args.cache_blocks < 0:
         print("--cache-blocks must be >= 0", file=sys.stderr)
+        return 2
+
+    if args.shared_pool_blocks is not None and args.shared_pool_blocks < 0:
+        print("--shared-pool-blocks must be >= 0", file=sys.stderr)
+        return 2
+
+    if (args.cache_blocks or 0) > 0 and (args.shared_pool_blocks or 0) > 0:
+        print("pass either --cache-blocks or --shared-pool-blocks, not both",
+              file=sys.stderr)
         return 2
 
     if args.tenants is not None and args.tenants < 1:

@@ -27,6 +27,7 @@ from repro.sharding import EXACT_KINDS, ShardedSpatialIndex, shard_index_factory
 from repro.storage import (
     STORAGE_BACKENDS,
     DurableIndex,
+    SharedBufferPool,
     make_page_cache,
     storage_root,
 )
@@ -114,6 +115,8 @@ def run_scenario_sweep(
     sharding_policy: Optional[str] = None,
     cache_blocks: Optional[int] = None,
     cache_policy: Optional[str] = None,
+    shared_pool_blocks: Optional[int] = None,
+    pool_admission: Optional[str] = None,
     tenants: Optional[int] = None,
     arrival_rate: Optional[float] = None,
     storage_backend: Optional[str] = None,
@@ -131,6 +134,13 @@ def run_scenario_sweep(
     :class:`~repro.storage.PageCache` in front of every index — per shard
     when sharded — so the snapshot series reports the cache hit ratio while
     the oracle keeps asserting that answers are unchanged.
+
+    ``shared_pool_blocks``/``pool_admission`` (CLI ``--shared-pool-blocks``/
+    ``--pool-admission``, mutually exclusive with ``cache_blocks``) instead
+    serve each index from one :class:`~repro.storage.SharedBufferPool` of
+    that *total* capacity — shared across all shards when sharded — with
+    TinyLFU admission by default, so the capacity follows the traffic and
+    one-touch scans cannot flush the hot set.
 
     ``tenants`` (CLI ``--tenants``) splits the scenario into that many
     independently-seeded streams merged by virtual arrival time, each tenant
@@ -178,6 +188,18 @@ def run_scenario_sweep(
         if cache_policy is not None
         else profile.extras.get("cache_policy", "lru")
     )
+    shared_pool_blocks = (
+        shared_pool_blocks
+        if shared_pool_blocks is not None
+        else int(profile.extras.get("shared_pool_blocks", 0))
+    )
+    pool_admission = (
+        pool_admission
+        if pool_admission is not None
+        else profile.extras.get("pool_admission", "tinylfu")
+    )
+    if cache_blocks > 0 and shared_pool_blocks > 0:
+        raise ValueError("pass either cache_blocks or shared_pool_blocks, not both")
     storage_backend = (
         storage_backend
         if storage_backend is not None
@@ -208,10 +230,16 @@ def run_scenario_sweep(
     notes: list[str] = []
     for name in names:
         # fresh build per index: the stream mutates the structure
+        pool: Optional[SharedBufferPool] = None
+        if shared_pool_blocks > 0:
+            # one fresh pool per index keeps the per-index runs independent
+            pool = SharedBufferPool(shared_pool_blocks, pool_admission)
         if shards > 1:
             index = build_sharded_index(points, name, shards, sharding_policy, config)
             if cache_blocks > 0:
                 index.attach_caches(cache_blocks, cache_policy)
+            if pool is not None:
+                index.attach_shared_pool(pool)
         else:
             suite = build_index_suite(
                 points,
@@ -224,6 +252,8 @@ def run_scenario_sweep(
             index = suite[name]
             if cache_blocks > 0:
                 index.attach_cache(make_page_cache(cache_blocks, cache_policy))
+            if pool is not None:
+                index.attach_cache(pool.client(name))
         durable: Optional[DurableIndex] = None
         if storage_backend == "disk":
             slug = name.lower().replace("*", "star")
@@ -248,6 +278,7 @@ def run_scenario_sweep(
             oracle=oracle,
             exact_results=name in EXACT_RESULT_INDICES,
             engine_mode=engine_mode,
+            batch_reorder=bool(profile.extras.get("batch_reorder", False)),
         )
         result = runner.replay(operations) if operations is not None else runner.run(points)
         for snapshot in result.snapshots:
@@ -297,6 +328,14 @@ def run_scenario_sweep(
                 f"{name}: block cache {cache_blocks} blocks/{cache_policy}"
                 + (" per shard" if shards > 1 else "")
                 + f", whole-run hit ratio {result.cache_hit_ratio:.3f}"
+            )
+        if pool is not None:
+            notes.append(
+                f"{name}: shared pool {pool.capacity} blocks/{pool.admission}"
+                + (f" across {shards} shards" if shards > 1 else "")
+                + f", whole-run hit ratio {pool.hit_ratio:.3f}, "
+                f"{pool.rejections} admission rejection(s), "
+                f"{pool.prefetch_used}/{pool.prefetch_issued} prefetches used"
             )
         if shards > 1:
             per_shard_reads = [

@@ -6,8 +6,9 @@ whole batches in parallel.  This package provides the three layers of that
 serving stack:
 
 * **Policies** (:mod:`repro.sharding.policy`) decide *where data lives*: a
-  regular grid, contiguous Z-order ranges, or sample-balanced k-d style
-  regions (:func:`~repro.sharding.policy.make_policy`).
+  regular grid, contiguous Z-order or Hilbert curve ranges, or
+  sample-balanced k-d style regions
+  (:func:`~repro.sharding.policy.make_policy`).
 * **Routing** (:mod:`repro.sharding.router`) maps every operation to the
   minimal shard set — one shard for point ops, only intersecting shards
   for windows (spatial data skipping), and a best-first MINDIST order for
@@ -37,6 +38,8 @@ from repro.sharding.index import (
 )
 from repro.sharding.policy import (
     SHARDING_POLICY_NAMES,
+    CurveRangePolicy,
+    HilbertRangePolicy,
     RegularGridPolicy,
     SampleBalancedPolicy,
     ShardingPolicy,
@@ -48,7 +51,9 @@ from repro.sharding.router import ShardRouter
 __all__ = [
     "ShardingPolicy",
     "RegularGridPolicy",
+    "CurveRangePolicy",
     "ZOrderRangePolicy",
+    "HilbertRangePolicy",
     "SampleBalancedPolicy",
     "SHARDING_POLICY_NAMES",
     "make_policy",

@@ -56,6 +56,16 @@ class ShardedBatchEngine:
         :class:`~repro.storage.PageCache` of that capacity per shard (see
         :meth:`ShardedSpatialIndex.attach_caches`); answers are unchanged,
         only the physical-read accounting drops on warm working sets.
+    shared_pool / shard_budget:
+        Serve every shard from one
+        :class:`~repro.storage.SharedBufferPool` instead of shard-local
+        caches (mutually exclusive with ``cache_blocks``; see
+        :meth:`ShardedSpatialIndex.attach_shared_pool`).  ``shard_budget``
+        optionally caps any one shard's pool occupancy.
+    reorder:
+        Forwarded to every per-shard :class:`BatchQueryEngine`: fallback
+        sub-batches execute in Hilbert-key order and scatter back, so one
+        shard's hot blocks fault once per sub-batch.
     """
 
     def __init__(
@@ -65,6 +75,9 @@ class ShardedBatchEngine:
         n_workers=None,
         cache_blocks=None,
         cache_policy: str = "lru",
+        shared_pool=None,
+        shard_budget=None,
+        reorder: bool = False,
     ):
         if mode not in ENGINE_MODES:
             raise ValueError(f"unknown engine mode {mode!r}; available: {ENGINE_MODES}")
@@ -76,8 +89,13 @@ class ShardedBatchEngine:
         self.index = index
         self.mode = mode
         self.n_workers = n_workers
+        self.reorder = bool(reorder)
+        if cache_blocks is not None and shared_pool is not None:
+            raise ValueError("pass either cache_blocks or shared_pool, not both")
         if cache_blocks is not None:
             index.attach_caches(cache_blocks, cache_policy)
+        if shared_pool is not None:
+            index.attach_shared_pool(shared_pool, budget_per_shard=shard_budget)
         self._parallel = mode == "threaded"
         self._shard_mode = "auto" if mode == "threaded" else mode
         #: shard_id -> (wrapped index identity, engine); rebuilt when a shard's
@@ -191,7 +209,7 @@ class ShardedBatchEngine:
             from repro.evaluation.adapters import RSMIExactAdapter
 
             target = RSMIExactAdapter(target)
-        engine = BatchQueryEngine(target, mode=self._shard_mode)
+        engine = BatchQueryEngine(target, mode=self._shard_mode, reorder=self.reorder)
         self._engines[shard_id] = (id(shard.index), engine)
         return engine
 

@@ -37,7 +37,7 @@ import numpy as np
 from repro.geometry import Rect
 from repro.sharding.policy import ShardingPolicy, make_policy
 from repro.sharding.router import ShardRouter
-from repro.storage import AccessStats, PageCache, make_page_cache
+from repro.storage import AccessStats, PageCache, SharedBufferPool, make_page_cache
 from repro.storage.block_file import BlockFile
 
 __all__ = [
@@ -176,8 +176,12 @@ class CompositeAccessStats:
         return sum(part.physical_reads for part in self._parts)
 
     @property
+    def prefetch_block_reads(self) -> int:
+        return sum(part.prefetch_block_reads for part in self._parts)
+
+    @property
     def cache_hits(self) -> int:
-        return self.logical_reads - self.physical_reads
+        return sum(part.cache_hits for part in self._parts)
 
     @property
     def hit_ratio(self) -> float:
@@ -196,6 +200,7 @@ class CompositeAccessStats:
             self.node_reads,
             self.physical_block_reads,
             self.physical_node_reads,
+            self.prefetch_block_reads,
         )
 
     def delta_since(self, earlier: AccessStats) -> AccessStats:
@@ -374,6 +379,8 @@ class ShardedSpatialIndex:
             self.policy = None
             self.n_shards = n_shards
         self.router: Optional[ShardRouter] = None
+        #: the shared buffer pool, when :meth:`attach_shared_pool` installed one
+        self.shared_pool: Optional[SharedBufferPool] = None
         self.shards: list[_Shard] = []
         self.stats = CompositeAccessStats([])
         self.name = name or f"Sharded[{kind or 'index'}x{self.n_shards}:" + (
@@ -415,8 +422,35 @@ class ShardedSpatialIndex:
         self._require_built()
         self.cache_blocks = cache_blocks
         self.cache_policy = cache_policy
+        self.shared_pool = None
         for shard in self.shards:
             shard.attach_cache(make_page_cache(cache_blocks, cache_policy))
+
+    def attach_shared_pool(
+        self,
+        pool: "SharedBufferPool",
+        budget_per_shard: Optional[int] = None,
+        namespace: str = "shard",
+    ) -> "SharedBufferPool":
+        """Serve every shard from one shared buffer pool instead of
+        shard-local caches.
+
+        Each shard reads through its own
+        :class:`~repro.storage.buffer_pool.PoolClient`
+        (``"<namespace>-<shard_id>"``), so writes still invalidate only the
+        owning shard's pages, while the pool's whole capacity follows the
+        traffic — a drifting hotspot re-uses the full budget instead of
+        thrashing one statically sized shard cache.  ``budget_per_shard``
+        optionally caps any one shard's occupancy; ``namespace`` keeps
+        client names disjoint when several indices share one pool.
+        """
+        self._require_built()
+        self.cache_blocks = None
+        self.cache_policy = pool.admission
+        self.shared_pool = pool
+        for shard in self.shards:
+            shard.attach_cache(pool.client(f"{namespace}-{shard.shard_id}", budget_per_shard))
+        return pool
 
     def attach_disk(self, directory: Union[str, Path]) -> None:
         """Give every shard its own block-file mirror under ``directory``.
@@ -560,6 +594,15 @@ class ShardedSpatialIndex:
             metrics["cache_blocks_per_shard"] = self.cache_blocks
             metrics["cache_policy"] = self.cache_policy
             metrics["cache_hit_ratio"] = round(hit_ratio, 4)
+        if self.shared_pool is not None:
+            metrics["shared_pool"] = {
+                "capacity": self.shared_pool.capacity,
+                "admission": self.shared_pool.admission,
+                "hit_ratio": round(self.shared_pool.hit_ratio, 4),
+                "rejections": self.shared_pool.rejections,
+                "prefetch_issued": self.shared_pool.prefetch_issued,
+                "prefetch_used": self.shared_pool.prefetch_used,
+            }
         return metrics
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

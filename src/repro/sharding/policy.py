@@ -8,7 +8,7 @@ to the nearest boundary cell).  Totality is what makes shard routing
 deterministic under churn: an insert and the later point query / delete for
 the same key always land on the same shard.
 
-Three policies ship:
+Four policies ship:
 
 * :class:`RegularGridPolicy` — an ``nx × ny`` grid of equal-sized cells;
   the simplest layout, best for uniform data.
@@ -17,6 +17,12 @@ Three policies ship:
   into ``n_shards`` contiguous Z-ranges, mirroring how distributed spatial
   stores range-partition Morton keys.  Shard regions are unions of cells,
   not rectangles.
+* :class:`HilbertRangePolicy` — the same contiguous-range construction
+  over the Hilbert curve (:mod:`repro.curves.hilbert`).  The Hilbert
+  curve's better clustering (no Z-curve "jumps" across the space) keeps
+  each shard's cells contiguous in the plane, so a spanning window
+  intersects fewer shards than under Z-order ranges — the fan-out win the
+  cache benchmarks gate.
 * :class:`SampleBalancedPolicy` — recursive median splits (k-d style) over
   a sample of the data, producing rectangular regions with near-equal point
   counts; best for skewed data where a regular grid would leave most shards
@@ -38,20 +44,23 @@ from typing import Optional
 
 import numpy as np
 
+from repro.curves.hilbert import HilbertCurve
 from repro.curves.zcurve import interleave_bits
 from repro.geometry import Rect, mindist_point_rect
 
 __all__ = [
     "ShardingPolicy",
     "RegularGridPolicy",
+    "CurveRangePolicy",
     "ZOrderRangePolicy",
+    "HilbertRangePolicy",
     "SampleBalancedPolicy",
     "SHARDING_POLICY_NAMES",
     "make_policy",
 ]
 
 #: names accepted by :func:`make_policy` (and the CLI's ``--sharding-policy``)
-SHARDING_POLICY_NAMES = ("grid", "zorder", "balanced")
+SHARDING_POLICY_NAMES = ("grid", "zorder", "hilbert", "balanced")
 
 
 class ShardingPolicy(abc.ABC):
@@ -179,18 +188,17 @@ class RegularGridPolicy(ShardingPolicy):
         return f"grid({self.nx}x{self.ny})"
 
 
-class ZOrderRangePolicy(ShardingPolicy):
-    """Contiguous Z-order (Morton) ranges over a fine cell grid.
+class CurveRangePolicy(ShardingPolicy):
+    """Contiguous space-filling-curve ranges over a fine cell grid.
 
     The data space is diced into ``2^order × 2^order`` cells; each cell's
-    Z-code linearises it along the Morton curve, and the code range
-    ``[0, 4^order)`` is split into ``n_shards`` contiguous ranges holding a
-    near-equal number of cells.  A shard's region is the union of its cells,
-    so window routing and kNN MINDIST work cell-wise (tight, not via the
-    shard MBR, which overlaps heavily between Z-ranges).
+    curve code linearises it, and the code range ``[0, 4^order)`` is split
+    into ``n_shards`` contiguous ranges holding a near-equal number of
+    cells.  A shard's region is the union of its cells, so window routing
+    and kNN MINDIST work cell-wise (tight, not via the shard MBR, which can
+    overlap heavily between ranges).  Subclasses supply the cell -> code
+    mapping (:meth:`_cell_code` / :meth:`_cell_codes`).
     """
-
-    name = "zorder"
 
     def __init__(self, n_shards: int, data_space: Optional[Rect] = None, order: int = 4):
         super().__init__(n_shards, data_space)
@@ -204,11 +212,11 @@ class ZOrderRangePolicy(ShardingPolicy):
         self.order = order
         self.side = side
         n_cells = side * side
-        #: shard s owns z-codes in [boundaries[s], boundaries[s + 1])
+        #: shard s owns curve codes in [boundaries[s], boundaries[s + 1])
         self.boundaries = np.array(
             [round(s * n_cells / n_shards) for s in range(n_shards + 1)], dtype=np.int64
         )
-        # per-cell shard id, indexed by z-code (4^order entries)
+        # per-cell shard id, indexed by curve code (4^order entries)
         self._shard_by_code = (
             np.searchsorted(self.boundaries, np.arange(n_cells), side="right") - 1
         ).astype(np.int64)
@@ -221,7 +229,7 @@ class ZOrderRangePolicy(ShardingPolicy):
         by_shard: list[list[tuple[int, int]]] = [[] for _ in range(n_shards)]
         for cx in range(side):
             for cy in range(side):
-                by_shard[int(self._shard_by_code[interleave_bits(cx, cy)])].append((cx, cy))
+                by_shard[int(self._shard_by_code[self._cell_code(cx, cy)])].append((cx, cy))
         for cells in by_shard:
             lo = np.array(
                 [(space.xlo + cx * cell_w, space.ylo + cy * cell_h) for cx, cy in cells],
@@ -229,6 +237,18 @@ class ZOrderRangePolicy(ShardingPolicy):
             ).reshape(-1, 2)
             self._cells_lo.append(lo)
             self._cells_hi.append(lo + np.array([cell_w, cell_h]))
+
+    # -- the cell -> curve-code mapping --------------------------------------
+
+    @abc.abstractmethod
+    def _cell_code(self, cx: int, cy: int) -> int:
+        """Curve code of grid cell ``(cx, cy)``."""
+
+    @abc.abstractmethod
+    def _cell_codes(self, cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_cell_code` over int64 coordinate arrays."""
+
+    # -- routing -------------------------------------------------------------
 
     def _cell_of(self, x: float, y: float) -> tuple[int, int]:
         space = self.data_space
@@ -238,26 +258,26 @@ class ZOrderRangePolicy(ShardingPolicy):
 
     def shard_of(self, x: float, y: float) -> int:
         cx, cy = self._cell_of(float(x), float(y))
-        return int(self._shard_by_code[interleave_bits(cx, cy)])
+        return int(self._shard_by_code[self._cell_code(cx, cy)])
 
     def shard_of_many(self, points: np.ndarray) -> np.ndarray:
         points = np.asarray(points, dtype=float).reshape(-1, 2)
         space = self.data_space
-        cx = np.floor((points[:, 0] - space.xlo) / space.width * self.side).astype(np.uint64)
-        cy = np.floor((points[:, 1] - space.ylo) / space.height * self.side).astype(np.uint64)
-        cx = np.clip(cx.astype(np.int64), 0, self.side - 1).astype(np.uint64)
-        cy = np.clip(cy.astype(np.int64), 0, self.side - 1).astype(np.uint64)
-        codes = _interleave_many(cx) | (_interleave_many(cy) << np.uint64(1))
-        return self._shard_by_code[codes.astype(np.int64)]
+        cx = np.floor((points[:, 0] - space.xlo) / space.width * self.side).astype(np.int64)
+        cy = np.floor((points[:, 1] - space.ylo) / space.height * self.side).astype(np.int64)
+        np.clip(cx, 0, self.side - 1, out=cx)
+        np.clip(cy, 0, self.side - 1, out=cy)
+        return self._shard_by_code[self._cell_codes(cx, cy)]
 
     def shards_for_window(self, window: Rect) -> list[int]:
         cx0, cy0 = self._cell_of(window.xlo, window.ylo)
         cx1, cy1 = self._cell_of(window.xhi, window.yhi)
-        seen: set[int] = set()
-        for cx in range(cx0, cx1 + 1):
-            for cy in range(cy0, cy1 + 1):
-                seen.add(int(self._shard_by_code[interleave_bits(cx, cy)]))
-        return sorted(seen)
+        cxs, cys = np.meshgrid(
+            np.arange(cx0, cx1 + 1, dtype=np.int64),
+            np.arange(cy0, cy1 + 1, dtype=np.int64),
+        )
+        codes = self._cell_codes(cxs.ravel(), cys.ravel())
+        return sorted(int(s) for s in np.unique(self._shard_by_code[codes]))
 
     def mindist(self, x: float, y: float, shard_id: int) -> float:
         lo = self._cells_lo[shard_id]
@@ -277,7 +297,44 @@ class ZOrderRangePolicy(ShardingPolicy):
         )
 
     def describe(self) -> str:
-        return f"zorder(order={self.order})"
+        return f"{self.name}(order={self.order})"
+
+
+class ZOrderRangePolicy(CurveRangePolicy):
+    """Contiguous Z-order (Morton) ranges over a fine cell grid, mirroring
+    how distributed spatial stores range-partition Morton keys."""
+
+    name = "zorder"
+
+    def _cell_code(self, cx: int, cy: int) -> int:
+        return interleave_bits(cx, cy)
+
+    def _cell_codes(self, cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
+        codes = _interleave_many(cx.astype(np.uint64)) | (
+            _interleave_many(cy.astype(np.uint64)) << np.uint64(1)
+        )
+        return codes.astype(np.int64)
+
+
+class HilbertRangePolicy(CurveRangePolicy):
+    """Contiguous Hilbert ranges over a fine cell grid.
+
+    Because consecutive Hilbert codes are always plane-adjacent cells, each
+    shard's region is one connected blob (Z-ranges can straddle the curve's
+    quadrant jumps), which is what cuts spanning-window shard fan-out.
+    """
+
+    name = "hilbert"
+
+    def __init__(self, n_shards: int, data_space: Optional[Rect] = None, order: int = 4):
+        self._curve = HilbertCurve(max(order, 1))
+        super().__init__(n_shards, data_space, order)
+
+    def _cell_code(self, cx: int, cy: int) -> int:
+        return self._curve.encode(cx, cy)
+
+    def _cell_codes(self, cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
+        return self._curve.encode_many(cx, cy)
 
 
 class SampleBalancedPolicy(ShardingPolicy):
@@ -417,7 +474,8 @@ def make_policy(
     sample: Optional[np.ndarray] = None,
     **kwargs,
 ) -> ShardingPolicy:
-    """Build a sharding policy by name (``grid``, ``zorder`` or ``balanced``).
+    """Build a sharding policy by name (``grid``, ``zorder``, ``hilbert``
+    or ``balanced``).
 
     ``sample`` is required by (and only used for) the ``balanced`` policy;
     pass the build points or a subsample of them.
@@ -427,6 +485,8 @@ def make_policy(
         return RegularGridPolicy(n_shards, data_space, **kwargs)
     if normalized == "zorder":
         return ZOrderRangePolicy(n_shards, data_space, **kwargs)
+    if normalized == "hilbert":
+        return HilbertRangePolicy(n_shards, data_space, **kwargs)
     if normalized == "balanced":
         return SampleBalancedPolicy(n_shards, data_space, sample=sample, **kwargs)
     raise ValueError(

@@ -15,6 +15,14 @@ storage layer in main memory:
   reads (what actually hit storage once a cache sits in front),
 * :class:`~repro.storage.page_cache.PageCache` — a fixed-capacity buffer
   pool (LRU or clock replacement) with dirty-page invalidation,
+* :class:`~repro.storage.buffer_pool.SharedBufferPool` — one buffer pool
+  shared across many indices/shards through per-client
+  :class:`~repro.storage.buffer_pool.PoolClient` façades, with TinyLFU
+  (frequency-sketch) admission, non-harmful prefetch along overflow chains
+  and layout runs, and optional per-client budgets,
+* :mod:`~repro.storage.layout` — Hilbert block-layout primitives: curve
+  keys for sorting points before packing, and the contiguous key runs a
+  window decomposes into (what makes run-scanning a Hilbert layout pay),
 * :class:`~repro.storage.paged.NodePager` — the paged-access façade that
   gives node-based indices (Grid file, K-D-B-tree, the R-trees) stable page
   ids and the same cache-aware accounting as ``BlockStore``,
@@ -33,6 +41,18 @@ storage layer in main memory:
 from repro.storage.block import Block
 from repro.storage.block_file import BlockFile, BlockFileError
 from repro.storage.block_store import BlockStore
+from repro.storage.buffer_pool import (
+    POOL_ADMISSIONS,
+    FrequencySketch,
+    PoolClient,
+    SharedBufferPool,
+)
+from repro.storage.layout import (
+    count_key_runs,
+    curve_keys,
+    hilbert_sort_order,
+    window_key_runs,
+)
 from repro.storage.durability import (
     STORAGE_BACKENDS,
     DurableIndex,
@@ -52,6 +72,10 @@ __all__ = [
     "NodePager",
     "PAGE_CACHE_POLICIES",
     "make_page_cache",
+    "SharedBufferPool",
+    "PoolClient",
+    "FrequencySketch",
+    "POOL_ADMISSIONS",
     "BlockFile",
     "BlockFileError",
     "WriteAheadLog",
@@ -60,4 +84,8 @@ __all__ = [
     "RecoveryReport",
     "STORAGE_BACKENDS",
     "storage_root",
+    "curve_keys",
+    "hilbert_sort_order",
+    "window_key_runs",
+    "count_key_runs",
 ]

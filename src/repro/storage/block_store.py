@@ -13,6 +13,11 @@ from repro.storage.stats import AccessStats
 
 __all__ = ["BlockStore"]
 
+#: base blocks prefetched ahead of the scan cursor per batch during
+#: :meth:`BlockStore.scan_positions` (small, so a run longer than the pool
+#: never evicts its own not-yet-scanned prefetches)
+PREFETCH_BATCH = 16
+
 
 class BlockStore:
     """A collection of fixed-capacity blocks simulating external storage.
@@ -165,8 +170,33 @@ class BlockStore:
         self._disk_write(block_id)
 
     def attach_cache(self, cache: Optional[PageCache]) -> None:
-        """Install (or remove, with None) the block cache reads go through."""
+        """Install (or remove, with None) the block cache reads go through.
+
+        Accepts anything with the :class:`PageCache` surface — notably a
+        :class:`~repro.storage.buffer_pool.PoolClient` of a shared buffer
+        pool; when the cache also exposes ``prefetch``, chain and run scans
+        prefetch ahead (see :meth:`iter_chain` / :meth:`scan_positions`).
+        """
         self.cache = cache
+
+    def _cache_prefetch(self, block_ids) -> None:
+        """Speculatively admit ``block_ids`` into a prefetch-capable cache.
+
+        Only admitted prefetches are charged as prefetch I/O (a skipped
+        prefetch performed none), and with a disk tier attached the admitted
+        blocks are actually re-deserialised — a later cache hit must mean
+        the in-memory object is current, same invariant as :meth:`_touch`.
+        """
+        prefetch = getattr(self.cache, "prefetch", None)
+        if prefetch is None:
+            return
+        admitted = prefetch([("b", block_id) for block_id in block_ids])
+        if not admitted:
+            return
+        self.stats.record_block_prefetch(len(admitted))
+        if self._disk is not None:
+            for _, block_id in admitted:
+                self._blocks[block_id] = self._disk.read_block(block_id)
 
     def attach_disk(self, disk: Optional[BlockFile]) -> None:
         """Install (or remove, with None) a write-through block-file mirror.
@@ -219,8 +249,15 @@ class BlockStore:
     # -- scanning ------------------------------------------------------------------
 
     def iter_chain(self, position: int) -> Iterator[Block]:
-        """Yield the base block at ``position`` followed by its overflow blocks."""
+        """Yield the base block at ``position`` followed by its overflow blocks.
+
+        With a prefetch-capable cache attached, the overflow chain behind the
+        base block is prefetched as one batch before it is walked — a chain
+        is always read front to back, so its successors are certain hits.
+        """
         block = self.read(self.base_block_id(position))
+        if block.next_id is not None and hasattr(self.cache, "prefetch"):
+            self._cache_prefetch(self._chain_successor_ids(block))
         yield block
         next_id = block.next_id
         while next_id is not None:
@@ -235,10 +272,24 @@ class BlockStore:
             next_id = candidate.next_id
 
     def scan_positions(self, begin: int, end: int) -> Iterator[Block]:
-        """Yield every block whose chain starts at positions ``begin..end`` inclusive."""
+        """Yield every block whose chain starts at positions ``begin..end`` inclusive.
+
+        With a prefetch-capable cache attached, upcoming base blocks are
+        prefetched :data:`PREFETCH_BATCH` positions ahead of the scan cursor
+        — a contiguous run (e.g. one Hilbert window run) is read strictly in
+        position order, so the prefetches are certain hits.
+        """
         begin = self.clamp_position(begin)
         end = self.clamp_position(end)
+        prefetching = self.cache is not None and hasattr(self.cache, "prefetch")
         for position in range(begin, end + 1):
+            if prefetching and (position - begin) % PREFETCH_BATCH == 0:
+                ahead = [
+                    self._base_order[p]
+                    for p in range(position + 1, min(position + PREFETCH_BATCH, end) + 1)
+                ]
+                if ahead:
+                    self._cache_prefetch(ahead)
             yield from self.iter_chain(position)
 
     def chain_depths(self) -> list[int]:
@@ -307,6 +358,19 @@ class BlockStore:
         if not 0 <= block_id < len(self._blocks):
             raise IndexError(f"unknown block id {block_id}")
         return self._blocks[block_id]
+
+    def _chain_successor_ids(self, block: Block) -> list[int]:
+        """Block ids of the overflow blocks chained behind ``block`` (link
+        metadata only — no accesses are recorded)."""
+        ids: list[int] = []
+        next_id = block.next_id
+        while next_id is not None:
+            candidate = self._block_by_id(next_id)
+            if not candidate.is_overflow:
+                break
+            ids.append(candidate.block_id)
+            next_id = candidate.next_id
+        return ids
 
     def _chain_tail(self, base_block_id: int) -> Block:
         block = self._block_by_id(base_block_id)

@@ -71,6 +71,9 @@ class PageCache:
         self._slot_of: dict[Hashable, int] = {}
         self._ref: list[bool] = []
         self._hand = 0
+        # slots tombstoned by invalidate(), reused before any sweep evicts a
+        # live page — the ring holds a None exactly when this list is non-empty
+        self._free: list[int] = []
 
     # -- the one hot-path entry point ------------------------------------------
 
@@ -100,17 +103,27 @@ class PageCache:
     def _admit_clock(self, key: Hashable) -> None:
         # pages are admitted with the reference bit CLEAR: only a re-reference
         # earns the second chance, which keeps one-touch scans evictable
+        if self._free:
+            # a slot tombstoned by invalidate(): reuse it instead of sweeping,
+            # so a write burst can never push live pages out of an
+            # under-occupied ring (the sweep used to stop at whichever free
+            # slot the hand happened to reach, evicting hot pages in between)
+            slot = self._free.pop()
+            self._slots[slot] = key
+            self._ref[slot] = False
+            self._slot_of[key] = slot
+            return
         if len(self._slots) < self.capacity:
             self._slot_of[key] = len(self._slots)
             self._slots.append(key)
             self._ref.append(False)
             return
-        # reuse a tombstoned slot if the sweep finds one, else pick a victim
+        # ring full and no free slots: sweep for a victim
         while True:
             slot = self._hand
             self._hand = (self._hand + 1) % self.capacity
             victim = self._slots[slot]
-            if victim is None:
+            if victim is None:  # pragma: no cover - tombstones live on _free
                 break
             if self._ref[slot]:
                 self._ref[slot] = False
@@ -142,6 +155,7 @@ class PageCache:
                 return False
             self._slots[slot] = None
             self._ref[slot] = False
+            self._free.append(slot)
         self.invalidations += 1
         return True
 

@@ -39,11 +39,18 @@ class AccessStats:
     physical_block_reads: int = 0
     #: node reads that missed (or bypassed) the page cache
     physical_node_reads: int = 0
+    #: speculative block reads issued by cache prefetching: physical I/O with
+    #: no logical read behind it (a later demand access of a prefetched page
+    #: is a cache hit), so wasted prefetches honestly inflate physical reads
+    prefetch_block_reads: int = 0
 
     def record_block_read(self, count: int = 1, *, cached: bool = False) -> None:
         self.block_reads += count
         if not cached:
             self.physical_block_reads += count
+
+    def record_block_prefetch(self, count: int = 1) -> None:
+        self.prefetch_block_reads += count
 
     def record_block_write(self, count: int = 1) -> None:
         self.block_writes += count
@@ -65,13 +72,14 @@ class AccessStats:
 
     @property
     def physical_reads(self) -> int:
-        """Reads that actually hit storage (post-cache)."""
-        return self.physical_block_reads + self.physical_node_reads
+        """Reads that actually hit storage (post-cache), prefetches included."""
+        return self.physical_block_reads + self.physical_node_reads + self.prefetch_block_reads
 
     @property
     def cache_hits(self) -> int:
-        """Logical reads served from the page cache."""
-        return self.logical_reads - self.physical_reads
+        """Logical reads served from the page cache (demand misses excluded;
+        a hit on a prefetched page counts — its I/O happened at prefetch)."""
+        return self.logical_reads - self.physical_block_reads - self.physical_node_reads
 
     @property
     def hit_ratio(self) -> float:
@@ -85,6 +93,7 @@ class AccessStats:
         self.node_reads = 0
         self.physical_block_reads = 0
         self.physical_node_reads = 0
+        self.prefetch_block_reads = 0
 
     def snapshot(self) -> "AccessStats":
         """A copy of the current counters (useful for per-query deltas)."""
@@ -94,6 +103,7 @@ class AccessStats:
             self.node_reads,
             self.physical_block_reads,
             self.physical_node_reads,
+            self.prefetch_block_reads,
         )
 
     def delta_since(self, earlier: "AccessStats") -> "AccessStats":
@@ -104,4 +114,5 @@ class AccessStats:
             self.node_reads - earlier.node_reads,
             self.physical_block_reads - earlier.physical_block_reads,
             self.physical_node_reads - earlier.physical_node_reads,
+            self.prefetch_block_reads - earlier.prefetch_block_reads,
         )

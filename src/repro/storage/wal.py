@@ -40,6 +40,22 @@ class WalError(RuntimeError):
     """A WAL record cannot be encoded or decoded."""
 
 
+def _fsync_dir(directory: Path) -> None:
+    """``fsync`` a directory (no-op where directories cannot be opened).
+
+    Kept local to avoid a storage -> core import cycle; the documented
+    rationale lives on :func:`repro.core.persistence.fsync_dir`.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class WriteAheadLog:
     """An append-only log of ``("insert"|"delete", x, y)`` records."""
 
@@ -109,6 +125,11 @@ class WriteAheadLog:
                 handle.truncate(valid_bytes)
                 handle.flush()
                 os.fsync(handle.fileno())
+            # flush the parent directory too: if the log file itself was
+            # created (or renamed into place) just before the crash, the
+            # truncated file's entry is only durable once the directory is —
+            # symmetric with save_index's post-replace directory sync
+            _fsync_dir(Path(path).parent)
         return records, torn
 
     # -- lifecycle ----------------------------------------------------------------

@@ -90,6 +90,7 @@ def run_crash_recovery(
     backend: str = "memory",
     exact: bool = True,
     torn_tail: bool = False,
+    lost_checkpoint_rename: bool = False,
     fsync: bool = False,
     n_probe_windows: int = 6,
 ) -> CrashOutcome:
@@ -110,6 +111,13 @@ def run_crash_recovery(
         Additionally tear the last WAL record (crash mid-append): that
         write must be lost by recovery, everything before it kept.  Ignored
         when the kill lands exactly on a checkpoint (empty WAL).
+    lost_checkpoint_rename:
+        Kill *inside* a checkpoint, between ``os.replace`` and the parent
+        directory fsync: the rename is rolled back (the old checkpoint
+        resurfaces at the path) while the WAL — reset only after the
+        directory sync — still holds every record since the previous
+        checkpoint.  Recovery must replay old checkpoint + full WAL to the
+        exact same state, losing nothing.
     exact:
         Whether window probes must match the oracle exactly (True for the
         exact kinds) or merely be sound — report no phantom points.
@@ -147,12 +155,26 @@ def run_crash_recovery(
     checkpointed = durable.ops_checkpointed
     pending = durable.wal_records_pending
     checkpoints = durable.n_checkpoints
-    durable.simulate_crash()
+    wal_path = directory / "wal.log"
+    if lost_checkpoint_rename:
+        # crashed between os.replace and the directory fsync: the rename's
+        # directory entry never reached disk, so the *old* checkpoint is
+        # back at the path after the crash — and because the WAL reset runs
+        # strictly after the directory sync, the WAL still holds every
+        # record since the previous checkpoint.  Snapshot the pre-checkpoint
+        # artefacts, let the checkpoint happen, then roll its rename back.
+        old_checkpoint = durable.checkpoint_path.read_bytes()
+        old_wal = wal_path.read_bytes() if wal_path.exists() else b""
+        durable.checkpoint()  # the checkpoint whose rename the crash undoes
+        durable.simulate_crash()
+        durable.checkpoint_path.write_bytes(old_checkpoint)
+        wal_path.write_bytes(old_wal)
+    else:
+        durable.simulate_crash()
 
     tore = torn_tail and pending > 0
     if tore:
         # a crash mid-append: the final frame is only partially on disk
-        wal_path = directory / "wal.log"
         with open(wal_path, "r+b") as handle:
             handle.truncate(wal_path.stat().st_size - _TORN_CHOP_BYTES)
     survivors = checkpointed + pending - (1 if tore else 0)

@@ -191,6 +191,10 @@ class ScenarioRunner:
     engine_mode / batch_size:
         Execution mode for the read engine and the maximum number of reads
         batched between writes/snapshots.
+    batch_reorder:
+        Execute read micro-batches in Hilbert-key order (results scatter
+        back, answers unchanged — see
+        :class:`~repro.engine.BatchQueryEngine`'s ``reorder``).
     """
 
     def __init__(
@@ -202,6 +206,7 @@ class ScenarioRunner:
         exact_results: bool = False,
         engine_mode: str = "auto",
         batch_size: int = 64,
+        batch_reorder: bool = False,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -215,9 +220,9 @@ class ScenarioRunner:
         if isinstance(served, ShardedSpatialIndex):
             # sharded indices batch through the shard-grouping dispatcher so
             # every read still fans out to the minimal shard set
-            self.engine = ShardedBatchEngine(served, mode=engine_mode)
+            self.engine = ShardedBatchEngine(served, mode=engine_mode, reorder=batch_reorder)
         else:
-            self.engine = BatchQueryEngine(served, mode=engine_mode)
+            self.engine = BatchQueryEngine(served, mode=engine_mode, reorder=batch_reorder)
         self.batch_size = batch_size
         self._name = getattr(index, "name", type(index).__name__)
         #: multi-tenant oracles take the op's tenant on writes

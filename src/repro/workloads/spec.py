@@ -260,6 +260,20 @@ SCENARIO_PRESETS: dict[str, ScenarioSpec] = {
         hotspot_extent=0.08,
         point_miss_fraction=0.1,
     ),
+    # a hot point working set interleaved with large window scans: the scans
+    # pull long one-touch block runs through the cache, flushing an LRU's hot
+    # set every few operations ("scan thrash") — the workload TinyLFU
+    # admission in the shared buffer pool is built to survive (run with
+    # --shared-pool-blocks N; compare against --cache-blocks N lru)
+    "scan-thrash": ScenarioSpec(
+        name="scan-thrash",
+        mix=OperationMix(point=0.6, window=0.2, knn=0.0, insert=0.15, delete=0.05),
+        distribution="hotspot",
+        hotspot_fraction=0.95,
+        hotspot_extent=0.06,
+        window_area_fraction=0.04,
+        point_miss_fraction=0.1,
+    ),
     # the multi-tenant serving mix: run with ``--tenants N`` to split it into
     # N independently-seeded streams merged by virtual arrival time, each
     # tenant shadowed by its own oracle; open-loop arrivals make per-tenant

@@ -29,7 +29,8 @@ from repro.sharding import (
     ShardedSpatialIndex,
     shard_index_factory,
 )
-from repro.storage import AccessStats, PageCache, make_page_cache
+from repro.geometry import Rect
+from repro.storage import AccessStats, PageCache, SharedBufferPool, make_page_cache
 from repro.workloads import OracleIndex, ScenarioRunner, scenario_by_name
 
 INDEX_NAMES = ("Grid", "HRR", "KDB", "RR*", "ZM", "RSMI", "RSMIa")
@@ -302,6 +303,186 @@ def test_sharded_cached_scenario_fuzz_large_randomized(sharding_policy):
         index, _spec(seed + 1, n_ops=1_200), oracle=oracle, exact_results=True
     ).run(points)
     assert result.checked
+
+
+class TestHilbertLayoutDifferential:
+    """``ZMConfig(layout="hilbert")`` changes only the physical block order
+    and the window scan strategy — never an answer."""
+
+    def _pair(self, points, epochs: int = 6):
+        from repro.baselines import ZMConfig, ZMIndex
+
+        training = TrainingConfig(epochs=epochs, seed=0)
+        return tuple(
+            ZMIndex(ZMConfig(block_capacity=16, training=training, layout=layout)).build(
+                points
+            )
+            for layout in ("z", "hilbert")
+        )
+
+    def test_point_and_knn_answers_identical_layout_on_off(self):
+        points = dataset_by_name("skewed", 400, seed=21)
+        z, hilbert = self._pair(points)
+        rng = np.random.default_rng(5)
+        probes = np.vstack([points[rng.integers(0, 400, size=80)], rng.random((40, 2))])
+        for x, y in probes:
+            assert z.contains(float(x), float(y)) == hilbert.contains(float(x), float(y))
+        for x, y in probes[:20]:
+            a = np.sort(z.knn_query(float(x), float(y), 5), axis=0)
+            b = np.sort(hilbert.knn_query(float(x), float(y), 5), axis=0)
+            np.testing.assert_array_equal(a, b)
+
+    def test_window_answers_identical_layout_on_off(self):
+        """The run-scanning window path must return exactly the same point
+        set as the span-scanning one (row order may follow the layout)."""
+        points = dataset_by_name("uniform", 400, seed=22)
+        z, hilbert = self._pair(points)
+        rng = np.random.default_rng(6)
+        for _ in range(40):
+            lo = rng.random(2) * 0.8
+            extent = 0.02 + rng.random(2) * 0.3
+            window = Rect(lo[0], lo[1], lo[0] + extent[0], lo[1] + extent[1])
+            a = np.sort(z.window_query(window), axis=0)
+            b = np.sort(hilbert.window_query(window), axis=0)
+            np.testing.assert_array_equal(a, b)
+
+    def test_hilbert_layout_scenario_agrees_with_oracle(self):
+        """Churny oracle-checked stream against the hilbert layout, with a
+        pool client attached so run scans also exercise prefetch."""
+        from repro.baselines import ZMConfig, ZMIndex
+
+        points = dataset_by_name("uniform", 300, seed=23)
+        index = ZMIndex(
+            ZMConfig(block_capacity=16, training=TrainingConfig(epochs=6, seed=0),
+                     layout="hilbert")
+        ).build(points)
+        index.attach_cache(SharedBufferPool(16).client("zm"))
+        oracle = OracleIndex().build(points)
+        result = ScenarioRunner(index, _spec(24), oracle=oracle).run(points)
+        assert result.checked
+        assert result.total_physical_accesses <= result.total_block_accesses
+
+
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_shared_pool_answers_match_private_cache(name):
+    """Routing a single index through a shared-pool client instead of a
+    private PageCache must not change any answer or logical count."""
+    points = dataset_by_name("skewed", 400, seed=31)
+    queries = points[np.random.default_rng(13).integers(0, 400, size=120)]
+
+    private = BatchQueryEngine(
+        _build_adapter(name, points), cache_blocks=6, cache_policy="lru"
+    ).point_queries(queries)
+    pooled = BatchQueryEngine(
+        _build_adapter(name, points), shared_pool=SharedBufferPool(6)
+    ).point_queries(queries)
+
+    assert pooled.results == private.results
+    assert pooled.total_block_accesses == private.total_block_accesses
+
+
+@pytest.mark.parametrize("sharding_policy", SHARDING_POLICY_NAMES)
+@pytest.mark.parametrize("kind", SHARDED_KINDS)
+def test_sharded_pool_scenario_agrees_with_oracle(kind, sharding_policy):
+    """Shared pool under churn, per index kind x sharding policy: the pooled
+    sharded index must still match the brute-force oracle exactly."""
+    seed = 50 + SHARDED_KINDS.index(kind) + 7 * SHARDING_POLICY_NAMES.index(sharding_policy)
+    points = dataset_by_name("uniform", 400, seed=seed)
+    factory = shard_index_factory(
+        kind, block_capacity=16, partition_threshold=80,
+        training=TrainingConfig(epochs=6, seed=0),
+    )
+    index = ShardedSpatialIndex(factory, n_shards=4, policy=sharding_policy).build(points)
+    index.attach_shared_pool(SharedBufferPool(24))
+    assert index.cache_hit_ratio() is not None
+    oracle = OracleIndex().build(points)
+    result = ScenarioRunner(
+        index, _spec(seed + 3), oracle=oracle, exact_results=True
+    ).run(points)
+    assert result.checked
+    assert result.total_physical_accesses <= result.total_block_accesses
+    assert index.extra_metrics()["shared_pool"]["capacity"] == 24
+
+
+def test_sharded_answers_identical_pool_vs_private_caches():
+    """The same batch through per-shard caches vs one shared pool."""
+    points = dataset_by_name("osm", 500, seed=32)
+    queries = points[np.random.default_rng(17).integers(0, 500, size=200)]
+    factory = shard_index_factory("KDB", block_capacity=16)
+
+    private_index = ShardedSpatialIndex(factory, n_shards=4, policy="hilbert").build(points)
+    private = ShardedBatchEngine(private_index, cache_blocks=8).point_queries(queries)
+
+    pooled_index = ShardedSpatialIndex(factory, n_shards=4, policy="hilbert").build(points)
+    pooled = ShardedBatchEngine(
+        pooled_index, shared_pool=SharedBufferPool(32)
+    ).point_queries(queries)
+
+    assert pooled.results == private.results
+    assert pooled.total_block_accesses == private.total_block_accesses
+    assert pooled_index.shared_pool is not None
+    assert pooled_index.shared_pool.accesses > 0
+
+
+def test_batch_reorder_answers_identical():
+    """Hilbert batch reordering permutes execution order only: point, window
+    and knn results come back in input order, byte-identical."""
+    points = dataset_by_name("skewed", 400, seed=33)
+    rng = np.random.default_rng(19)
+    queries = np.vstack([points[rng.integers(0, 400, size=100)], rng.random((30, 2))])
+    windows = []
+    for _ in range(30):
+        lo = rng.random(2) * 0.8
+        extent = 0.02 + rng.random(2) * 0.2
+        windows.append(Rect(lo[0], lo[1], lo[0] + extent[0], lo[1] + extent[1]))
+
+    for name in ("Grid", "KDB", "ZM"):
+        plain = BatchQueryEngine(_build_adapter(name, points), mode="sequential")
+        ordered = BatchQueryEngine(
+            _build_adapter(name, points), mode="sequential", reorder=True
+        )
+        assert ordered.point_queries(queries).results == plain.point_queries(queries).results
+        for a, b in zip(
+            ordered.window_queries(windows).results,
+            plain.window_queries(windows).results,
+        ):
+            np.testing.assert_array_equal(np.sort(a, axis=0), np.sort(b, axis=0))
+        for a, b in zip(
+            ordered.knn_queries(queries[:25], 4).results,
+            plain.knn_queries(queries[:25], 4).results,
+        ):
+            np.testing.assert_array_equal(np.sort(a, axis=0), np.sort(b, axis=0))
+
+
+@pytest.mark.slow
+def test_drifting_tinylfu_pool_beats_private_lru_at_equal_capacity():
+    """--runslow: under a drifting hotspot, one shared TinyLFU pool must
+    serve a strictly higher hit ratio than the same total capacity split
+    into static per-shard LRU caches (the pool follows the drift)."""
+    total_capacity = 32
+    points = dataset_by_name("uniform", 1_500, seed=41)
+    # long enough for the sketch's aging to track the drift: on very short
+    # runs stale frequencies block the new hotspot and recency wins instead
+    spec = scenario_by_name("drifting").with_overrides(
+        n_ops=3_000, seed=42, snapshot_every=1_000, drift_cycles=0.75,
+    )
+    factory = shard_index_factory("Grid", block_capacity=16)
+
+    lru_index = ShardedSpatialIndex(
+        factory, n_shards=4, policy="grid",
+        cache_blocks=total_capacity // 4, cache_policy="lru",
+    ).build(points)
+    ScenarioRunner(lru_index, spec).run(points)
+    lru_ratio = lru_index.cache_hit_ratio()
+
+    pool = SharedBufferPool(total_capacity, admission="tinylfu")
+    pool_index = ShardedSpatialIndex(factory, n_shards=4, policy="grid").build(points)
+    pool_index.attach_shared_pool(pool)
+    ScenarioRunner(pool_index, spec).run(points)
+    pool_ratio = pool_index.cache_hit_ratio()
+
+    assert lru_ratio is not None and pool_ratio is not None
+    assert pool_ratio > lru_ratio
 
 
 def test_rebuild_clears_cache_no_phantom_hits():

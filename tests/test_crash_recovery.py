@@ -128,6 +128,43 @@ class TestTornTail:
         assert outcome.writes_survived == outcome.writes_applied
 
 
+class TestLostCheckpointRename:
+    """Kill between ``os.replace`` and the directory fsync: the rename rolls
+    back, the old checkpoint resurfaces, and the un-reset WAL must replay
+    every record since it — losing nothing."""
+
+    @pytest.mark.parametrize("kind", sorted(_FACTORIES))
+    def test_rolled_back_rename_loses_nothing(self, crash_points, tmp_path, kind):
+        factory, exact = _FACTORIES[kind]
+        outcome = run_crash_recovery(
+            factory,
+            _spec(),
+            crash_points,
+            tmp_path,
+            kill_at=0.6,
+            checkpoint_every=64,
+            exact=exact,
+            lost_checkpoint_rename=True,
+        )
+        assert outcome.writes_survived == outcome.writes_applied
+        # the whole tail since the surviving (old) checkpoint replays
+        assert outcome.replayed > 0
+
+    def test_lost_rename_composes_with_torn_tail(self, crash_points, tmp_path):
+        outcome = run_crash_recovery(
+            _grid_factory,
+            _spec(),
+            crash_points,
+            tmp_path,
+            kill_at=0.6,
+            checkpoint_every=64,
+            lost_checkpoint_rename=True,
+            torn_tail=True,
+        )
+        assert outcome.torn_tail
+        assert outcome.writes_survived == outcome.writes_applied - 1
+
+
 class TestDiskBackend:
     @pytest.mark.parametrize("kind", sorted(_FACTORIES))
     def test_disk_backed_recovery(self, crash_points, tmp_path, kind):

@@ -136,6 +136,25 @@ class TestPageCacheClock:
         assert cache.contains("c")
         assert len(cache) == 2
 
+    def test_write_burst_never_evicts_live_pages(self):
+        """Regression: tombstones beyond the hand must absorb admissions.
+
+        The sweep used to stop at whichever free slot the hand happened to
+        reach, evicting live pages that sat between the hand and the
+        tombstones ``invalidate`` left behind."""
+        cache = PageCache(8, "clock")
+        for key in range(8):
+            cache.access(key)
+        # the hand sits at slot 0; tombstone the K slots beyond it
+        for key in (4, 5, 6, 7):
+            assert cache.invalidate(key)
+        for key in ("w", "x", "y", "z"):  # next K admissions
+            cache.access(key)
+        assert cache.evictions == 0
+        assert len(cache) == 8
+        for key in (0, 1, 2, 3):  # the live pages all survived the burst
+            assert cache.contains(key)
+
 
 class TestPageCacheCommon:
     @pytest.mark.parametrize("policy", PAGE_CACHE_POLICIES)
@@ -168,6 +187,35 @@ class TestPageCacheCommon:
         assert clone.capacity == 4 and clone.policy == policy
         assert len(clone) == 0
         assert clone.hits == 0 and clone.misses == 0
+
+    @pytest.mark.parametrize("policy", PAGE_CACHE_POLICIES)
+    def test_pickle_roundtrip_then_access_stays_consistent(self, policy):
+        """Regression: the rebuilt (empty) structures must honour capacity.
+
+        For clock, ``__setstate__`` rebuilds the ring from scratch — growing
+        it slot by slot up to ``capacity`` and sweeping correctly after."""
+        cache = PageCache(3, policy)
+        for key in range(5):
+            cache.access(key)
+        cache.invalidate(3)  # leave a tombstone behind before pickling
+        clone = pickle.loads(pickle.dumps(cache))
+        for key in range(7):  # refill past capacity through the fresh ring
+            clone.access(key)
+        assert len(clone) == 3
+        assert clone.contains(6)
+        assert clone.access(6)  # a hit, not a phantom admission
+
+    @pytest.mark.parametrize("policy", PAGE_CACHE_POLICIES)
+    def test_clear_then_access_rebuilds_consistently(self, policy):
+        cache = PageCache(3, policy)
+        for key in range(5):
+            cache.access(key)
+        cache.invalidate(4)  # tombstone must not leak across clear()
+        cache.clear()
+        for key in range(7):
+            cache.access(key)
+        assert len(cache) == 3
+        assert cache.contains(6)
 
     def test_validation(self):
         with pytest.raises(ValueError):

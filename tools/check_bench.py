@@ -53,6 +53,9 @@ CONFIG_KEYS = {
     "per_shard_query_counts",
     "checkpoint_every",
     "n_wal_replayed",
+    "n_windows",
+    "pool_blocks",
+    "pool_admission",
 }
 
 #: gated metrics that may not drop below baseline * (1 - tolerance)
@@ -64,6 +67,13 @@ HIGHER_IS_BETTER = {
     # wall-clock ratio, but its structural margin (training time vs
     # unpickling) is huge — gate only a total collapse of the recovery win
     "cold_start_speedup": 0.50,
+    # buffer-pool / Hilbert-layout claims (deterministic: the pool's
+    # admission sketch uses a stable hash, so only code changes move these)
+    "pool_hit_ratio": 0.03,
+    "layout_read_reduction": 0.15,
+    "run_reduction": 0.10,
+    "scan_advantage": 0.30,
+    "drift_advantage": 0.20,
 }
 
 #: gated metrics that may not rise above baseline * (1 + tolerance)
@@ -71,6 +81,9 @@ LOWER_IS_BETTER = {
     "logical_reads": 0.02,
     "physical_reads_cached": 0.10,
     "physical_reads_uncached": 0.02,
+    "logical_reads_z": 0.02,
+    "logical_reads_hilbert": 0.02,
+    "hot_refaults_tinylfu": 0.50,
 }
 
 
