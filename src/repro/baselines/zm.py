@@ -329,6 +329,46 @@ class ZMIndex(SpatialIndex):
                     collected.append(points[mask])
         return np.vstack(collected) if collected else np.empty((0, 2), dtype=float)
 
+    def prefetch_window(self, window: Rect) -> int:
+        """Speculatively admit every base block ``window_query(window)`` will
+        scan; returns the number of blocks admitted.
+
+        Planning is free of accounting side effects: the block ranges come
+        from the learned models (``z`` layout) or the directory envelopes
+        (run layouts), neither of which touches the store — so issuing the
+        prefetch never inflates logical read counts, it only converts the
+        upcoming scan's cold faults (including the stride boundaries
+        :meth:`~repro.storage.BlockStore.scan_positions`'s look-ahead never
+        covers) into prefetch hits.  A no-op without a prefetch-capable
+        cache (only pool clients prefetch).
+        """
+        store = self.store
+        if store.cache is None or not hasattr(store.cache, "prefetch"):
+            return 0
+        if self.config.layout != "z":
+            space = self._data_space if self._data_space is not None else Rect.unit()
+            cummax, suffmin = self._directory_envelopes()
+            n_blocks = store.n_base_blocks
+            admitted = 0
+            next_position = 0
+            for key_lo, key_hi in window_key_runs(self.curve, window, space):
+                begin = max(int(np.searchsorted(cummax, key_lo, side="left")), next_position)
+                end = int(np.searchsorted(suffmin, key_hi, side="right")) - 1
+                if begin >= n_blocks or end < begin:
+                    continue
+                next_position = end + 1
+                admitted += store.prefetch_positions(begin, end)
+            return admitted
+        z_low = self.z_value(window.xlo, window.ylo)
+        z_high = self.z_value(window.xhi, window.yhi)
+        low_pred, low_below, _ = self._predict_block(z_low)
+        high_pred, _, high_above = self._predict_block(z_high)
+        begin = store.clamp_position(min(low_pred - low_below, high_pred))
+        end = store.clamp_position(max(high_pred + high_above, low_pred))
+        if begin > end:
+            begin, end = end, begin
+        return store.prefetch_positions(begin, end)
+
     def window_query(self, window: Rect) -> np.ndarray:
         if self.config.layout != "z":
             return self._window_query_runs(window)

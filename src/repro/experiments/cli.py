@@ -16,6 +16,8 @@ Examples::
     repro-experiment --scenario latency-hotspot --arrival-rate 5000
     repro-experiment latency-sweep --profile tiny
     repro-experiment --scenario write-heavy --storage-backend disk --checkpoint-every 128
+    repro-experiment --scenario drifting --shards 4 --rebalance --split-threshold 0.4
+    repro-experiment rebalance-sweep --profile small
 
 Every run's text table is also written to ``<results dir>/<id>.txt``; the
 results directory is ``$REPRO_RESULTS_DIR`` when set, else ``./results``
@@ -143,6 +145,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 256)",
     )
     parser.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="attach the online rebalancing controller to a sharded "
+        "--scenario run: it watches per-shard heat and p99, splits hot "
+        "shards and merges cold siblings while the stream runs "
+        "(requires --shards >= 2; answers stay oracle-checked mid-migration)",
+    )
+    parser.add_argument(
+        "--split-threshold",
+        type=float,
+        default=None,
+        help="access-share a shard must exceed before --rebalance splits it "
+        "(default: 0.45)",
+    )
+    parser.add_argument(
         "--scenario",
         choices=sorted(SCENARIO_PRESETS),
         help="replay a mixed read/write workload scenario (oracle-checked) "
@@ -191,6 +208,10 @@ def _apply_profile_overrides(args, profile):
         extras["storage_backend"] = args.storage_backend
     if args.checkpoint_every is not None:
         extras["checkpoint_every"] = args.checkpoint_every
+    if args.rebalance:
+        extras["rebalance"] = True
+    if args.split_threshold is not None:
+        extras["split_threshold"] = args.split_threshold
     if extras == profile.extras:
         return profile
     return profile.with_overrides(extras=extras)
@@ -293,6 +314,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     ) and not args.scenario:
         print("--storage-backend/--checkpoint-every require --scenario", file=sys.stderr)
         return 2
+
+    if args.split_threshold is not None and not (0.0 < args.split_threshold <= 1.0):
+        print("--split-threshold must be in (0, 1]", file=sys.stderr)
+        return 2
+
+    if args.rebalance or args.split_threshold is not None:
+        if not args.scenario:
+            print("--rebalance/--split-threshold require --scenario", file=sys.stderr)
+            return 2
+        if (args.shards or 0) < 2:
+            print("--rebalance requires --shards >= 2", file=sys.stderr)
+            return 2
+        if args.split_threshold is not None and not args.rebalance:
+            print("--split-threshold requires --rebalance", file=sys.stderr)
+            return 2
 
     if args.scenario:
         if args.experiments:

@@ -121,6 +121,8 @@ def run_scenario_sweep(
     arrival_rate: Optional[float] = None,
     storage_backend: Optional[str] = None,
     checkpoint_every: Optional[int] = None,
+    rebalance: Optional[bool] = None,
+    split_threshold: Optional[float] = None,
 ) -> ExperimentResult:
     """Replay one scenario against every index; one row per snapshot.
 
@@ -215,6 +217,18 @@ def run_scenario_sweep(
         if checkpoint_every is not None
         else int(profile.extras.get("checkpoint_every", 256))
     )
+    rebalance = (
+        rebalance
+        if rebalance is not None
+        else bool(profile.extras.get("rebalance", False))
+    )
+    split_threshold = (
+        split_threshold
+        if split_threshold is not None
+        else profile.extras.get("split_threshold")
+    )
+    if rebalance and shards <= 1:
+        raise ValueError("--rebalance requires a sharded deployment (--shards >= 2)")
     points = make_points(profile)
     config = SuiteConfig(
         n_points=points.shape[0],
@@ -254,6 +268,15 @@ def run_scenario_sweep(
                 index.attach_cache(make_page_cache(cache_blocks, cache_policy))
             if pool is not None:
                 index.attach_cache(pool.client(name))
+        rebalancer = None
+        if rebalance:
+            # deferred: rebalance_sweeps imports this module at registration
+            from repro.experiments.rebalance_sweeps import rebalance_sweep_config
+            from repro.sharding import RebalanceController
+
+            rebalancer = RebalanceController(
+                index, rebalance_sweep_config(spec.n_ops, split_threshold)
+            )
         durable: Optional[DurableIndex] = None
         if storage_backend == "disk":
             slug = name.lower().replace("*", "star")
@@ -279,6 +302,7 @@ def run_scenario_sweep(
             exact_results=name in EXACT_RESULT_INDICES,
             engine_mode=engine_mode,
             batch_reorder=bool(profile.extras.get("batch_reorder", False)),
+            rebalancer=rebalancer,
         )
         result = runner.replay(operations) if operations is not None else runner.run(points)
         for snapshot in result.snapshots:
@@ -338,9 +362,12 @@ def run_scenario_sweep(
                 f"{pool.prefetch_used}/{pool.prefetch_issued} prefetches used"
             )
         if shards > 1:
+            final_shards = (
+                rebalancer.index.n_shards if rebalancer is not None else shards
+            )
             per_shard_reads = [
                 (result.per_shard_block_accesses or {}).get(shard_id, 0)
-                for shard_id in range(shards)
+                for shard_id in range(final_shards)
             ]
             notes.append(
                 f"{name}: sharded {index.policy.describe()} — per-shard points "
@@ -350,9 +377,19 @@ def run_scenario_sweep(
             if result.per_shard_service_s:
                 busy = [
                     round(result.per_shard_service_s.get(shard_id, 0.0) * 1e3, 2)
-                    for shard_id in range(shards)
+                    for shard_id in range(final_shards)
                 ]
                 notes.append(f"{name}: per-shard service time (ms, whole run) {busy}")
+        if rebalancer is not None:
+            report = rebalancer.report
+            notes.append(
+                f"{name}: rebalancer — {report.n_splits} split(s), "
+                f"{report.n_merges} merge(s), {report.n_aborted} aborted, "
+                f"{report.rescued_writes} rescued write(s), "
+                f"{report.budget_resizes} budget resize(s); final topology "
+                f"{rebalancer.index.n_shards} shard(s): "
+                f"{rebalancer.index.policy.describe()}"
+            )
         if durable is not None:
             notes.append(
                 f"{name}: durable (backend=disk, checkpoint every "

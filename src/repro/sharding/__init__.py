@@ -21,6 +21,11 @@ serving stack:
   :class:`~repro.engine.BatchQueryEngine` instances, optionally on a
   thread pool, merging results and aggregating per-shard
   :class:`~repro.storage.AccessStats`.
+* **Rebalancing** (:mod:`repro.sharding.rebalance`): the
+  :class:`~repro.sharding.rebalance.RebalanceController` watches per-shard
+  access counts and p99 sketches, splits hot shards online (children built
+  in the background, in-flight writes rescued, atomic swap), merges cold
+  siblings, and moves cache budgets toward the heat.
 
 The sharded index answers every query exactly like an equivalent
 single-index deployment (asserted by ``tests/test_sharding_differential.py``
@@ -46,9 +51,23 @@ from repro.sharding.policy import (
     ZOrderRangePolicy,
     make_policy,
 )
+from repro.sharding.rebalance import (
+    AdaptiveShardingPolicy,
+    MergeMigration,
+    RebalanceConfig,
+    RebalanceController,
+    RebalanceError,
+    SplitMigration,
+)
 from repro.sharding.router import ShardRouter
 
 __all__ = [
+    "AdaptiveShardingPolicy",
+    "MergeMigration",
+    "RebalanceConfig",
+    "RebalanceController",
+    "RebalanceError",
+    "SplitMigration",
     "ShardingPolicy",
     "RegularGridPolicy",
     "CurveRangePolicy",

@@ -154,9 +154,16 @@ class ShardedBatchEngine:
             if shard.is_empty:
                 return
             window_indices = by_shard[shard_id]
-            batch = self._engine_for(shard_id).window_queries(
-                [windows[i] for i in window_indices]
-            )
+            shard_windows = [windows[i] for i in window_indices]
+            # warm the shard's cache for the whole sub-batch up front: the
+            # per-scan look-ahead inside the store never covers the first
+            # position of each prefetch stride, this does (PR-7 follow-up)
+            admitted = shard.prefetch_windows(shard_windows)
+            batch = self._engine_for(shard_id).window_queries(shard_windows)
+            if admitted:
+                # the per-shard engine resets the shard's counters at batch
+                # entry; the speculative I/O belongs to this batch interval
+                shard.stats.record_block_prefetch(admitted)
             for window_index, chunk in zip(window_indices, batch.results):
                 parts[window_index].append((shard_id, chunk))
 

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.geometry import Rect
 from repro.sharding.policy import ShardingPolicy, make_policy
+from repro.sharding.rebalance import AdaptiveShardingPolicy, RebalanceError
 from repro.sharding.router import ShardRouter
 from repro.storage import AccessStats, PageCache, SharedBufferPool, make_page_cache
 from repro.storage.block_file import BlockFile
@@ -265,6 +266,17 @@ class _Shard:
             answer = self.index.knn_query(x, y, k)
         return answer.points if hasattr(answer, "points") else answer
 
+    def prefetch_windows(self, windows: Sequence[Rect]) -> int:
+        """Warm the cache for an upcoming window sub-batch, when the wrapped
+        kind can plan its scan range without touching the store (currently
+        the ZM family); returns the number of blocks admitted."""
+        if self.is_empty:
+            return 0
+        prefetch = getattr(self.index, "prefetch_window", None)
+        if prefetch is None:
+            return 0
+        return sum(prefetch(window) for window in windows)
+
     # -- updates ---------------------------------------------------------------
 
     def insert(self, x: float, y: float, factory, points: Optional[np.ndarray] = None) -> None:
@@ -381,6 +393,13 @@ class ShardedSpatialIndex:
         self.router: Optional[ShardRouter] = None
         #: the shared buffer pool, when :meth:`attach_shared_pool` installed one
         self.shared_pool: Optional[SharedBufferPool] = None
+        self._pool_namespace = "shard"
+        self._pool_budget: Optional[int] = None
+        self._disk_directory: Optional[Path] = None
+        #: rescue buffers for in-flight migrations: writes routed to a
+        #: migrating shard are recorded here (as well as applied normally)
+        #: so the migration can replay them into the replacement shards
+        self._rescue: dict[int, list] = {}
         self.shards: list[_Shard] = []
         self.stats = CompositeAccessStats([])
         self.name = name or f"Sharded[{kind or 'index'}x{self.n_shards}:" + (
@@ -448,6 +467,8 @@ class ShardedSpatialIndex:
         self.cache_blocks = None
         self.cache_policy = pool.admission
         self.shared_pool = pool
+        self._pool_namespace = namespace
+        self._pool_budget = budget_per_shard
         for shard in self.shards:
             shard.attach_cache(pool.client(f"{namespace}-{shard.shard_id}", budget_per_shard))
         return pool
@@ -464,11 +485,13 @@ class ShardedSpatialIndex:
         self._require_built()
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        self._disk_directory = directory
         for shard in self.shards:
             shard.attach_disk(directory / f"shard-{shard.shard_id}.blocks")
 
     def detach_disk(self) -> None:
         """Close and remove every shard's block-file mirror."""
+        self._disk_directory = None
         for shard in self.shards:
             shard.attach_disk(None)
 
@@ -533,15 +556,241 @@ class ShardedSpatialIndex:
         """Insert a point into the single shard owning it (building the
         shard's index on first use)."""
         self._require_built()
-        shard_id = self.router.record_insert(float(x), float(y))
-        self.shards[shard_id].insert(float(x), float(y), self.factory)
+        x, y = float(x), float(y)
+        shard_id = self.router.record_insert(x, y)
+        self.shards[shard_id].insert(x, y, self.factory)
+        rescue = self._rescue.get(shard_id)
+        if rescue is not None:
+            rescue.append(("insert", x, y))
 
     def delete(self, x: float, y: float) -> bool:
         """Delete a stored point from the shard owning it."""
         self._require_built()
-        return self.shards[self.router.shard_for_point(float(x), float(y))].delete(
-            float(x), float(y)
-        )
+        x, y = float(x), float(y)
+        shard_id = self.router.shard_for_point(x, y)
+        deleted = self.shards[shard_id].delete(x, y)
+        rescue = self._rescue.get(shard_id)
+        if rescue is not None and deleted:
+            rescue.append(("delete", x, y))
+        return deleted
+
+    # -- online rebalancing hooks ----------------------------------------------
+    #
+    # The split/merge *decision and staging* live in
+    # :mod:`repro.sharding.rebalance`; the methods below are the index-side
+    # primitives a migration composes: capture writes into rescue buffers,
+    # snapshot a shard's live points, build replacement shards off to the
+    # side, and atomically swap them in (policy + shard list + router +
+    # caches + disk mirrors all mutate inside one call, so a reader between
+    # any two operations sees either the old topology or the new one —
+    # never half of each).
+
+    def enable_rebalancing(self) -> AdaptiveShardingPolicy:
+        """Wrap the policy so shard regions can be split/merged online.
+
+        Idempotent; routing answers are unchanged until the first split.
+        """
+        self._require_built()
+        if not isinstance(self.policy, AdaptiveShardingPolicy):
+            self.policy = AdaptiveShardingPolicy(self.policy)
+            self.router.policy = self.policy
+        return self.policy
+
+    def register_rescue(self, shard_ids: Sequence[int]) -> list:
+        """Start capturing writes routed to ``shard_ids`` (one shared,
+        arrival-ordered buffer, so merge migrations replay in order)."""
+        buffer: list = []
+        for shard_id in shard_ids:
+            if shard_id in self._rescue:
+                raise RebalanceError(f"shard {shard_id} is already migrating")
+            self._rescue[shard_id] = buffer
+        return buffer
+
+    def release_rescue(self, shard_ids: Sequence[int]) -> None:
+        """Stop capturing writes for ``shard_ids``."""
+        for shard_id in shard_ids:
+            self._rescue.pop(shard_id, None)
+
+    def live_shard_points(self, shard_id: int) -> np.ndarray:
+        """Snapshot every live point of one shard (the migration source).
+
+        Block-store-backed kinds enumerate their store directly; tree kinds
+        run an exact window query over the shard's effective extent.  Either
+        way the snapshot must account for every live point — a mismatch
+        aborts the migration rather than silently dropping data.
+        """
+        self._require_built()
+        shard = self.shards[shard_id]
+        if shard.is_empty:
+            return _EMPTY.copy()
+        store = getattr(shard.index, "store", None)
+        if store is not None and hasattr(store, "all_points"):
+            points = np.asarray(store.all_points(), dtype=float).reshape(-1, 2)
+        else:
+            extent = self.router.shard_extent(shard_id)
+            pad = 1e-9 * max(1.0, abs(extent.xhi), abs(extent.yhi))
+            window = Rect(
+                extent.xlo - pad, extent.ylo - pad, extent.xhi + pad, extent.yhi + pad
+            )
+            points = shard.window_query(window)
+        if points.shape[0] != shard.n_points:
+            raise RebalanceError(
+                f"shard {shard_id} snapshot found {points.shape[0]} points, "
+                f"index holds {shard.n_points}"
+            )
+        return points
+
+    def build_replacement_shard(self, shard_id: int, points: np.ndarray) -> _Shard:
+        """Build a detached shard over ``points`` (no cache/disk attached —
+        the swap equips it once its id is final)."""
+        shard = _Shard(shard_id, self.exact_queries)
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        if points.shape[0] > 0:
+            shard.insert(
+                float(points[0, 0]), float(points[0, 1]), self.factory, points=points
+            )
+        return shard
+
+    def _equip_shard(self, shard: _Shard) -> None:
+        """Attach the index-level cache/pool/disk configuration to a shard
+        whose id is final (new children, relocated shards)."""
+        if self.shared_pool is not None:
+            client = self.shared_pool.client(
+                f"{self._pool_namespace}-{shard.shard_id}", self._pool_budget
+            )
+            client.clear()  # the name may be reused from a merged-away shard
+            shard.attach_cache(client)
+        elif self.cache_blocks:
+            shard.attach_cache(make_page_cache(self.cache_blocks, self.cache_policy))
+        if self._disk_directory is not None:
+            shard.attach_disk(self._disk_directory / f"shard-{shard.shard_id}.blocks")
+
+    def swap_in_split(
+        self, shard_id: int, axis: int, threshold: float, left: _Shard, right: _Shard
+    ) -> int:
+        """Atomically replace shard ``shard_id`` with its two children.
+
+        The ``< threshold`` child keeps ``shard_id`` (so per-shard state
+        keyed by id stays mostly valid); the other child gets the next free
+        id.  Policy, shard list, router overflow bookkeeping, aggregate
+        stats and storage attachments all change inside this one call.
+        """
+        self._require_built()
+        if not isinstance(self.policy, AdaptiveShardingPolicy):
+            raise RebalanceError("call enable_rebalancing() before splitting")
+        if shard_id in self._rescue:
+            raise RebalanceError("release the rescue buffer before swapping")
+        right_id = self.policy.split(shard_id, axis, threshold)
+        old = self.shards[shard_id]
+        left.shard_id = shard_id
+        right.shard_id = right_id
+        self.shards[shard_id] = left
+        self.shards.append(right)
+        self.n_shards = self.policy.n_shards
+        self.router.note_split(shard_id, right_id)
+        old.attach_disk(None)  # close the parent's mirror before the child reuses its path
+        self._equip_shard(left)
+        self._equip_shard(right)
+        self.stats = CompositeAccessStats([shard.stats for shard in self.shards])
+        return right_id
+
+    def swap_in_merge(self, a: int, b: int, merged: _Shard) -> int:
+        """Atomically replace sibling shards ``a`` and ``b`` with ``merged``.
+
+        The merged shard takes ``min(a, b)``; the id hole at ``max(a, b)``
+        is filled by relocating the last shard (mirroring the policy's leaf
+        move), whose disk mirror — if any — is re-homed to its new name.
+        Returns the merged shard's id.
+        """
+        self._require_built()
+        if not isinstance(self.policy, AdaptiveShardingPolicy):
+            raise RebalanceError("call enable_rebalancing() before merging")
+        if a in self._rescue or b in self._rescue:
+            raise RebalanceError("release the rescue buffer before swapping")
+        keep, moved = self.policy.merge(a, b)
+        drop = b if keep == a else a
+        old_keep, old_drop = self.shards[keep], self.shards[drop]
+        old_keep.attach_disk(None)
+        old_drop.attach_disk(None)
+        merged.shard_id = keep
+        self.shards[keep] = merged
+        last = len(self.shards) - 1
+        if moved is not None:
+            relocated = self.shards[last]
+            had_disk = relocated.disk_path is not None
+            if had_disk:
+                relocated.attach_disk(None)
+            relocated.shard_id = moved[1]
+            self.shards[moved[1]] = relocated
+            if had_disk and self._disk_directory is not None:
+                # attach_disk re-dumps the store, so the mirror follows the id
+                relocated.attach_disk(
+                    self._disk_directory / f"shard-{relocated.shard_id}.blocks"
+                )
+        self.shards.pop()
+        self.n_shards = self.policy.n_shards
+        self.router.note_merge(keep, drop, moved)
+        self._equip_shard(merged)
+        if self._disk_directory is not None:
+            stale = self._disk_directory / f"shard-{last}.blocks"
+            if stale.exists():
+                stale.unlink()
+        self.stats = CompositeAccessStats([shard.stats for shard in self.shards])
+        return keep
+
+    def resize_shard_budgets(
+        self, shares: dict, min_blocks: int = 1
+    ) -> bool:
+        """Redistribute the fixed cache budget across shards by ``shares``.
+
+        ``shares`` maps shard id to its fraction of recent heat.  With a
+        shared pool attached, per-client budget caps are re-cut from the
+        pool's capacity; with shard-local page caches, the total private
+        budget (``cache_blocks × n_shards``) is re-cut via
+        :meth:`PageCache.resize`.  Returns True when any budget changed.
+        """
+        self._require_built()
+        min_blocks = max(1, int(min_blocks))
+        if self.shared_pool is not None:
+            total = self.shared_pool.capacity
+        elif self.cache_blocks:
+            total = int(self.cache_blocks) * len(self.shards)
+        else:
+            return False
+        changed = False
+        for shard in self.shards:
+            cache = shard.cache
+            if cache is None:
+                continue
+            share = float(shares.get(shard.shard_id, 0.0))
+            budget = min(total, max(min_blocks, int(round(total * share))))
+            if self.shared_pool is not None:
+                if cache.budget != budget:
+                    self.shared_pool.client(cache.name, budget)
+                    changed = True
+            elif cache.capacity != budget:
+                cache.resize(budget)
+                changed = True
+        return changed
+
+    # -- persistence -----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Checkpoint state: rescue buffers are dropped, so a checkpoint
+        taken while a migration is in flight persists the pre-swap topology
+        (the old shards stay authoritative until the swap — recovery then
+        either rolls the whole migration back or, if a later checkpoint
+        captured the completed swap, keeps it; never half of each)."""
+        state = dict(self.__dict__)
+        state["_rescue"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_rescue", {})
+        self.__dict__.setdefault("_pool_namespace", "shard")
+        self.__dict__.setdefault("_pool_budget", None)
+        self.__dict__.setdefault("_disk_directory", None)
 
     # -- accounting -----------------------------------------------------------
 

@@ -85,6 +85,45 @@ class ShardRouter:
             previous.expand_to_point(x, y) if previous is not None else Rect(x, y, x, y)
         )
 
+    # -- rebalancing ------------------------------------------------------------
+
+    def note_split(self, parent_id: int, right_id: int) -> None:
+        """Remap overflow bookkeeping after ``parent_id`` split in two.
+
+        The parent's overflow MBR (out-of-region inserts) is conservatively
+        copied to **both** children: the points it stands for were rescued
+        into one child or the other, and keeping the whole rect on each
+        keeps window routing complete and the kNN bound valid — the bounds
+        are merely looser until the overflow ages out.
+        """
+        overflow = self._overflow.get(parent_id)
+        if overflow is not None:
+            self._overflow[right_id] = overflow
+
+    def note_merge(
+        self, keep: int, drop: int, moved: Optional[tuple[int, int]]
+    ) -> None:
+        """Remap overflow bookkeeping after ``drop`` merged into ``keep``.
+
+        The siblings' overflow rects union onto the merged shard, and the
+        shard relocated into the id hole (``moved`` as ``(old_id, new_id)``)
+        carries its overflow rect along to its new id.
+        """
+        kept = self._overflow.pop(keep, None)
+        dropped = self._overflow.pop(drop, None)
+        if kept is not None or dropped is not None:
+            if kept is None:
+                merged = dropped
+            elif dropped is None:
+                merged = kept
+            else:
+                merged = kept.union(dropped)
+            self._overflow[keep] = merged
+        if moved is not None:
+            relocated = self._overflow.pop(moved[0], None)
+            if relocated is not None:
+                self._overflow[moved[1]] = relocated
+
     # -- window routing ---------------------------------------------------------
 
     def shards_for_window(self, window: Rect) -> list[int]:

@@ -179,24 +179,49 @@ class BlockStore:
         """
         self.cache = cache
 
-    def _cache_prefetch(self, block_ids) -> None:
+    def _cache_prefetch(self, block_ids) -> int:
         """Speculatively admit ``block_ids`` into a prefetch-capable cache.
 
         Only admitted prefetches are charged as prefetch I/O (a skipped
         prefetch performed none), and with a disk tier attached the admitted
         blocks are actually re-deserialised — a later cache hit must mean
         the in-memory object is current, same invariant as :meth:`_touch`.
+        Returns the number of blocks actually admitted.
         """
         prefetch = getattr(self.cache, "prefetch", None)
         if prefetch is None:
-            return
+            return 0
         admitted = prefetch([("b", block_id) for block_id in block_ids])
         if not admitted:
-            return
+            return 0
         self.stats.record_block_prefetch(len(admitted))
         if self._disk is not None:
             for _, block_id in admitted:
                 self._blocks[block_id] = self._disk.read_block(block_id)
+        return len(admitted)
+
+    def prefetch_positions(self, begin: int, end: int) -> int:
+        """Speculatively admit the base blocks at positions ``begin..end``
+        (inclusive) before a scan touches them.
+
+        This is the *query-planning* prefetch: :meth:`scan_positions` only
+        prefetches **ahead** of its cursor (every :data:`PREFETCH_BATCH`-th
+        stride boundary — the first position of each stride — stays a cold
+        fault), so a caller that knows the scan range up front issues it
+        here and the whole range is warm, stride boundaries included.
+        Charged like every prefetch: only actually admitted pages count.
+        Returns the number of blocks admitted; 0 without a
+        prefetch-capable cache.
+        """
+        if self.cache is None or not hasattr(self.cache, "prefetch"):
+            return 0
+        begin = self.clamp_position(begin)
+        end = self.clamp_position(end)
+        if end < begin:
+            return 0
+        return self._cache_prefetch(
+            [self._base_order[position] for position in range(begin, end + 1)]
+        )
 
     def attach_disk(self, disk: Optional[BlockFile]) -> None:
         """Install (or remove, with None) a write-through block-file mirror.

@@ -168,6 +168,38 @@ class PageCache:
         self.hits, self.misses = hits, misses
         self.evictions, self.invalidations = evictions, invalidations
 
+    def resize(self, capacity: int) -> None:
+        """Change the capacity in place, evicting down when shrinking.
+
+        Growing never disturbs the resident set; shrinking evicts the
+        replacement policy's coldest pages until the new capacity holds.
+        The rebalancing controller uses this to move cache budget toward
+        hot shards without losing the warm working set.
+        """
+        if capacity < 1:
+            raise ValueError("page cache capacity must be >= 1")
+        capacity = int(capacity)
+        if capacity == self.capacity:
+            return
+        if self.policy == "lru":
+            self.capacity = capacity
+            while len(self._lru) > capacity:
+                self._lru.popitem(last=False)
+                self.evictions += 1
+            return
+        # clock: rebuild the ring at the new size, re-admitting survivors in
+        # slot order (pages past the new capacity are evicted)
+        resident = [key for key in self._slots if key is not None]
+        survivors = resident[:capacity]
+        counters = (self.hits, self.misses,
+                    self.evictions + len(resident) - len(survivors),
+                    self.invalidations)
+        self.capacity = capacity
+        self._reset_state()
+        self.hits, self.misses, self.evictions, self.invalidations = counters
+        for key in survivors:
+            self._admit_clock(key)
+
     def reset_counters(self) -> None:
         """Zero the hit/miss/eviction counters (resident set is kept)."""
         self.hits = 0

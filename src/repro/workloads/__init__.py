@@ -37,6 +37,11 @@ from repro.workloads.latency import (
     summarize_durations,
 )
 from repro.workloads.oracle import OracleIndex
+from repro.workloads.rebalance import (
+    RebalanceFuzzOutcome,
+    aggressive_config,
+    run_rebalance_fuzz,
+)
 from repro.workloads.runner import (
     ScenarioMismatch,
     ScenarioResult,
@@ -95,4 +100,7 @@ __all__ = [
     "CrashOutcome",
     "CrashRecoveryMismatch",
     "run_crash_recovery",
+    "RebalanceFuzzOutcome",
+    "aggressive_config",
+    "run_rebalance_fuzz",
 ]

@@ -1,0 +1,135 @@
+"""Rebalancing fuzz: answer identity while shard migrations are in flight.
+
+The scenario fuzz harness (runner + :class:`OracleIndex`) already asserts
+that a *static* sharded deployment answers exactly like brute force.  This
+module turns the same machinery on the online rebalancer: replay a
+``drifting`` or ``bulk-churn`` stream against a sharded index with a
+:class:`~repro.sharding.RebalanceController` attached, so shard splits and
+merges interleave with the stream — read batches execute between migration
+stages (racing the swap), writes land in shards that are mid-split and go
+through the rescue buffer — and every single answer is still checked
+against the oracle.  Any disagreement raises
+:class:`~repro.workloads.runner.ScenarioMismatch` at the offending
+operation; a run in which no migration actually happened raises
+:class:`~repro.sharding.RebalanceError`, so a miscalibrated config cannot
+pass vacuously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sharding import RebalanceConfig, RebalanceController, RebalanceError
+from repro.workloads.oracle import OracleIndex
+from repro.workloads.runner import ScenarioResult, ScenarioRunner
+from repro.workloads.spec import ScenarioSpec
+
+__all__ = ["RebalanceFuzzOutcome", "aggressive_config", "run_rebalance_fuzz"]
+
+
+def aggressive_config(**overrides) -> RebalanceConfig:
+    """A controller config tuned so migrations fire even at tiny fuzz
+    budgets (low thresholds, no cooldown, quick decay)."""
+    settings = dict(
+        split_threshold=0.30,
+        min_split_points=32,
+        merge_threshold=0.05,
+        min_observations=32,
+        cooldown_ticks=0,
+        max_shards=16,
+        decay=0.9,
+    )
+    settings.update(overrides)
+    return RebalanceConfig(**settings)
+
+
+@dataclass(frozen=True)
+class RebalanceFuzzOutcome:
+    """What one oracle-checked rebalancing run did (all assertions passed)."""
+
+    result: ScenarioResult
+    initial_shards: int
+    final_shards: int
+    n_splits: int
+    n_merges: int
+    n_aborted: int
+    rescued_writes: int
+    #: control ticks / observed read batches while a migration was in flight
+    #: — both > 0 proves operations genuinely raced the migrations
+    mid_migration_ticks: int
+    mid_migration_batches: int
+
+    @property
+    def n_migrations(self) -> int:
+        return self.n_splits + self.n_merges
+
+
+def run_rebalance_fuzz(
+    index,
+    spec: ScenarioSpec,
+    initial_points: np.ndarray,
+    *,
+    exact: bool = False,
+    config: Optional[RebalanceConfig] = None,
+    engine_mode: str = "auto",
+    batch_size: int = 16,
+    require_migration: bool = True,
+) -> RebalanceFuzzOutcome:
+    """Replay ``spec`` against a built sharded ``index`` with the rebalancer
+    on and an oracle attached; every answer is checked mid-migration.
+
+    ``exact`` enables exact-agreement window/kNN assertions (pass True for
+    the :data:`~repro.sharding.EXACT_KINDS`); learned kinds get
+    soundness + recall checks.  ``batch_size`` is deliberately small so
+    migration stages interleave tightly with read batches.  Raises
+    :class:`~repro.workloads.runner.ScenarioMismatch` on any answer
+    disagreement and :class:`~repro.sharding.RebalanceError` when
+    ``require_migration`` is set but the stream never triggered one.
+    """
+    initial_points = np.asarray(initial_points, dtype=float).reshape(-1, 2)
+    controller = RebalanceController(
+        index, config if config is not None else aggressive_config()
+    )
+    initial_shards = index.n_shards
+    oracle = OracleIndex().build(initial_points)
+    runner = ScenarioRunner(
+        index,
+        spec,
+        oracle=oracle,
+        exact_results=exact,
+        engine_mode=engine_mode,
+        batch_size=batch_size,
+        rebalancer=controller,
+    )
+    result = runner.run(initial_points)
+    report = controller.report
+    if require_migration:
+        if report.n_splits + report.n_merges == 0:
+            raise RebalanceError(
+                f"no migration completed over {result.n_ops} ops of "
+                f"{spec.name!r} (aborted={report.n_aborted}); the fuzz run "
+                "was vacuous — widen the stream or loosen the config"
+            )
+        if report.mid_migration_batches == 0 and report.rescued_writes == 0:
+            # at least one kind of race must have happened: read batches
+            # executing mid-migration, or writes rescued out of a migrating
+            # shard (write-heavy streams often complete a migration between
+            # two read batches, but then the rescue path was exercised)
+            raise RebalanceError(
+                "migrations completed but no operation raced them: no read "
+                "batch ran mid-migration and no write was rescued"
+            )
+    return RebalanceFuzzOutcome(
+        result=result,
+        initial_shards=initial_shards,
+        final_shards=index.n_shards,
+        n_splits=report.n_splits,
+        n_merges=report.n_merges,
+        n_aborted=report.n_aborted,
+        rescued_writes=report.rescued_writes,
+        mid_migration_ticks=report.mid_migration_ticks,
+        mid_migration_batches=report.mid_migration_batches,
+    )

@@ -195,6 +195,13 @@ class ScenarioRunner:
         Execute read micro-batches in Hilbert-key order (results scatter
         back, answers unchanged — see
         :class:`~repro.engine.BatchQueryEngine`'s ``reorder``).
+    rebalancer:
+        Optional :class:`~repro.sharding.RebalanceController` over the
+        (inner) sharded index.  The runner feeds it every batch's per-shard
+        access counts and latency summaries and ticks it after each flush
+        and each write, so shard migrations interleave with the stream —
+        reads race the swap, writes land in splitting shards — while the
+        oracle checks keep asserting answer identity.
     """
 
     def __init__(
@@ -207,6 +214,7 @@ class ScenarioRunner:
         engine_mode: str = "auto",
         batch_size: int = 64,
         batch_reorder: bool = False,
+        rebalancer=None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -224,6 +232,7 @@ class ScenarioRunner:
         else:
             self.engine = BatchQueryEngine(served, mode=engine_mode, reorder=batch_reorder)
         self.batch_size = batch_size
+        self._rebalancer = rebalancer
         self._name = getattr(index, "name", type(index).__name__)
         #: multi-tenant oracles take the op's tenant on writes
         self._tenant_aware_oracle = bool(getattr(oracle, "tenant_aware", False))
@@ -270,6 +279,10 @@ class ScenarioRunner:
                 total_physical += interval.physical_accesses
                 interval = _IntervalAccumulator(seed=self.spec.seed)
 
+        if self._rebalancer is not None:
+            # never leave a migration half-staged at end of run: the swap (or
+            # abort) happens under the same single-threaded control loop
+            self._rebalancer.drain()
         elapsed = time.perf_counter() - started
         return ScenarioResult(
             scenario=self.spec.name,
@@ -353,6 +366,10 @@ class ScenarioRunner:
         # the flushed reads re-enter the virtual timeline in stream order
         for op, service in zip(ops, services):
             self._observe_latency(op, service, interval)
+        if self._rebalancer is not None:
+            # one control step per flushed batch: migrations advance stage by
+            # stage between batches, so later reads genuinely race the swap
+            self._rebalancer.tick()
 
     @staticmethod
     def _timed(run, positions):
@@ -363,6 +380,10 @@ class ScenarioRunner:
 
     def _account(self, batch, interval: _IntervalAccumulator) -> None:
         """Fold one engine batch's access counters into the interval/run totals."""
+        if self._rebalancer is not None:
+            self._rebalancer.observe(
+                batch.per_shard_block_accesses, batch.per_shard_latency
+            )
         if batch.per_shard_block_accesses:
             for shard_id, reads in batch.per_shard_block_accesses.items():
                 self._per_shard_reads[shard_id] = (
@@ -420,6 +441,11 @@ class ScenarioRunner:
         interval.block_accesses += max(0, after - before)
         interval.physical_accesses += max(0, after_physical - before_physical)
         self._observe_latency(op, service, interval)
+        if self._rebalancer is not None:
+            # ticked after the access-delta bracket above, so migration I/O
+            # (snapshots, child builds) is never billed to this write
+            self._rebalancer.observe_write(op.x, op.y)
+            self._rebalancer.tick()
 
     def _oracle_write(self, op: Operation):
         """Replay one write on the shadow (routing tenants when supported)."""

@@ -246,6 +246,180 @@ class TestShardedIndex:
         ]
 
 
+class TestKillDuringShardSplit:
+    """Kill points *inside* an in-flight shard split (the online rebalancer's
+    migration).  Checkpoints taken mid-migration persist the pre-swap
+    topology (the rescue buffer and half-built children are deliberately
+    not pickled), so recovery must either come back with the pre-split
+    shard layout or — when a checkpoint ran after the swap — with the
+    completed post-split layout.  Never anything in between, and never a
+    lost write."""
+
+    @staticmethod
+    def _build(points, tmp_path, checkpoint_every=64, backend="memory"):
+        from repro.storage import DurableIndex
+
+        sharded = ShardedSpatialIndex(
+            shard_index_factory("Grid", block_capacity=16), n_shards=2, policy="grid"
+        ).build(points)
+        sharded.enable_rebalancing()
+        durable = DurableIndex(
+            sharded, tmp_path, checkpoint_every=checkpoint_every, backend=backend
+        )
+        return sharded, durable
+
+    @staticmethod
+    def _assert_topology_consistent(sharded, live):
+        assert sharded.policy.n_shards == sharded.n_shards == len(sharded.shards)
+        for shard_id, shard in enumerate(sharded.shards):
+            assert shard.shard_id == shard_id
+        assert sharded.n_points == len(live)
+        for x, y in live:
+            assert sharded.contains(x, y)
+            # routing and storage agree: the owning shard holds the point
+            owner = sharded.router.shard_for_point(x, y)
+            assert sharded.shards[owner].index.contains(x, y)
+
+    @pytest.mark.parametrize("kill_after_stages", (1, 2, 3))
+    def test_kill_mid_split_rolls_back_to_pre_split_layout(
+        self, crash_points, tmp_path, kill_after_stages
+    ):
+        from repro.sharding import SplitMigration
+
+        sharded, durable = self._build(crash_points, tmp_path)
+        live = {tuple(map(float, p)) for p in crash_points}
+        migration = SplitMigration(sharded, shard_id=0)
+        rng = np.random.default_rng(47)
+        for _ in range(kill_after_stages):
+            assert not migration.step()  # still in flight at the kill point
+            # writes keep landing in the splitting shard between stages
+            for _ in range(4):
+                x, y = float(rng.random() * 0.5), float(rng.random())
+                if (x, y) not in live:
+                    durable.insert(x, y)
+                    live.add((x, y))
+        # the rescue buffer caught the writes that landed mid-flight
+        assert migration._rescue
+        durable.simulate_crash()
+
+        from repro.storage import DurableIndex
+
+        recovered, report = DurableIndex.recover(tmp_path)
+        inner = recovered.wrapped
+        # the swap never happened, so recovery lands on the 2-shard layout
+        assert inner.n_shards == 2
+        self._assert_topology_consistent(inner, live)
+        assert report.replayed == len(live) - crash_points.shape[0]
+
+    def test_kill_after_swap_before_checkpoint_rolls_back_whole_split(
+        self, crash_points, tmp_path
+    ):
+        from repro.sharding import SplitMigration
+        from repro.storage import DurableIndex
+
+        sharded, durable = self._build(crash_points, tmp_path)
+        live = {tuple(map(float, p)) for p in crash_points}
+        migration = SplitMigration(sharded, shard_id=0)
+        rng = np.random.default_rng(53)
+        while not migration.step():
+            x, y = float(rng.random() * 0.5), float(rng.random())
+            if (x, y) not in live:
+                durable.insert(x, y)
+                live.add((x, y))
+        assert sharded.n_shards == 3  # the swap completed in memory...
+        durable.simulate_crash()
+        recovered, _ = DurableIndex.recover(tmp_path)
+        inner = recovered.wrapped
+        # ...but no checkpoint captured it: recovery replays the WAL through
+        # the pre-split layout and loses nothing
+        assert inner.n_shards == 2
+        self._assert_topology_consistent(inner, live)
+
+    def test_checkpoint_after_swap_persists_the_split(self, crash_points, tmp_path):
+        from repro.sharding import SplitMigration
+        from repro.storage import DurableIndex
+
+        sharded, durable = self._build(crash_points, tmp_path)
+        live = {tuple(map(float, p)) for p in crash_points}
+        migration = SplitMigration(sharded, shard_id=0)
+        while not migration.step():
+            pass
+        durable.checkpoint()
+        rng = np.random.default_rng(59)
+        for _ in range(8):
+            x, y = float(rng.random()), float(rng.random())
+            if (x, y) not in live:
+                durable.insert(x, y)
+                live.add((x, y))
+        durable.simulate_crash()
+        recovered, report = DurableIndex.recover(tmp_path)
+        inner = recovered.wrapped
+        # the checkpoint captured the completed swap: the split survives,
+        # including the adaptive policy's lineage-based routing
+        assert inner.n_shards == 3
+        assert inner.policy.describe().startswith("adaptive[")
+        self._assert_topology_consistent(inner, live)
+        assert report.replayed == len(live) - crash_points.shape[0]
+
+    def test_checkpoint_every_write_mid_migration(self, crash_points, tmp_path):
+        """checkpoint_every=1 forces a full pickle between every migration
+        stage; the un-pickled rescue buffer must still catch the writes."""
+        from repro.sharding import SplitMigration
+        from repro.storage import DurableIndex
+
+        sharded, durable = self._build(crash_points, tmp_path, checkpoint_every=1)
+        live = {tuple(map(float, p)) for p in crash_points}
+        migration = SplitMigration(sharded, shard_id=0)
+        rng = np.random.default_rng(61)
+        done = False
+        while not done:
+            done = migration.step()
+            x, y = float(rng.random() * 0.5), float(rng.random())
+            if (x, y) not in live:
+                durable.insert(x, y)  # checkpoints immediately, mid-flight
+                live.add((x, y))
+        assert sharded.n_shards == 3
+        self._assert_topology_consistent(sharded, live)
+        durable.simulate_crash()
+        recovered, _ = DurableIndex.recover(tmp_path, checkpoint_every=1)
+        inner = recovered.wrapped
+        # every checkpoint ran before the swap, except possibly the last
+        assert inner.n_shards in (2, 3)
+        self._assert_topology_consistent(inner, live)
+
+    def test_disk_backed_split_recovers_per_shard_mirrors(self, tmp_path):
+        from repro.sharding import SplitMigration
+        from repro.storage import DurableIndex
+
+        points = np.random.default_rng(67).random((400, 2))
+        sharded = ShardedSpatialIndex(
+            shard_index_factory("ZM", block_capacity=16, training=_TRAINING),
+            n_shards=2,
+            policy="grid",
+        ).build(points)
+        sharded.enable_rebalancing()
+        durable = DurableIndex(sharded, tmp_path, checkpoint_every=64, backend="disk")
+        live = {tuple(map(float, p)) for p in points}
+        migration = SplitMigration(sharded, shard_id=0)
+        while not migration.step():
+            pass
+        assert sharded.n_shards == 3
+        # the children took over the parent's mirror slot plus a new file
+        assert sorted(p.name for p in tmp_path.glob("shard-*.blocks")) == [
+            "shard-0.blocks",
+            "shard-1.blocks",
+            "shard-2.blocks",
+        ]
+        durable.checkpoint()
+        durable.simulate_crash()
+        recovered, _ = DurableIndex.recover(tmp_path, backend="disk")
+        inner = recovered.wrapped
+        assert inner.n_shards == 3
+        for x, y in list(live)[:100]:
+            assert recovered.contains(x, y)
+        recovered.close()
+
+
 @pytest.mark.slow
 class TestSlowFuzz:
     """The wide matrix: full kill-point grid, larger budgets, RSMI itself."""

@@ -1,0 +1,315 @@
+"""Unit tests of the online rebalancing machinery.
+
+The differential fuzz (:mod:`tests.test_rebalance_differential`) proves
+end-to-end answer identity; these tests pin the individual pieces — the
+adaptive policy's lineage bookkeeping, the migration state machines, the
+controller's trigger logic, cache-budget resizing and the rescue path —
+so a regression fails close to its cause.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import dataset_by_name
+from repro.geometry import Rect
+from repro.sharding import (
+    AdaptiveShardingPolicy,
+    MergeMigration,
+    RebalanceConfig,
+    RebalanceController,
+    RebalanceError,
+    ShardedSpatialIndex,
+    SplitMigration,
+    make_policy,
+    shard_index_factory,
+)
+from repro.storage import PageCache, SharedBufferPool
+
+POINTS = dataset_by_name("skewed", 700, seed=43)
+
+
+def build_sharded(kind="Grid", n_shards=4, policy="grid", **kwargs):
+    factory = shard_index_factory(kind, block_capacity=12, **kwargs)
+    index = ShardedSpatialIndex(factory, n_shards=n_shards, policy=policy).build(POINTS)
+    index.enable_rebalancing()
+    return index
+
+
+class TestAdaptivePolicy:
+    def test_wrapping_is_idempotent(self):
+        index = build_sharded()
+        policy = index.policy
+        index.enable_rebalancing()
+        assert index.policy is policy
+        assert isinstance(policy, AdaptiveShardingPolicy)
+
+    def test_split_assigns_the_next_free_id(self):
+        policy = AdaptiveShardingPolicy(make_policy("grid", 4))
+        assert policy.split(1, axis=0, threshold=0.75) == 4
+        assert policy.n_shards == 5
+        assert policy.depth(1) == policy.depth(4) == 1
+        assert policy.depth(0) == 0
+
+    def test_merge_with_hole_relocates_the_last_shard(self):
+        policy = AdaptiveShardingPolicy(make_policy("grid", 4))
+        right = policy.split(1, axis=0, threshold=0.75)  # -> 4
+        policy.split(2, axis=1, threshold=0.6)  # -> 5
+        keep, moved = policy.merge(1, right)
+        # shard 5 fills the hole left by the merged-away shard 4
+        assert keep == 1
+        assert moved == (5, 4)
+        assert policy.n_shards == 5
+        assert policy.depth(4) == 1  # the relocated half of the shard-2 split
+
+    def test_merge_rejects_non_siblings(self):
+        policy = AdaptiveShardingPolicy(make_policy("grid", 4))
+        policy.split(0, axis=0, threshold=0.2)
+        with pytest.raises(RebalanceError):
+            policy.merge(0, 1)
+        assert not policy.are_siblings(0, 1)
+
+    def test_describe_names_the_base(self):
+        policy = AdaptiveShardingPolicy(make_policy("hilbert", 4))
+        assert policy.describe().startswith("adaptive[")
+        assert "hilbert" in policy.describe()
+
+
+class TestPageCacheResize:
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_shrink_evicts_down_to_new_capacity(self, policy):
+        cache = PageCache(8, policy=policy)
+        for key in range(8):
+            cache.access(key)
+        cache.resize(3)
+        assert cache.capacity == 3
+        assert sum(cache.contains(key) for key in range(8)) == 3
+
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_grow_keeps_everything_resident(self, policy):
+        cache = PageCache(4, policy=policy)
+        for key in range(4):
+            cache.access(key)
+        cache.resize(10)
+        assert all(cache.contains(key) for key in range(4))
+
+    def test_lru_shrink_keeps_the_most_recent_keys(self):
+        cache = PageCache(6)
+        for key in range(6):
+            cache.access(key)
+        cache.resize(2)
+        assert cache.contains(4) and cache.contains(5)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PageCache(4).resize(0)
+
+
+class TestSplitMigration:
+    def test_stages_and_swap(self):
+        index = build_sharded()
+        before = index.n_points
+        migration = SplitMigration(index, shard_id=0)
+        steps = 0
+        while not migration.step():
+            steps += 1
+            assert steps < 10
+        assert not migration.aborted
+        assert index.n_shards == 5
+        assert index.n_points == before
+        # children partition the parent's points by the chosen plane
+        left, right = index.shards[0], index.shards[4]
+        assert left.n_points + right.n_points >= 1
+        for shard, side in ((left, np.less), (right, np.greater_equal)):
+            pts = index.live_shard_points(shard.shard_id)
+            assert np.all(side(pts[:, migration.axis], migration.threshold))
+
+    def test_degenerate_region_aborts_cleanly(self):
+        index = build_sharded()
+        migration = SplitMigration(index, shard_id=0, axis=0, threshold=5.0)
+        # threshold outside the shard extent: abort at the snapshot stage
+        migration.axis = 0
+        migration.threshold = None
+        index.policy._leaves[0] = index.policy._leaves[0]  # no-op; keep layout
+        degenerate = SplitMigration(index, shard_id=0, axis=0, threshold=99.0)
+        assert degenerate.step() is False or degenerate.aborted
+
+    def test_rescued_write_lands_in_the_correct_child(self):
+        index = build_sharded()
+        migration = SplitMigration(index, shard_id=0)
+        migration.step()  # rescue registered, plane chosen
+        axis, threshold = migration.axis, migration.threshold
+        extent = index.policy.shard_extent(0)
+        lo = (extent.xlo, extent.ylo)[axis]
+        coords = [lo + (threshold - lo) * 0.5, threshold + 1e-4]
+        added = []
+        for coord in coords:
+            point = [0.0, 0.0]
+            point[axis] = coord
+            point[1 - axis] = (extent.ylo + extent.yhi) / 2 if axis == 0 else (
+                extent.xlo + extent.xhi
+            ) / 2
+            if index.router.shard_for_point(*point) == 0 and not index.contains(*point):
+                index.insert(*point)
+                added.append(tuple(point))
+        while not migration.step():
+            pass
+        assert migration.rescued_writes == len(added)
+        for x, y in added:
+            assert index.contains(x, y)
+            owner = index.router.shard_for_point(x, y)
+            assert index.shards[owner].index.contains(x, y)
+
+    def test_merge_restores_the_pair(self):
+        index = build_sharded()
+        split = SplitMigration(index, shard_id=2)
+        while not split.step():
+            pass
+        assert index.n_shards == 5
+        merge = MergeMigration(index, 2, split.right_id)
+        while not merge.step():
+            pass
+        assert not merge.aborted
+        assert index.n_shards == 4
+        assert index.n_points == POINTS.shape[0]
+        # full-space window still returns everything, exactly once
+        got = index.window_query(Rect.unit())
+        assert got.shape[0] == POINTS.shape[0]
+
+
+class TestStorageReattachment:
+    def test_split_rewires_shared_pool_clients(self):
+        index = build_sharded()
+        pool = SharedBufferPool(64)
+        index.attach_shared_pool(pool)
+        migration = SplitMigration(index, shard_id=1)
+        while not migration.step():
+            pass
+        for shard in index.shards:
+            assert shard.cache is not None
+            assert shard.cache.pool is pool
+        # both children answer reads through the pool without error
+        index.window_query(Rect(0.0, 0.0, 0.5, 0.5))
+
+    def test_split_rewires_private_caches(self):
+        index = build_sharded()
+        index.attach_caches(8, "lru")
+        migration = SplitMigration(index, shard_id=1)
+        while not migration.step():
+            pass
+        assert all(shard.cache is not None for shard in index.shards)
+        assert index.shards[4].cache is not index.shards[1].cache
+
+    def test_resize_shard_budgets_from_pool(self):
+        index = build_sharded()
+        index.attach_shared_pool(SharedBufferPool(40))
+        index.resize_shard_budgets({0: 0.7, 1: 0.1, 2: 0.1, 3: 0.1}, min_blocks=2)
+        budgets = [shard.cache.budget for shard in index.shards]
+        assert budgets[0] == max(budgets)
+        assert all(budget >= 2 for budget in budgets)
+        assert sum(budgets) <= 40
+
+    def test_resize_shard_budgets_private_caches(self):
+        index = build_sharded()
+        index.attach_caches(8, "lru")  # 32 blocks total across 4 shards
+        index.resize_shard_budgets({0: 0.85, 1: 0.05, 2: 0.05, 3: 0.05}, min_blocks=2)
+        capacities = [shard.cache.capacity for shard in index.shards]
+        assert capacities[0] == max(capacities) > 8
+        assert all(capacity >= 2 for capacity in capacities)
+
+
+class TestControllerTriggers:
+    @staticmethod
+    def _controller(**overrides):
+        index = build_sharded()
+        settings = dict(
+            split_threshold=0.5,
+            min_split_points=1,
+            min_observations=10,
+            cooldown_ticks=0,
+            merge_threshold=0.0,
+        )
+        settings.update(overrides)
+        return index, RebalanceController(index, RebalanceConfig(**settings))
+
+    @staticmethod
+    def _drive(controller, shard_id=0, reads=50, ticks=8):
+        actions = []
+        for _ in range(ticks):
+            controller.observe(per_shard_reads={shard_id: reads})
+            actions.append(controller.tick())
+        return actions
+
+    def test_hot_shard_triggers_a_split(self):
+        index, controller = self._controller()
+        actions = self._drive(controller)
+        assert "split-started" in actions
+        assert "split-finished" in actions
+        assert index.n_shards == 5
+        assert controller.report.n_splits == 1
+
+    def test_no_split_below_min_observations(self):
+        _, controller = self._controller(min_observations=10_000)
+        assert all(action is None for action in self._drive(controller, ticks=4))
+
+    def test_max_shards_caps_growth(self):
+        index, controller = self._controller(max_shards=4)
+        self._drive(controller, ticks=10)
+        assert index.n_shards == 4
+        assert controller.report.n_splits == 0
+
+    def test_min_split_points_blocks_tiny_shards(self):
+        index, controller = self._controller(min_split_points=10_000)
+        self._drive(controller, ticks=6)
+        assert controller.report.n_splits == 0
+
+    def test_cooldown_spaces_migrations_out(self):
+        _, controller = self._controller(cooldown_ticks=3, max_shards=16)
+        actions = self._drive(controller, ticks=12)
+        first = actions.index("split-finished")
+        next_start = [
+            i for i, a in enumerate(actions) if a == "split-started" and i > first
+        ]
+        if next_start:  # at least 3 idle ticks between migrations
+            assert next_start[0] - first > 3
+
+    def test_cold_siblings_merge_back(self):
+        index, controller = self._controller(merge_threshold=0.4, max_shards=16)
+        self._drive(controller, shard_id=0, ticks=6)
+        assert index.n_shards == 5
+        # now make shards 0/4 cold relative to the rest: traffic moves away
+        for _ in range(12):
+            controller.observe(per_shard_reads={1: 400, 2: 350, 3: 380})
+            controller.tick()
+        assert controller.report.n_merges >= 1
+        assert index.n_shards == 4
+
+    def test_latency_gate_blocks_balanced_shards(self):
+        class _Summary:
+            def __init__(self, p99_ms):
+                self.p99_ms = p99_ms
+
+        _, controller = self._controller(latency_gate=True, p99_factor=2.0)
+        for _ in range(8):
+            controller.observe(
+                per_shard_reads={0: 60, 1: 20, 2: 20, 3: 20},
+                per_shard_latency={i: _Summary(1.0) for i in range(4)},
+            )
+            action = controller.tick()
+            assert action is None  # hot by reads, but p99 is flat: no split
+        assert controller.report.n_splits == 0
+
+    def test_budget_resize_follows_heat(self):
+        index, controller = self._controller(split_threshold=2.0)  # never split
+        index.attach_shared_pool(SharedBufferPool(40))
+        self._drive(controller, shard_id=2, reads=100, ticks=6)
+        assert controller.report.budget_resizes > 0
+        budgets = {shard.shard_id: shard.cache.budget for shard in index.shards}
+        assert budgets[2] == max(budgets.values())
+
+    def test_extra_metrics_shape(self):
+        _, controller = self._controller()
+        self._drive(controller, ticks=6)
+        metrics = controller.extra_metrics()
+        assert metrics["n_splits"] == controller.report.n_splits
+        assert metrics["final_shards"] == controller.index.n_shards
+        assert metrics["policy"].startswith("adaptive[")

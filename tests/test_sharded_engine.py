@@ -97,6 +97,71 @@ class TestPerShardAttribution:
         assert engine.knn_queries(np.empty((0, 2)), 3).results == []
 
 
+class TestWindowPrefetchAccounting:
+    """PR-7 follow-up: the sharded window path warms each shard's cache for
+    the whole sub-batch up front, and the speculative I/O shows up in the
+    per-shard ``prefetch_block_reads`` counters — never in logical reads."""
+
+    WINDOWS = [
+        Rect(x, y, x + 0.25, y + 0.25)
+        for x in np.linspace(0.0, 0.7, 4)
+        for y in np.linspace(0.0, 0.7, 3)
+    ]
+
+    @staticmethod
+    def _run(shared_pool_capacity=None):
+        from repro.storage import SharedBufferPool
+
+        factory = shard_index_factory(
+            "ZM", block_capacity=12, training=FAST_TRAINING
+        )
+        index = ShardedSpatialIndex(factory, n_shards=4, policy="grid").build(POINTS)
+        kwargs = {}
+        if shared_pool_capacity is not None:
+            kwargs["shared_pool"] = SharedBufferPool(shared_pool_capacity)
+        engine = ShardedBatchEngine(index, **kwargs)
+        batch = engine.window_queries(TestWindowPrefetchAccounting.WINDOWS)
+        prefetched = {
+            shard.shard_id: shard.stats.prefetch_block_reads
+            for shard in index.shards
+        }
+        return batch, prefetched
+
+    def test_pooled_window_batch_records_prefetches_per_shard(self):
+        plain, plain_prefetch = self._run()
+        pooled, pooled_prefetch = self._run(shared_pool_capacity=96)
+        # without a cache there is nothing to warm; with the pool every
+        # touched shard issues speculative reads for its sub-batch
+        assert all(count == 0 for count in plain_prefetch.values())
+        touched = set(pooled.per_shard_block_accesses)
+        assert touched
+        assert all(pooled_prefetch[shard_id] > 0 for shard_id in touched)
+        # prefetching is physical-only: answers and logical reads unchanged
+        assert pooled.per_shard_block_accesses == plain.per_shard_block_accesses
+        for got, want in zip(pooled.results, plain.results):
+            assert {tuple(p) for p in got} == {tuple(p) for p in want}
+        # ...and the speculative I/O is billed to physical reads honestly,
+        # yet the warm pool still beats the uncached run overall
+        assert pooled.total_physical_accesses >= sum(pooled_prefetch.values())
+        assert pooled.total_physical_accesses < plain.total_physical_accesses
+
+    def test_prefetch_plans_without_touching_logical_counters(self):
+        from repro.storage import SharedBufferPool
+
+        factory = shard_index_factory(
+            "ZM", block_capacity=12, training=FAST_TRAINING
+        )
+        index = ShardedSpatialIndex(factory, n_shards=4, policy="grid").build(POINTS)
+        index.attach_shared_pool(SharedBufferPool(96))
+        shard = next(s for s in index.shards if not s.is_empty)
+        shard.stats.reset()
+        admitted = shard.prefetch_windows([Rect(0.0, 0.0, 0.5, 0.5)])
+        assert admitted > 0
+        assert shard.stats.prefetch_block_reads == admitted
+        assert shard.stats.block_reads == 0
+        assert shard.stats.node_reads == 0
+
+
 class TestEngineContract:
     def test_requires_a_sharded_index(self):
         with pytest.raises(TypeError):

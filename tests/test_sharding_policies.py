@@ -205,6 +205,125 @@ class TestBalancedPolicy:
             SampleBalancedPolicy(4)
 
 
+@pytest.mark.parametrize("base_name", ["grid", "zorder", "hilbert", "balanced"])
+class TestAdaptiveSplitInvariants:
+    """The online rebalancer's split must preserve the partition properties
+    over *any* base policy: the two children tile the parent's extent
+    exactly, their regions are disjoint, and every point the parent owned
+    routes to exactly one child afterwards."""
+
+    @staticmethod
+    def _adaptive(base_name, n_shards=4):
+        from repro.sharding import AdaptiveShardingPolicy
+
+        return AdaptiveShardingPolicy(make_policy(base_name, n_shards, sample=SAMPLE))
+
+    @staticmethod
+    def _split_median(policy, shard_id, axis):
+        extent = policy.shard_extent(shard_id)
+        owners = policy.shard_of_many(SAMPLE)
+        mine = SAMPLE[owners == shard_id]
+        coords = mine[:, axis] if mine.shape[0] else None
+        if coords is None or np.unique(coords).shape[0] < 2:
+            lo = (extent.xlo, extent.ylo)[axis]
+            hi = (extent.xhi, extent.yhi)[axis]
+            return (lo + hi) / 2.0
+        return float(np.median(coords))
+
+    def test_children_tile_the_parent_extent(self, base_name):
+        rng = np.random.default_rng(29)
+        for parent in range(4):
+            policy = self._adaptive(base_name)
+            axis = int(rng.integers(2))
+            parent_extent = policy.shard_extent(parent)
+            threshold = self._split_median(policy, parent, axis)
+            right = policy.split(parent, axis, threshold)
+            left_extent = policy.shard_extent(parent)
+            right_extent = policy.shard_extent(right)
+            # disjoint apart from the zero-area threshold line...
+            if axis == 0:
+                assert left_extent.xhi == threshold == right_extent.xlo
+                assert (left_extent.ylo, left_extent.yhi) == (
+                    parent_extent.ylo,
+                    parent_extent.yhi,
+                ) == (right_extent.ylo, right_extent.yhi)
+                assert left_extent.xlo == parent_extent.xlo
+                assert right_extent.xhi == parent_extent.xhi
+            else:
+                assert left_extent.yhi == threshold == right_extent.ylo
+                assert (left_extent.xlo, left_extent.xhi) == (
+                    parent_extent.xlo,
+                    parent_extent.xhi,
+                ) == (right_extent.xlo, right_extent.xhi)
+                assert left_extent.ylo == parent_extent.ylo
+                assert right_extent.yhi == parent_extent.yhi
+            # ...and together they cover the parent exactly
+            assert left_extent.area + right_extent.area == pytest.approx(
+                parent_extent.area
+            )
+
+    def test_every_parent_point_routes_to_exactly_one_child(self, base_name):
+        for parent in range(4):
+            policy = self._adaptive(base_name)
+            before = policy.shard_of_many(SAMPLE)
+            mine = before == parent
+            threshold = self._split_median(policy, parent, axis=0)
+            right = policy.split(parent, axis=0, threshold=threshold)
+            after = policy.shard_of_many(SAMPLE)
+            # the parent's points land on exactly one of the two children
+            assert set(np.unique(after[mine]).tolist()) <= {parent, right}
+            went_left = SAMPLE[mine][:, 0] < threshold
+            np.testing.assert_array_equal(
+                after[mine], np.where(went_left, parent, right)
+            )
+            # every other shard's ownership is untouched
+            np.testing.assert_array_equal(after[~mine], before[~mine])
+            # scalar routing agrees with the vectorised path post-split
+            for row, owner in zip(SAMPLE[:150], after[:150]):
+                assert policy.shard_of(float(row[0]), float(row[1])) == int(owner)
+
+    def test_window_routing_stays_complete_after_splits(self, base_name):
+        rng = np.random.default_rng(31)
+        policy = self._adaptive(base_name)
+        for parent in (0, 2):
+            threshold = self._split_median(policy, parent, axis=parent % 2)
+            policy.split(parent, axis=parent % 2, threshold=threshold)
+        owners = policy.shard_of_many(SAMPLE)
+        for _ in range(20):
+            lo = rng.random(2) * 0.8
+            window = Rect(lo[0], lo[1], lo[0] + rng.random() * 0.2, lo[1] + rng.random() * 0.2)
+            routed = set(policy.shards_for_window(window))
+            needed = set(owners[window.contains_points(SAMPLE)].tolist())
+            assert needed <= routed
+
+    def test_mindist_stays_a_lower_bound_after_splits(self, base_name):
+        rng = np.random.default_rng(37)
+        policy = self._adaptive(base_name)
+        threshold = self._split_median(policy, 1, axis=1)
+        policy.split(1, axis=1, threshold=threshold)
+        owners = policy.shard_of_many(SAMPLE)
+        for _ in range(15):
+            qx, qy = rng.random(), rng.random()
+            distances = np.hypot(SAMPLE[:, 0] - qx, SAMPLE[:, 1] - qy)
+            for shard_id in range(policy.n_shards):
+                mine = distances[owners == shard_id]
+                if mine.shape[0] == 0:
+                    continue
+                assert policy.mindist(qx, qy, shard_id) <= mine.min() + 1e-12
+
+    def test_merge_of_siblings_restores_parent_routing(self, base_name):
+        policy = self._adaptive(base_name)
+        before = policy.shard_of_many(SAMPLE)
+        threshold = self._split_median(policy, 3, axis=0)
+        right = policy.split(3, axis=0, threshold=threshold)
+        assert policy.are_siblings(3, right)
+        assert (3, right) in policy.sibling_pairs()
+        keep, moved = policy.merge(3, right)
+        assert keep == 3 and moved is None  # right was the last shard: no hole
+        assert policy.n_shards == 4
+        np.testing.assert_array_equal(policy.shard_of_many(SAMPLE), before)
+
+
 class TestMakePolicy:
     @pytest.mark.parametrize("name", ["grid", "zorder", "hilbert", "balanced"])
     def test_by_name(self, name):

@@ -74,6 +74,10 @@ HIGHER_IS_BETTER = {
     "run_reduction": 0.10,
     "scan_advantage": 0.30,
     "drift_advantage": 0.20,
+    # rebalancing claims (deterministic: the controller's trigger is decayed
+    # logical read counts, latency_gate off — only code changes move these)
+    "blocks_advantage": 0.10,
+    "n_splits": 0.50,
 }
 
 #: gated metrics that may not rise above baseline * (1 + tolerance)
@@ -84,6 +88,7 @@ LOWER_IS_BETTER = {
     "logical_reads_z": 0.02,
     "logical_reads_hilbert": 0.02,
     "hot_refaults_tinylfu": 0.50,
+    "tail_blocks_per_op_on": 0.10,
 }
 
 
