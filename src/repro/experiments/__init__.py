@@ -36,6 +36,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration side e
     fig18_window_after_insert,
     fig19_knn_after_insert,
     latency_sweeps,
+    parallel_sweeps,
     rebalance_sweeps,
     scenario_sweeps,
     sharded_sweeps,

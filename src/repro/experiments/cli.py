@@ -18,6 +18,10 @@ Examples::
     repro-experiment --scenario write-heavy --storage-backend disk --checkpoint-every 128
     repro-experiment --scenario drifting --shards 4 --rebalance --split-threshold 0.4
     repro-experiment rebalance-sweep --profile small
+    repro-experiment --scenario sharded-mixed --shards 4 --workers 2
+    repro-experiment --scenario latency-hotspot --shards 4 --workers 4 \
+        --arrival-rate 3000 --tenant-rate 500 --max-inflight 128
+    repro-experiment parallel-sweep --profile tiny
 
 Every run's text table is also written to ``<results dir>/<id>.txt``; the
 results directory is ``$REPRO_RESULTS_DIR`` when set, else ``./results``
@@ -160,6 +164,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 0.45)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="serve a sharded --scenario run through a process-pool engine "
+        "with this many worker processes (requires --shards >= 2; shard s "
+        "goes to worker s %% N; answers stay oracle-checked; incompatible "
+        "with --rebalance, --storage-backend disk and --shared-pool-blocks)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="additionally run the stream through a paced asyncio front "
+        "door bounding queued operations at this many (overload beyond it "
+        "is shed; requires --workers); reports measured wall-clock sojourns "
+        "and adaptive batch sizes",
+    )
+    parser.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        help="per-tenant token-bucket admission at this many ops per "
+        "virtual second for --scenario runs (deterministic: refills follow "
+        "the stream's arrival instants; needs an open-loop stream, e.g. "
+        "via --arrival-rate)",
+    )
+    parser.add_argument(
         "--scenario",
         choices=sorted(SCENARIO_PRESETS),
         help="replay a mixed read/write workload scenario (oracle-checked) "
@@ -212,6 +243,12 @@ def _apply_profile_overrides(args, profile):
         extras["rebalance"] = True
     if args.split_threshold is not None:
         extras["split_threshold"] = args.split_threshold
+    if args.workers is not None:
+        extras["workers"] = args.workers
+    if args.max_inflight is not None:
+        extras["max_inflight"] = args.max_inflight
+    if args.tenant_rate is not None:
+        extras["tenant_rate"] = args.tenant_rate
     if extras == profile.extras:
         return profile
     return profile.with_overrides(extras=extras)
@@ -329,6 +366,50 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.split_threshold is not None and not args.rebalance:
             print("--split-threshold requires --rebalance", file=sys.stderr)
             return 2
+
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+
+    if args.max_inflight is not None and args.max_inflight < 1:
+        print("--max-inflight must be >= 1", file=sys.stderr)
+        return 2
+
+    if args.tenant_rate is not None and args.tenant_rate <= 0:
+        print("--tenant-rate must be positive", file=sys.stderr)
+        return 2
+
+    if args.workers is not None:
+        if not args.scenario:
+            print("--workers requires --scenario", file=sys.stderr)
+            return 2
+        if (args.shards or 0) < 2:
+            print("--workers requires --shards >= 2", file=sys.stderr)
+            return 2
+        if args.rebalance:
+            print("--workers cannot be combined with --rebalance", file=sys.stderr)
+            return 2
+        if args.storage_backend == "disk":
+            print(
+                "--workers cannot be combined with --storage-backend disk",
+                file=sys.stderr,
+            )
+            return 2
+        if (args.shared_pool_blocks or 0) > 0:
+            print(
+                "--workers cannot be combined with --shared-pool-blocks "
+                "(shared pools are in-process; use per-shard --cache-blocks)",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.max_inflight is not None and args.workers is None:
+        print("--max-inflight requires --workers", file=sys.stderr)
+        return 2
+
+    if args.tenant_rate is not None and not args.scenario:
+        print("--tenant-rate requires --scenario", file=sys.stderr)
+        return 2
 
     if args.scenario:
         if args.experiments:

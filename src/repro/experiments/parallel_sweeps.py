@@ -1,0 +1,207 @@
+"""Parallel-serving sweep: multi-core throughput scaling and paced tails.
+
+The serving tier (:mod:`repro.serving`) moves shard execution onto worker
+processes; this experiment measures what that buys and proves it changes no
+answer:
+
+* **Batched scaling** — one big point-query batch is executed by the
+  single-process :class:`~repro.sharding.ShardedBatchEngine` and then by a
+  :class:`~repro.serving.ParallelShardEngine` at each worker count, every
+  result list compared byte-for-byte against the single-threaded reference
+  (the run aborts on any difference).  Speedups are reported relative to
+  the 1-worker pool, so the figure isolates parallelism from the fixed
+  pool/IPC overhead.
+* **Paced tails** — the same operation stream is offered open-loop through
+  the asyncio :class:`~repro.serving.FrontDoor` at 1.5x the measured
+  1-worker capacity, once on 1 worker and once on the largest pool; under
+  genuine multi-core hardware the extra workers drain the queue that the
+  single worker builds up, which shows in the measured sojourn p99.
+
+Wall-clock numbers vary with the host (core count included) — they are
+reported for inspection while the cross-machine gate lives in
+``benchmarks/bench_parallel_serving.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, register_experiment
+from repro.experiments.profiles import ScaleProfile
+from repro.experiments.sweeps import make_points
+from repro.nn import TrainingConfig
+from repro.sharding import ShardedBatchEngine, shard_index_factory
+from repro.workloads import generate_operations, scenario_by_name
+
+__all__ = ["PARALLEL_SWEEP_INDEX_NAMES", "WORKER_COUNTS", "run_parallel_sweep"]
+
+#: indices the sweep drives by default: one flat layout, one tree descent
+PARALLEL_SWEEP_INDEX_NAMES = ("Grid", "KDB")
+
+#: process-pool sizes of the scaling sweep (capped at the shard count)
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _answers_equal(got: list, want: list) -> bool:
+    """Byte-identity over a result list (bools or point arrays)."""
+    if len(got) != len(want):
+        return False
+    for a, b in zip(got, want):
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            a = np.asarray(a, dtype=float).reshape(-1, 2)
+            b = np.asarray(b, dtype=float).reshape(-1, 2)
+            if a.shape != b.shape or not np.array_equal(a, b):
+                return False
+        elif a != b:
+            return False
+    return True
+
+
+def run_parallel_sweep(
+    profile: ScaleProfile,
+    index_names: Optional[Sequence[str]] = None,
+    worker_counts: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """One row per (index, worker count), plus paced front-door rows."""
+    from repro.serving import FrontDoor, ParallelShardEngine, ServingSpec
+
+    names = (
+        tuple(index_names) if index_names is not None else PARALLEL_SWEEP_INDEX_NAMES
+    )
+    counts = tuple(
+        sorted(set(int(c) for c in (worker_counts or WORKER_COUNTS)))
+    )
+    if any(c < 1 for c in counts):
+        raise ValueError("worker counts must be >= 1")
+    shards = int(profile.extras.get("shards", 0)) or max(max(counts), 4)
+    n_queries = int(profile.extras.get("scenario_ops", max(400, profile.n_points // 2)))
+
+    points = make_points(profile)
+    rng = np.random.default_rng(profile.seed + 409)
+    queries = rng.random((n_queries, 2))
+    # half the batch hits stored points, so both membership outcomes and the
+    # full per-shard fan-out are exercised
+    queries[: n_queries // 2] = points[
+        rng.integers(0, points.shape[0], size=n_queries // 2)
+    ]
+
+    paced_spec = scenario_by_name("sharded-mixed").with_overrides(
+        n_ops=min(n_queries, 600),
+        seed=profile.seed + 409,
+        k=profile.default_k,
+        window_area_fraction=profile.default_window_area,
+    )
+
+    rows: list[list] = []
+    notes: list[str] = [
+        f"{n_queries} point queries per batch over {shards} shard(s); answers "
+        "compared byte-for-byte against the single-threaded engine every row"
+    ]
+
+    for name in names:
+        factory = shard_index_factory(
+            name,
+            block_capacity=profile.block_capacity,
+            partition_threshold=max(
+                profile.block_capacity, profile.partition_threshold // shards
+            ),
+            training=TrainingConfig(epochs=profile.training_epochs, seed=profile.seed),
+            seed=profile.seed,
+        )
+        spec = ServingSpec.from_points(
+            factory, points, n_shards=shards, policy="grid", name=name
+        )
+
+        reference = ShardedBatchEngine(spec.build_index())
+        started = time.perf_counter()
+        want = reference.point_queries(queries).results
+        single_s = time.perf_counter() - started
+        rows.append(
+            [name, "batched-points", "single-thread", round(n_queries / single_s, 1),
+             "-", 1, "-", "-"]
+        )
+
+        base_rate: Optional[float] = None
+        for n_workers in counts:
+            with ParallelShardEngine(spec, n_workers=n_workers) as engine:
+                engine.point_queries(queries[: min(64, n_queries)])  # warm the pools
+                started = time.perf_counter()
+                got = engine.point_queries(queries).results
+                elapsed = time.perf_counter() - started
+            if not _answers_equal(got, want):
+                raise AssertionError(
+                    f"{name}: parallel point answers diverged at "
+                    f"{n_workers} worker(s)"
+                )
+            rate = n_queries / elapsed
+            if base_rate is None:
+                base_rate = rate
+            rows.append(
+                [name, "batched-points", n_workers, round(rate, 1),
+                 round(rate / base_rate, 2), 1, "-", "-"]
+            )
+
+        # capacity probe: the same mixed stream served unpaced on one worker
+        # (writes dispatch singly, so this is the stream's real service rate,
+        # not the big-batch point-query rate)
+        with ParallelShardEngine(spec, n_workers=counts[0]) as engine:
+            probe = FrontDoor(engine).serve(
+                generate_operations(paced_spec, points), paced=False
+            )
+        capacity = probe.n_served / max(probe.elapsed_s, 1e-9)
+        offered = max(capacity * 1.5, 1.0)
+        operations = generate_operations(
+            paced_spec.with_overrides(
+                arrival_model="open-loop", arrival_rate=offered
+            ),
+            points,
+        )
+        for n_workers in (counts[0], counts[-1]):
+            with ParallelShardEngine(spec, n_workers=n_workers) as engine:
+                door = FrontDoor(engine, max_inflight=256)
+                report = door.serve(operations, paced=True)
+            sojourn = report.sojourn
+            rows.append(
+                [name, "paced-stream", n_workers,
+                 round(report.n_served / max(report.elapsed_s, 1e-9), 1), "-", "-",
+                 round(sojourn.p99_ms, 3) if sojourn is not None else "-",
+                 report.n_shed]
+            )
+        notes.append(
+            f"{name}: paced stream offered at 1.5x the measured 1-worker "
+            f"capacity ({offered:.0f} ops/s), max_inflight 256, "
+            f"mean batch {report.mean_batch_size:.1f}"
+        )
+
+    notes.append(
+        "wall-clock rates and speedups are machine-dependent (this host may "
+        "have fewer cores than workers); the CI gate checks answer identity "
+        "and machine-independent access accounting only"
+    )
+    return ExperimentResult(
+        experiment_id="parallel-sweep",
+        title="Process-pool serving: throughput scaling and paced-tail latency",
+        paper_reference="beyond the paper (ROADMAP: multi-core serving)",
+        header=[
+            "index",
+            "mode",
+            "n_workers",
+            "ops_per_s",
+            "speedup_vs_1w",
+            "answers_identical",
+            "sojourn_p99_ms",
+            "shed",
+        ],
+        rows=rows,
+        notes=notes,
+    )
+
+
+register_experiment(
+    "parallel-sweep",
+    "Multi-core serving: worker-count scaling with byte-identical answers",
+    "beyond the paper",
+)(run_parallel_sweep)

@@ -37,6 +37,7 @@ from repro.workloads import (
     OracleIndex,
     ScenarioRunner,
     ScenarioSpec,
+    generate_operations,
     generate_tenant_operations,
     scenario_by_name,
 )
@@ -123,6 +124,9 @@ def run_scenario_sweep(
     checkpoint_every: Optional[int] = None,
     rebalance: Optional[bool] = None,
     split_threshold: Optional[float] = None,
+    workers: Optional[int] = None,
+    max_inflight: Optional[int] = None,
+    tenant_rate: Optional[float] = None,
 ) -> ExperimentResult:
     """Replay one scenario against every index; one row per snapshot.
 
@@ -157,6 +161,21 @@ def run_scenario_sweep(
     checkpoints every ``checkpoint_every`` writes (CLI
     ``--checkpoint-every``), and blocks mirror into per-index block files —
     while the shadow oracle keeps asserting that answers are unchanged.
+
+    ``workers`` (CLI ``--workers``, requires ``shards >= 2``) serves every
+    sharded index through a process-pool
+    :class:`~repro.serving.ParallelShardEngine` — shards grouped onto that
+    many worker processes, writes routed to the owning worker — while the
+    oracle keeps checking every answer.  Incompatible with ``rebalance``,
+    ``storage_backend="disk"`` and ``shared_pool_blocks`` (worker processes
+    own their shard state; see the buffer-pool module doc).  ``tenant_rate``
+    (CLI ``--tenant-rate``) pre-filters the stream through per-tenant
+    token-bucket admission on virtual arrival times (needs an open-loop
+    stream), deterministically for index and oracle alike.  ``max_inflight``
+    (CLI ``--max-inflight``, requires ``workers``) additionally runs the
+    accepted stream through a *paced* :class:`~repro.serving.FrontDoor` on
+    a second engine built from the same spec, reporting measured wall-clock
+    sojourns, shed arrivals and adaptive batch sizes.
     """
     spec = scenario_spec_for_profile(profile, scenario)
     names = tuple(index_names) if index_names is not None else SCENARIO_INDEX_NAMES
@@ -229,6 +248,45 @@ def run_scenario_sweep(
     )
     if rebalance and shards <= 1:
         raise ValueError("--rebalance requires a sharded deployment (--shards >= 2)")
+    workers = workers if workers is not None else int(profile.extras.get("workers", 0))
+    max_inflight = (
+        max_inflight
+        if max_inflight is not None
+        else profile.extras.get("max_inflight")
+    )
+    tenant_rate = (
+        tenant_rate
+        if tenant_rate is not None
+        else profile.extras.get("tenant_rate")
+    )
+    if workers > 0:
+        if shards <= 1:
+            raise ValueError("--workers requires a sharded deployment (--shards >= 2)")
+        if rebalance:
+            raise ValueError(
+                "--workers cannot be combined with --rebalance: worker "
+                "processes own the shard state, the controller could only "
+                "migrate the parent's copy"
+            )
+        if storage_backend == "disk":
+            raise ValueError(
+                "--workers cannot be combined with --storage-backend disk: "
+                "the WAL/checkpoint wrapper lives in the parent process"
+            )
+        if shared_pool_blocks > 0:
+            raise ValueError(
+                "--workers cannot be combined with --shared-pool-blocks: a "
+                "shared pool is an in-process structure (copies diverge "
+                "across workers); per-shard --cache-blocks works"
+            )
+    if max_inflight is not None and workers <= 0:
+        raise ValueError("--max-inflight requires --workers")
+    if tenant_rate is not None and spec.arrival_model != "open-loop":
+        raise ValueError(
+            "--tenant-rate needs an open-loop stream (token buckets refill "
+            "on virtual arrival times); pass --arrival-rate or pick an "
+            "open-loop scenario"
+        )
     points = make_points(profile)
     config = SuiteConfig(
         n_points=points.shape[0],
@@ -248,7 +306,38 @@ def run_scenario_sweep(
         if shared_pool_blocks > 0:
             # one fresh pool per index keeps the per-index runs independent
             pool = SharedBufferPool(shared_pool_blocks, pool_admission)
-        if shards > 1:
+        engine = None
+        serving_spec = None
+        if workers > 0:
+            # deferred import: repro.serving pulls the sharding engines in
+            from repro.serving import ParallelShardEngine, ServingSpec
+
+            factory = shard_index_factory(
+                name,
+                block_capacity=config.block_capacity,
+                partition_threshold=max(
+                    config.block_capacity, config.partition_threshold // shards
+                ),
+                training=config.training_config(),
+                seed=config.seed,
+            )
+            serving_spec = ServingSpec.from_points(
+                factory,
+                points,
+                n_shards=shards,
+                policy=sharding_policy,
+                cache_blocks=cache_blocks if cache_blocks > 0 else None,
+                cache_policy=cache_policy,
+                name=name,
+            )
+            engine = ParallelShardEngine(
+                serving_spec,
+                n_workers=workers,
+                mode=engine_mode,
+                reorder=bool(profile.extras.get("batch_reorder", False)),
+            )
+            index = engine
+        elif shards > 1:
             index = build_sharded_index(points, name, shards, sharding_policy, config)
             if cache_blocks > 0:
                 index.attach_caches(cache_blocks, cache_policy)
@@ -293,8 +382,18 @@ def run_scenario_sweep(
             )
             oracle = MultiTenantOracle(tenants).build(tenant_points) if check else None
         else:
-            operations = None
+            operations = generate_operations(spec, points)
             oracle = OracleIndex().build(points) if check else None
+        raw_operations = operations
+        admission_report = None
+        if tenant_rate is not None:
+            # the index under test and the oracle replay the same accepted
+            # stream, so every differential check keeps working
+            from repro.serving import admit_operations
+
+            operations, admission_report = admit_operations(
+                operations, float(tenant_rate)
+            )
         runner = ScenarioRunner(
             index,
             spec,
@@ -303,8 +402,9 @@ def run_scenario_sweep(
             engine_mode=engine_mode,
             batch_reorder=bool(profile.extras.get("batch_reorder", False)),
             rebalancer=rebalancer,
+            engine=engine,
         )
-        result = runner.replay(operations) if operations is not None else runner.run(points)
+        result = runner.replay(operations)
         for snapshot in result.snapshots:
             rows.append(
                 [
@@ -325,6 +425,14 @@ def run_scenario_sweep(
             )
         if result.checked:
             notes.append(f"{name}: {result.n_ops} ops verified against the shadow oracle")
+        if admission_report is not None:
+            drops = admission_report.as_dict()["drops_by_tenant"]
+            notes.append(
+                f"{name}: admission (token bucket, {float(tenant_rate):g} ops/s "
+                f"per tenant) accepted {admission_report.n_accepted}/"
+                f"{admission_report.n_offered}"
+                + (f"; drops per tenant {drops}" if drops else "")
+            )
         if result.latency is not None:
             notes.append(
                 f"{name}: sojourn p50/p95/p99 = {result.latency.p50_ms:.3f}/"
@@ -361,7 +469,46 @@ def run_scenario_sweep(
                 f"{pool.rejections} admission rejection(s), "
                 f"{pool.prefetch_used}/{pool.prefetch_issued} prefetches used"
             )
-        if shards > 1:
+        if engine is not None:
+            per_shard_reads = [
+                (result.per_shard_block_accesses or {}).get(shard_id, 0)
+                for shard_id in range(serving_spec.n_shards)
+            ]
+            notes.append(
+                f"{name}: parallel serving — {engine.n_workers} worker "
+                f"process(es) over {serving_spec.n_shards} shard(s) "
+                f"({serving_spec.policy.describe()}); per-shard read accesses "
+                f"(whole run) {per_shard_reads}"
+            )
+            if max_inflight is not None:
+                from repro.serving import FrontDoor, ParallelShardEngine
+
+                paced_engine = ParallelShardEngine(
+                    serving_spec, n_workers=workers, mode=engine_mode
+                )
+                try:
+                    door = FrontDoor(
+                        paced_engine,
+                        max_inflight=int(max_inflight),
+                        tenant_rate=tenant_rate,
+                    )
+                    door_report = door.serve(raw_operations, paced=True)
+                finally:
+                    paced_engine.close()
+                sojourn = door_report.sojourn
+                notes.append(
+                    f"{name}: paced front door (max_inflight {int(max_inflight)}) "
+                    f"— served {door_report.n_served}, shed {door_report.n_shed}, "
+                    f"mean batch {door_report.mean_batch_size:.1f}"
+                    + (
+                        f", measured sojourn p50/p99 = {sojourn.p50_ms:.3f}/"
+                        f"{sojourn.p99_ms:.3f} ms"
+                        if sojourn is not None
+                        else ""
+                    )
+                )
+            engine.close()
+        elif shards > 1:
             final_shards = (
                 rebalancer.index.n_shards if rebalancer is not None else shards
             )

@@ -203,6 +203,16 @@ class ShardedBatchEngine:
 
     # ------------------------------------------------------------------ plumbing --
 
+    def engine_for(self, shard_id: int) -> BatchQueryEngine:
+        """The per-shard :class:`BatchQueryEngine` serving ``shard_id``.
+
+        Public so the process-pool serving workers can drive one shard's
+        sub-batch directly (the shard grouping having happened in the parent
+        process); the engine is cached per wrapped-index identity exactly
+        like the internal dispatch paths use it.
+        """
+        return self._engine_for(shard_id)
+
     def _engine_for(self, shard_id: int) -> BatchQueryEngine:
         shard = self.index.shards[shard_id]
         cached = self._engines.get(shard_id)

@@ -431,6 +431,37 @@ class ShardedSpatialIndex:
                 shard.insert(float(mine[0, 0]), float(mine[0, 1]), self.factory, points=mine)
         return self
 
+    def build_assigned(self, shard_points: dict) -> "ShardedSpatialIndex":
+        """Build from an explicit ``shard_id -> points`` assignment.
+
+        Requires a resolved :class:`ShardingPolicy` instance (the assignment
+        must come from the same policy, or from a snapshot of a built index).
+        Shards absent from the map — or mapped to an empty array — stay
+        lazily empty, which is how the process-pool serving workers build
+        only the shards they own.  Each shard's wrapped index is constructed
+        over the given array *in the given order*, so two builds from the
+        same assignment produce byte-identical per-shard structures (and
+        therefore byte-identical query answers, enumeration order included).
+        """
+        if self.policy is None:
+            raise ValueError("build_assigned requires a ShardingPolicy instance")
+        self.router = ShardRouter(self.policy)
+        self.shards = [
+            _Shard(i, self.exact_queries, make_page_cache(self.cache_blocks, self.cache_policy))
+            for i in range(self.n_shards)
+        ]
+        self.stats = CompositeAccessStats([shard.stats for shard in self.shards])
+        for shard_id in sorted(shard_points):
+            mine = np.asarray(shard_points[shard_id], dtype=float).reshape(-1, 2)
+            if mine.shape[0] == 0:
+                continue
+            owners = np.full(mine.shape[0], shard_id, dtype=np.int64)
+            self.router.record_assignments(mine, owners)
+            self.shards[shard_id].insert(
+                float(mine[0, 0]), float(mine[0, 1]), self.factory, points=mine
+            )
+        return self
+
     def attach_caches(self, cache_blocks: Optional[int], cache_policy: str = "lru") -> None:
         """(Re)install one fresh shard-local page cache per shard.
 

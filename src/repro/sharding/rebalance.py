@@ -277,6 +277,17 @@ class AdaptiveShardingPolicy(ShardingPolicy):
         """How many splits refined this leaf below its base region."""
         return len(self._leaves[shard_id].lineage)
 
+    def leaf_key(self, shard_id: int) -> tuple:
+        """A stable identity for ``shard_id``'s *region*.
+
+        ``(base_id, lineage)`` names the region independently of the shard
+        id, so it survives the id relocation a merge performs — which is
+        what lets the controller keep per-region cooldown state across
+        topology changes.
+        """
+        leaf = self._leaves[shard_id]
+        return (leaf.base_id, leaf.lineage)
+
     def describe(self) -> str:
         splits = sum(len(leaf.lineage) > 0 for leaf in self._leaves)
         return f"adaptive[{self.base.describe()}, leaves={self.n_shards}, refined={splits}]"
@@ -468,6 +479,14 @@ class RebalanceConfig:
     max_shards: int = 32
     #: ticks to wait after a migration finishes before starting another
     cooldown_ticks: int = 2
+    #: per-**region** hysteresis: a region touched by a finished split/merge
+    #: (the split's children, the merge's restored parent) cannot be split
+    #: or merged again for this many ticks.  The global ``cooldown_ticks``
+    #: only spaces migrations out; without this knob an aggressive config on
+    #: a drifting stream splits a region and re-merges it a few hundred ops
+    #: later, over and over (the thrash documented in the roadmap).  0 (the
+    #: default) disables the hysteresis.
+    min_ticks_between_ops: int = 0
     #: don't decide anything until this many accesses have been observed
     min_observations: int = 256
     #: heat units credited per write routed to a shard (a write costs about
@@ -532,6 +551,9 @@ class RebalanceController:
         self._migration: Optional[_Migration] = None
         self._cooldown = 0
         self._initial_shards = index.n_shards
+        #: tick counter + per-region last-structural-op tick (hysteresis)
+        self._tick_index = 0
+        self._last_op_tick: dict[tuple, int] = {}
 
     # -- observation (called by the serving loop's accounting) ----------------
 
@@ -579,6 +601,7 @@ class RebalanceController:
 
     def tick(self) -> Optional[str]:
         """One control step; returns a short action string when one fired."""
+        self._tick_index += 1
         if self._migration is not None:
             self.report.mid_migration_ticks += 1
             migration = self._migration
@@ -619,6 +642,10 @@ class RebalanceController:
             )
             # the children inherit a clean slate; the parent's heat is gone
             self._forget(migration.shard_id)
+            # hysteresis: freshly created children may not merge back (or
+            # split further) until min_ticks_between_ops have passed
+            self._mark_region(migration.shard_id)
+            self._mark_region(migration.right_id)
         else:
             self.report.n_merges += 1
             self.report.actions.append(
@@ -626,6 +653,24 @@ class RebalanceController:
             )
             self._forget(migration.a)
             self._forget(migration.b)
+            # hysteresis: the restored parent may not re-split immediately
+            self._mark_region(migration.a)
+
+    # -- per-region hysteresis --------------------------------------------------
+
+    def _mark_region(self, shard_id: int) -> None:
+        if self.config.min_ticks_between_ops <= 0:
+            return
+        if 0 <= shard_id < self.index.n_shards:
+            self._last_op_tick[self.index.policy.leaf_key(shard_id)] = self._tick_index
+
+    def _region_clear(self, shard_id: int) -> bool:
+        """True when ``shard_id``'s region is outside its hysteresis window."""
+        window = self.config.min_ticks_between_ops
+        if window <= 0:
+            return True
+        last = self._last_op_tick.get(self.index.policy.leaf_key(shard_id))
+        return last is None or self._tick_index - last >= window
 
     def _forget(self, shard_id: int) -> None:
         self._heat.pop(shard_id, None)
@@ -652,6 +697,7 @@ class RebalanceController:
             and index.n_shards < config.max_shards
             and hot_id < index.n_shards
             and index.shards[hot_id].n_points >= config.min_split_points
+            and self._region_clear(hot_id)
             and self._latency_gate_passes(hot_id)
         ):
             self._migration = SplitMigration(index, hot_id)
@@ -660,7 +706,11 @@ class RebalanceController:
         if index.n_shards > max(1, self._initial_shards):
             for a, b in index.policy.sibling_pairs():
                 combined = (self._heat.get(a, 0.0) + self._heat.get(b, 0.0)) / total
-                if combined <= config.merge_threshold:
+                if (
+                    combined <= config.merge_threshold
+                    and self._region_clear(a)
+                    and self._region_clear(b)
+                ):
                     self._migration = MergeMigration(index, a, b)
                     return "merge-started"
         return None

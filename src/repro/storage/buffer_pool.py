@@ -29,6 +29,17 @@ thrashes, and one large scan can flush an LRU cache's entire hot working set
 Like :class:`PageCache`, the pool is an *accounting* cache: it tracks which
 pages are resident, while contents stay in the owning structures.  Pickling
 keeps configuration only — a loaded index always starts cold.
+
+**Process-pool safety.**  The pool and its clients are plain in-process
+Python objects with no cross-process coordination: a pool inherited through
+``fork`` (or rebuilt by ``spawn`` pickling) becomes an independent copy
+whose resident set silently diverges from its siblings', wrecking the
+shared-capacity accounting it exists to provide.  The multi-core serving
+tier therefore never ships pool clients across process boundaries —
+:class:`~repro.serving.ServingSpec` carries cache *configuration* only
+(``cache_blocks``/``cache_policy``), and each worker process builds its own
+private per-shard :class:`PageCache`\\ s for the shards it owns.  Use the
+shared pool inside one process; use per-worker caches across processes.
 """
 
 from __future__ import annotations

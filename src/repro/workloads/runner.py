@@ -202,6 +202,16 @@ class ScenarioRunner:
         and each write, so shard migrations interleave with the stream —
         reads race the swap, writes land in splitting shards — while the
         oracle checks keep asserting answer identity.
+    engine:
+        Optional pre-built batch engine overriding the automatic choice —
+        this is how the process-pool
+        :class:`~repro.serving.ParallelShardEngine` drops into scenario
+        runs.  An engine advertising ``applies_writes`` also absorbs the
+        stream's writes (routing them to the owning worker) and is billed
+        through its ``pop_write_accesses()``; pass the engine itself as
+        ``index`` in that case.  Incompatible with ``rebalancer`` (worker
+        processes hold the shard state; the controller could only migrate
+        the parent's copy).
     """
 
     def __init__(
@@ -215,6 +225,7 @@ class ScenarioRunner:
         batch_size: int = 64,
         batch_reorder: bool = False,
         rebalancer=None,
+        engine=None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -222,18 +233,31 @@ class ScenarioRunner:
         self.spec = spec
         self.oracle = oracle
         self.exact_results = exact_results
-        # a DurableIndex serves reads straight from the index it wraps (only
-        # writes need the WAL, and those go through self.index.insert/delete)
-        served = index.wrapped if isinstance(index, DurableIndex) else index
-        if isinstance(served, ShardedSpatialIndex):
-            # sharded indices batch through the shard-grouping dispatcher so
-            # every read still fans out to the minimal shard set
-            self.engine = ShardedBatchEngine(served, mode=engine_mode, reorder=batch_reorder)
+        if engine is not None:
+            if rebalancer is not None:
+                raise ValueError(
+                    "an injected engine cannot be combined with a rebalancer"
+                )
+            self.engine = engine
         else:
-            self.engine = BatchQueryEngine(served, mode=engine_mode, reorder=batch_reorder)
+            # a DurableIndex serves reads straight from the index it wraps
+            # (only writes need the WAL, and those go through
+            # self.index.insert/delete)
+            served = index.wrapped if isinstance(index, DurableIndex) else index
+            if isinstance(served, ShardedSpatialIndex):
+                # sharded indices batch through the shard-grouping dispatcher
+                # so every read still fans out to the minimal shard set
+                self.engine = ShardedBatchEngine(
+                    served, mode=engine_mode, reorder=batch_reorder
+                )
+            else:
+                self.engine = BatchQueryEngine(
+                    served, mode=engine_mode, reorder=batch_reorder
+                )
+        self._engine_writes = bool(getattr(self.engine, "applies_writes", False))
         self.batch_size = batch_size
         self._rebalancer = rebalancer
-        self._name = getattr(index, "name", type(index).__name__)
+        self._name = getattr(index, "name", None) or type(index).__name__
         #: multi-tenant oracles take the op's tenant on writes
         self._tenant_aware_oracle = bool(getattr(oracle, "tenant_aware", False))
         self._open_loop = spec.arrival_model == "open-loop"
@@ -417,6 +441,30 @@ class ScenarioRunner:
     # -- writes ---------------------------------------------------------------
 
     def _apply_write(self, op: Operation, interval: _IntervalAccumulator) -> None:
+        if self._engine_writes:
+            # write-applying engines (the process pool) route the write to
+            # the owning worker themselves and report its access deltas
+            started = time.perf_counter()
+            if op.kind == "insert":
+                self.engine.insert(op.x, op.y)
+            else:
+                removed = bool(self.engine.delete(op.x, op.y))
+            service = time.perf_counter() - started
+            logical, physical = self.engine.pop_write_accesses()
+            if self.oracle is not None:
+                if op.kind == "insert":
+                    self._oracle_write(op)
+                else:
+                    expected = self._oracle_write(op)
+                    if removed != expected:
+                        raise ScenarioMismatch(
+                            f"{self._name}: delete({op.x}, {op.y}) returned "
+                            f"{removed}, oracle says {expected}"
+                        )
+            interval.block_accesses += logical
+            interval.physical_accesses += physical
+            self._observe_latency(op, service, interval)
+            return
         stats = getattr(self.index, "stats", None)
         before = stats.total_reads if stats is not None else 0
         before_physical = stats.physical_reads if stats is not None else 0

@@ -24,6 +24,9 @@ from repro.sharding import (
     shard_index_factory,
 )
 from repro.storage import PageCache, SharedBufferPool
+from repro.workloads import aggressive_config, run_rebalance_fuzz, scenario_by_name
+
+from tests.conftest import FAST_TRAINING
 
 POINTS = dataset_by_name("skewed", 700, seed=43)
 
@@ -313,3 +316,78 @@ class TestControllerTriggers:
         assert metrics["n_splits"] == controller.report.n_splits
         assert metrics["final_shards"] == controller.index.n_shards
         assert metrics["policy"].startswith("adaptive[")
+
+
+class TestRegionHysteresis:
+    """``min_ticks_between_ops``: a just-migrated region must cool off."""
+
+    @staticmethod
+    def _controller(**overrides):
+        index = build_sharded()
+        settings = dict(
+            split_threshold=0.5,
+            min_split_points=1,
+            min_observations=10,
+            cooldown_ticks=0,
+            merge_threshold=0.4,
+        )
+        settings.update(overrides)
+        return index, RebalanceController(index, RebalanceConfig(**settings))
+
+    def _split_shard_zero(self, controller):
+        for _ in range(6):
+            controller.observe(per_shard_reads={0: 50})
+            controller.tick()
+        assert controller.report.n_splits == 1
+
+    def test_window_blocks_the_immediate_remerge(self):
+        """Without the knob traffic moving away re-merges the fresh split;
+        inside the window the same cold spell must be ignored."""
+        index, controller = self._controller(min_ticks_between_ops=100)
+        self._split_shard_zero(controller)
+        assert index.n_shards == 5
+        for _ in range(12):
+            controller.observe(per_shard_reads={1: 400, 2: 350, 3: 380})
+            controller.tick()
+        assert controller.report.n_merges == 0
+        assert index.n_shards == 5
+
+    def test_remerge_allowed_after_the_window_expires(self):
+        index, controller = self._controller(min_ticks_between_ops=4)
+        self._split_shard_zero(controller)
+        for _ in range(12):
+            controller.observe(per_shard_reads={1: 400, 2: 350, 3: 380})
+            controller.tick()
+        assert controller.report.n_merges >= 1
+        assert index.n_shards == 4
+
+    @staticmethod
+    def _drift_fuzz(min_ticks):
+        points = dataset_by_name("skewed", 800, seed=3)
+        factory = shard_index_factory(
+            "Grid", block_capacity=10, partition_threshold=150, training=FAST_TRAINING
+        )
+        index = ShardedSpatialIndex(factory, n_shards=2, policy="grid").build(points)
+        spec = scenario_by_name("drifting").with_overrides(n_ops=500, seed=3)
+        return run_rebalance_fuzz(
+            index,
+            spec,
+            points,
+            exact=True,
+            config=aggressive_config(min_ticks_between_ops=min_ticks),
+            require_migration=min_ticks == 0,
+        )
+
+    def test_drifting_hotspot_no_longer_thrashes(self):
+        """Regression: an aggressive config on a drifting stream used to
+        split a region and re-merge it a few hundred ops later, repeatedly.
+        The hysteresis window must damp the oscillation without freezing
+        adaptation (splits still happen) or changing any answer (the fuzz
+        harness oracle-checks every operation)."""
+        base = self._drift_fuzz(0)
+        damped = self._drift_fuzz(50)
+        base_ops = base.n_splits + base.n_merges
+        damped_ops = damped.n_splits + damped.n_merges
+        assert base.n_merges > damped.n_merges
+        assert damped_ops < base_ops
+        assert damped.n_splits >= 1  # still adapting, just not thrashing

@@ -163,6 +163,119 @@ class TestWriteAheadLog:
         assert records == [] and valid_bytes == 0 and not torn
 
 
+class TestGroupCommit:
+    """``fsync_every=N``: appends stay unbuffered, fsync happens per group."""
+
+    @staticmethod
+    def _count_fsyncs(monkeypatch):
+        import repro.storage.wal as walmod
+
+        calls = []
+        real = walmod.os.fsync
+        monkeypatch.setattr(walmod.os, "fsync", lambda fd: (calls.append(fd), real(fd)))
+        return calls
+
+    def test_one_fsync_per_group(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        with WriteAheadLog(tmp_path / "wal.log", fsync_every=8) as wal:
+            for i in range(20):
+                wal.append("insert", i / 100.0, 0.5)
+            assert len(calls) == 2  # after appends 8 and 16
+            wal.flush()
+            assert len(calls) == 3  # the 4 pending appends
+            wal.flush()
+            assert len(calls) == 3  # no-op when clean
+        assert len(calls) == 3  # close had nothing left to flush
+
+    def test_default_is_fsync_per_append(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        with WriteAheadLog(tmp_path / "wal.log") as wal:
+            for i in range(5):
+                wal.append("insert", i / 10.0, 0.5)
+        assert len(calls) == 5
+
+    def test_fsync_off_never_syncs(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        with WriteAheadLog(tmp_path / "wal.log", fsync=False, fsync_every=4) as wal:
+            for i in range(10):
+                wal.append("insert", i / 10.0, 0.5)
+            wal.flush()
+        assert calls == []
+
+    def test_close_flushes_the_pending_group(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync_every=100)
+        wal.append("insert", 0.1, 0.2)
+        assert calls == []
+        wal.close()
+        assert len(calls) == 1
+
+    def test_reset_clears_the_unsynced_count(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        with WriteAheadLog(tmp_path / "wal.log", fsync_every=4) as wal:
+            for i in range(3):
+                wal.append("insert", i / 10.0, 0.5)
+            wal.reset()
+            assert len(calls) == 1  # reset syncs the truncation itself
+            wal.flush()  # nothing pending: the reset discarded the group
+            assert len(calls) == 1
+
+    def test_unsynced_appends_still_hit_the_file(self, tmp_path):
+        """Appends are unbuffered: a process kill (no OS crash) loses
+        nothing even before the group's fsync."""
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync_every=64)
+        for i in range(20):
+            wal.append("insert", i / 100.0, 0.5)
+        # scan the file *without* closing (no flush, no fsync)
+        records, _, torn = WriteAheadLog.scan(tmp_path / "wal.log")
+        assert len(records) == 20 and not torn
+        wal.close()
+
+    def test_validates_fsync_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path / "wal.log", fsync_every=0)
+
+
+class TestDurableGroupCommit:
+    def test_checkpoint_flushes_the_pending_group(
+        self, uniform_points, tmp_path, monkeypatch
+    ):
+        import repro.storage.wal as walmod
+
+        calls = []
+        real = walmod.os.fsync
+        monkeypatch.setattr(walmod.os, "fsync", lambda fd: (calls.append(fd), real(fd)))
+        durable = DurableIndex(
+            _zm(uniform_points), tmp_path, checkpoint_every=6, wal_fsync_every=4
+        )
+        rng = np.random.default_rng(5)
+        for _ in range(6):
+            durable.insert(float(rng.random()), float(rng.random()))
+        # appends 1-4 synced as a group; 5-6 flushed by the checkpoint
+        assert len(calls) >= 2
+        assert durable._wal._unsynced == 0
+        durable.close()
+
+    def test_crash_recovery_with_group_commit_loses_nothing(
+        self, uniform_points, tmp_path
+    ):
+        durable = DurableIndex(
+            _zm(uniform_points), tmp_path, checkpoint_every=1024, wal_fsync_every=8
+        )
+        rng = np.random.default_rng(7)
+        inserted = [(float(x), float(y)) for x, y in rng.random((40, 2))]
+        for x, y in inserted:
+            durable.insert(x, y)
+        durable.simulate_crash()
+
+        recovered, report = DurableIndex.recover(tmp_path, wal_fsync_every=8)
+        assert report.replayed == 40
+        assert not report.torn_tail
+        for x, y in inserted:
+            assert recovered.contains(x, y)
+        recovered.close()
+
+
 class TestBlockStoreDiskTier:
     def test_attach_dumps_current_blocks(self, tmp_path):
         store = BlockStore(capacity=4)

@@ -56,6 +56,17 @@ CONFIG_KEYS = {
     "n_windows",
     "pool_blocks",
     "pool_admission",
+    # parallel serving: worker topology, answer identity and admission
+    # decisions are deterministic; the speedup *gate* resolves to a flag
+    # (trivially 1 below 4 cores) so the committed baseline stays
+    # machine-independent while >= 4-core machines still enforce the ratio
+    "n_workers",
+    "worker_counts",
+    "answers_identical",
+    "speedup_gate_ok",
+    "sojourn_gate_ok",
+    "n_accepted",
+    "n_dropped",
 }
 
 #: gated metrics that may not drop below baseline * (1 - tolerance)
