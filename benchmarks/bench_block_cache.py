@@ -38,6 +38,7 @@ import numpy as np
 import pytest
 
 from conftest import record_bench_result
+from repro.analytics import QueryRequest
 from repro.baselines import HRRTree, KDBTree, ZMConfig, ZMIndex
 from repro.curves import curve_by_name
 from repro.datasets import dataset_by_name
@@ -108,37 +109,37 @@ def test_cache_cuts_physical_reads_on_hotspot_batches(benchmark, workload, kind)
     cache_blocks = max(1, int(CACHE_FRACTION * n_blocks))
 
     index = _build(kind, points)
-    uncached = BatchQueryEngine(index).point_queries(queries)
-    assert uncached.total_physical_accesses == uncached.total_block_accesses
+    uncached = BatchQueryEngine(index).execute(QueryRequest.for_points(queries))
+    assert uncached.access.physical_reads == uncached.access.logical_reads
 
     cached_engine = BatchQueryEngine(index, cache_blocks=cache_blocks)
-    cached = cached_engine.point_queries(queries)
+    cached = cached_engine.execute(QueryRequest.for_points(queries))
 
     # answers and logical accounting must be byte-identical with the cache on
-    assert cached.results == uncached.results
-    assert all(cached.results)  # every query probes a stored key
-    assert cached.total_block_accesses == uncached.total_block_accesses
+    assert cached.values == uncached.values
+    assert all(cached.values)  # every query probes a stored key
+    assert cached.access.logical_reads == uncached.access.logical_reads
 
-    reduction = uncached.total_physical_accesses / max(cached.total_physical_accesses, 1)
+    reduction = uncached.access.physical_reads / max(cached.access.physical_reads, 1)
     payload = {
         "n_points": points.shape[0],
         "n_queries": len(queries),
         "block_capacity": BLOCK_CAPACITY,
         "cache_blocks": cache_blocks,
         "cache_policy": "lru",
-        "logical_reads": uncached.total_block_accesses,
-        "physical_reads_uncached": uncached.total_physical_accesses,
-        "physical_reads_cached": cached.total_physical_accesses,
+        "logical_reads": uncached.access.logical_reads,
+        "physical_reads_uncached": uncached.access.physical_reads,
+        "physical_reads_cached": cached.access.physical_reads,
         "physical_reduction": round(reduction, 2),
-        "hit_ratio": round(cached.cache_hit_ratio, 4),
+        "hit_ratio": round(cached.access.cache_hit_ratio, 4),
     }
     _record(f"hotspot_point_batch/{kind}", payload)
     benchmark.extra_info.update(payload)
-    benchmark(lambda: cached_engine.point_queries(queries))
+    benchmark(lambda: cached_engine.execute(QueryRequest.for_points(queries)))
     assert reduction >= MIN_REDUCTION, (
         f"{kind}: cache of {cache_blocks}/{n_blocks} blocks only cut physical reads "
-        f"{reduction:.2f}x (uncached {uncached.total_physical_accesses}, "
-        f"cached {cached.total_physical_accesses})"
+        f"{reduction:.2f}x (uncached {uncached.access.physical_reads}, "
+        f"cached {cached.access.physical_reads})"
     )
 
 
@@ -151,28 +152,28 @@ def test_sharded_per_shard_caches_cut_physical_reads(benchmark, workload):
 
     factory = shard_index_factory("KDB", block_capacity=BLOCK_CAPACITY)
     index = ShardedSpatialIndex(factory, n_shards=n_shards, policy="grid").build(points)
-    uncached = ShardedBatchEngine(index).point_queries(queries)
+    uncached = ShardedBatchEngine(index).execute(QueryRequest.for_points(queries))
 
     cached_engine = ShardedBatchEngine(index, cache_blocks=per_shard_cache)
-    cached = cached_engine.point_queries(queries)
-    assert cached.results == uncached.results
-    assert cached.total_block_accesses == uncached.total_block_accesses
+    cached = cached_engine.execute(QueryRequest.for_points(queries))
+    assert cached.values == uncached.values
+    assert cached.access.logical_reads == uncached.access.logical_reads
 
-    reduction = uncached.total_physical_accesses / max(cached.total_physical_accesses, 1)
+    reduction = uncached.access.physical_reads / max(cached.access.physical_reads, 1)
     payload = {
         "n_points": points.shape[0],
         "n_queries": len(queries),
         "n_shards": n_shards,
         "cache_blocks_per_shard": per_shard_cache,
-        "logical_reads": uncached.total_block_accesses,
-        "physical_reads_uncached": uncached.total_physical_accesses,
-        "physical_reads_cached": cached.total_physical_accesses,
+        "logical_reads": uncached.access.logical_reads,
+        "physical_reads_uncached": uncached.access.physical_reads,
+        "physical_reads_cached": cached.access.physical_reads,
         "physical_reduction": round(reduction, 2),
-        "hit_ratio": round(cached.cache_hit_ratio, 4),
+        "hit_ratio": round(cached.access.cache_hit_ratio, 4),
     }
     _record("hotspot_point_batch/sharded_KDB", payload)
     benchmark.extra_info.update(payload)
-    benchmark(lambda: cached_engine.point_queries(queries))
+    benchmark(lambda: cached_engine.execute(QueryRequest.for_points(queries)))
     assert reduction >= MIN_REDUCTION, (
         f"sharded KDB: per-shard caches of {per_shard_cache} blocks only cut "
         f"physical reads {reduction:.2f}x"
@@ -190,12 +191,12 @@ def test_lru_vs_clock_policies(benchmark, workload):
     for policy in ("lru", "clock"):
         index = _build("KDB", points)
         index.attach_cache(PageCache(cache_blocks, policy))
-        batch = BatchQueryEngine(index).point_queries(queries)
+        batch = BatchQueryEngine(index).execute(QueryRequest.for_points(queries))
         if baseline_results is None:
-            baseline_results = batch.results
+            baseline_results = batch.values
         else:
-            assert batch.results == baseline_results
-        ratios[policy] = round(batch.cache_hit_ratio, 4)
+            assert batch.values == baseline_results
+        ratios[policy] = round(batch.access.cache_hit_ratio, 4)
         # replacement must actually happen: the cache cannot exceed capacity
         assert len(index.cache) <= cache_blocks
 
@@ -206,7 +207,7 @@ def test_lru_vs_clock_policies(benchmark, workload):
     index = _build("KDB", points)
     index.attach_cache(PageCache(cache_blocks, "clock"))
     engine = BatchQueryEngine(index)
-    benchmark(lambda: engine.point_queries(queries))
+    benchmark(lambda: engine.execute(QueryRequest.for_points(queries)))
 
 
 # -- buffer pool + Hilbert layout ------------------------------------------------
@@ -242,14 +243,14 @@ def test_hilbert_layout_cuts_window_reads(benchmark, workload):
 
     z_index = _build_zm(points, "z")
     h_index = _build_zm(points, "hilbert")
-    z_batch = BatchQueryEngine(z_index).window_queries(windows)
-    h_batch = BatchQueryEngine(h_index).window_queries(windows)
+    z_batch = BatchQueryEngine(z_index).execute(QueryRequest.for_windows(windows))
+    h_batch = BatchQueryEngine(h_index).execute(QueryRequest.for_windows(windows))
 
     # the physical order changes, the answers must not
-    for a, b in zip(z_batch.results, h_batch.results):
+    for a, b in zip(z_batch.values, h_batch.values):
         np.testing.assert_array_equal(np.sort(a, axis=0), np.sort(b, axis=0))
 
-    read_reduction = z_batch.total_block_accesses / max(h_batch.total_block_accesses, 1)
+    read_reduction = z_batch.access.logical_reads / max(h_batch.access.logical_reads, 1)
     # the structural reason: windows decompose into far fewer contiguous runs
     z_runs = sum(len(window_key_runs(curve_by_name("z", 10), w, Rect.unit()))
                  for w in windows)
@@ -261,8 +262,8 @@ def test_hilbert_layout_cuts_window_reads(benchmark, workload):
         "n_points": points.shape[0],
         "n_windows": len(windows),
         "block_capacity": BLOCK_CAPACITY,
-        "logical_reads_z": z_batch.total_block_accesses,
-        "logical_reads_hilbert": h_batch.total_block_accesses,
+        "logical_reads_z": z_batch.access.logical_reads,
+        "logical_reads_hilbert": h_batch.access.logical_reads,
         "layout_read_reduction": round(read_reduction, 2),
         "window_runs_z": z_runs,
         "window_runs_hilbert": h_runs,
@@ -271,10 +272,10 @@ def test_hilbert_layout_cuts_window_reads(benchmark, workload):
     _record("zm_layout_windows", payload)
     benchmark.extra_info.update(payload)
     engine = BatchQueryEngine(h_index)
-    benchmark(lambda: engine.window_queries(windows))
+    benchmark(lambda: engine.execute(QueryRequest.for_windows(windows)))
     assert read_reduction >= MIN_REDUCTION, (
         f"hilbert layout only cut window block reads {read_reduction:.2f}x "
-        f"(z {z_batch.total_block_accesses}, hilbert {h_batch.total_block_accesses})"
+        f"(z {z_batch.access.logical_reads}, hilbert {h_batch.access.logical_reads})"
     )
     assert run_reduction > 1.3, f"window run counts did not drop: {payload}"
 
@@ -288,26 +289,26 @@ def test_pooled_hilbert_windows_cut_physical_reads(benchmark, workload):
     windows = _hotspot_windows(200, seed=29)
 
     index = _build_zm(points, "hilbert")
-    uncached = BatchQueryEngine(index).window_queries(windows)
-    assert uncached.total_physical_accesses == uncached.total_block_accesses
+    uncached = BatchQueryEngine(index).execute(QueryRequest.for_windows(windows))
+    assert uncached.access.physical_reads == uncached.access.logical_reads
 
     pool = SharedBufferPool(pool_blocks, admission="tinylfu")
     pooled_engine = BatchQueryEngine(index, shared_pool=pool, pool_client="zm")
-    pooled = pooled_engine.window_queries(windows)
+    pooled = pooled_engine.execute(QueryRequest.for_windows(windows))
 
-    for a, b in zip(pooled.results, uncached.results):
+    for a, b in zip(pooled.values, uncached.values):
         np.testing.assert_array_equal(np.sort(a, axis=0), np.sort(b, axis=0))
-    assert pooled.total_block_accesses == uncached.total_block_accesses
+    assert pooled.access.logical_reads == uncached.access.logical_reads
 
-    reduction = uncached.total_physical_accesses / max(pooled.total_physical_accesses, 1)
+    reduction = uncached.access.physical_reads / max(pooled.access.physical_reads, 1)
     payload = {
         "n_points": points.shape[0],
         "n_windows": len(windows),
         "pool_blocks": pool_blocks,
         "pool_admission": "tinylfu",
-        "logical_reads": uncached.total_block_accesses,
-        "physical_reads_uncached": uncached.total_physical_accesses,
-        "physical_reads_cached": pooled.total_physical_accesses,
+        "logical_reads": uncached.access.logical_reads,
+        "physical_reads_uncached": uncached.access.physical_reads,
+        "physical_reads_cached": pooled.access.physical_reads,
         "physical_reduction": round(reduction, 2),
         "pool_hit_ratio": round(pool.hit_ratio, 4),
         "prefetch_issued": pool.prefetch_issued,
@@ -315,7 +316,7 @@ def test_pooled_hilbert_windows_cut_physical_reads(benchmark, workload):
     }
     _record("pooled_hilbert_windows/ZM", payload)
     benchmark.extra_info.update(payload)
-    benchmark(lambda: pooled_engine.window_queries(windows))
+    benchmark(lambda: pooled_engine.execute(QueryRequest.for_windows(windows)))
     assert reduction >= MIN_REDUCTION, (
         f"pool of {pool_blocks}/{n_blocks} blocks only cut window physical reads "
         f"{reduction:.2f}x"
@@ -354,10 +355,10 @@ def test_shared_pool_scan_resistance(benchmark, workload):
             index = _build("KDB", points)
             pool = SharedBufferPool(pool_blocks, admission=admission)
             engine = BatchQueryEngine(index, shared_pool=pool, pool_client="kdb")
-            engine.point_queries(chunks[0])  # warm the hot set
+            engine.execute(QueryRequest.for_points(chunks[0]))  # warm the hot set
             for chunk in chunks[1:]:
-                engine.window_queries([sweep])  # one-touch scan of every block
-                refaults[admission] += engine.point_queries(chunk).total_physical_accesses
+                engine.execute(QueryRequest.for_windows([sweep]))  # one-touch scan of every block
+                refaults[admission] += engine.execute(QueryRequest.for_points(chunk)).access.physical_reads
             ratios[admission] = round(pool.hit_ratio, 4)
 
     advantage = refaults["lru"] / max(refaults["tinylfu"], 1)
@@ -376,7 +377,7 @@ def test_shared_pool_scan_resistance(benchmark, workload):
     engine = BatchQueryEngine(
         index, shared_pool=SharedBufferPool(pool_blocks), pool_client="kdb"
     )
-    benchmark(lambda: engine.point_queries(chunks[1]))
+    benchmark(lambda: engine.execute(QueryRequest.for_points(chunks[1])))
     assert advantage >= 2.0, f"TinyLFU did not resist the sweeps: {payload}"
     assert ratios["tinylfu"] >= ratios["lru"]
 
@@ -406,7 +407,7 @@ def test_shared_pool_follows_drifting_hotspot(benchmark, workload):
     lru_index.attach_caches(pool_blocks // n_shards, "lru")
     lru_engine = ShardedBatchEngine(lru_index)
     for phase in phases:
-        lru_engine.point_queries(phase)
+        lru_engine.execute(QueryRequest.for_points(phase))
     caches = lru_index.per_shard_caches()
     lru_ratio = sum(c.hits for c in caches) / max(sum(c.accesses for c in caches), 1)
 
@@ -415,7 +416,7 @@ def test_shared_pool_follows_drifting_hotspot(benchmark, workload):
     pool_index.attach_shared_pool(pool)
     pool_engine = ShardedBatchEngine(pool_index)
     for phase in phases:
-        pool_engine.point_queries(phase)
+        pool_engine.execute(QueryRequest.for_points(phase))
 
     payload = {
         "n_points": points.shape[0],
@@ -428,7 +429,7 @@ def test_shared_pool_follows_drifting_hotspot(benchmark, workload):
     }
     _record("drifting_pool/sharded_KDB", payload)
     benchmark.extra_info.update(payload)
-    benchmark(lambda: pool_engine.point_queries(phases[0]))
+    benchmark(lambda: pool_engine.execute(QueryRequest.for_points(phases[0])))
     assert pool.hit_ratio > lru_ratio, (
         f"shared pool did not beat static split: {payload}"
     )

@@ -23,6 +23,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.analytics import QueryRequest
 from repro.core import RSMI, RSMIConfig
 from repro.datasets import dataset_by_name
 from repro.engine import BatchQueryEngine
@@ -86,7 +87,7 @@ def test_rsmi_point_query_batched(benchmark, built_index, skewed_points):
     engine = BatchQueryEngine(built_index)
 
     def run():
-        return sum(engine.point_queries(queries).results)
+        return sum(engine.execute(QueryRequest.for_points(queries)).values)
 
     found = benchmark(run)
     assert found == len(queries)
@@ -109,7 +110,7 @@ def test_rsmi_window_query_batched(benchmark, built_index, skewed_points):
     windows = generate_window_queries(skewed_points, 20, area_fraction=0.001, seed=5)
     engine = BatchQueryEngine(built_index)
 
-    result = benchmark(lambda: engine.window_queries(windows))
+    result = benchmark(lambda: engine.execute(QueryRequest.for_windows(windows)))
     assert result.n_queries == len(windows)
     _record_query_stats(benchmark, built_index, "batched", len(windows))
 
@@ -155,7 +156,7 @@ def test_point_query_batched_speedup(benchmark):
     sequential_accesses = index.stats.total_reads
 
     def run_batched():
-        return sum(engine.point_queries(queries).results)
+        return sum(engine.execute(QueryRequest.for_points(queries)).values)
 
     batched_found = benchmark(run_batched)
     assert batched_found == sequential_found == len(queries)

@@ -29,6 +29,7 @@ import os
 import numpy as np
 
 from conftest import record_bench_result
+from repro.analytics import QueryRequest
 from repro.baselines import KDBTree
 from repro.datasets import dataset_by_name
 from repro.sharding import ShardedBatchEngine, ShardedSpatialIndex, shard_index_factory
@@ -134,7 +135,7 @@ def test_per_shard_latency_attribution(benchmark):
     factory = shard_index_factory("KDB", block_capacity=BLOCK_CAPACITY)
     index = ShardedSpatialIndex(factory, n_shards=N_SHARDS, policy="grid").build(points)
     engine = ShardedBatchEngine(index)
-    batch = engine.point_queries(queries)
+    batch = engine.execute(QueryRequest.for_points(queries))
 
     assert batch.per_shard_latency, "sharded point batches must attribute latency"
     counts = {shard: summary.count for shard, summary in batch.per_shard_latency.items()}
@@ -154,7 +155,7 @@ def test_per_shard_latency_attribution(benchmark):
     }
     _record("per_shard_breakdown/sharded_KDB", payload)
     benchmark.extra_info.update(payload)
-    benchmark(lambda: engine.point_queries(queries))
+    benchmark(lambda: engine.execute(QueryRequest.for_points(queries)))
     # the hot region fits one grid shard (plus boundary spill)
     assert hot_count / len(queries) >= 0.5, f"hotspot did not concentrate: {counts}"
 

@@ -31,6 +31,7 @@ import os
 import numpy as np
 
 from conftest import record_bench_result
+from repro.analytics import QueryRequest
 from repro.datasets import dataset_by_name
 from repro.geometry import Rect
 from repro.nn import TrainingConfig
@@ -110,29 +111,29 @@ def test_parallel_scaling_and_identity(benchmark):
     ]
 
     reference = ShardedBatchEngine(spec.build_index())
-    ref_points = reference.point_queries(queries)
-    ref_windows = reference.window_queries(windows)
+    ref_points = reference.execute(QueryRequest.for_points(queries))
+    ref_windows = reference.execute(QueryRequest.for_windows(windows))
 
     rates: dict[int, float] = {}
     identical = True
     reads_match = True
     for n_workers in WORKER_COUNTS:
         with ParallelShardEngine(spec, n_workers=n_workers) as engine:
-            engine.point_queries(queries[:64])  # warm the worker pools
+            engine.execute(QueryRequest.for_points(queries[:64]))  # warm the worker pools
             started = time.perf_counter()
-            batch = engine.point_queries(queries)
+            batch = engine.execute(QueryRequest.for_points(queries))
             rates[n_workers] = queries.shape[0] / (time.perf_counter() - started)
-            win = engine.window_queries(windows)
+            win = engine.execute(QueryRequest.for_windows(windows))
         identical = (
             identical
-            and _identical(batch.results, ref_points.results)
-            and _identical(win.results, ref_windows.results)
+            and _identical(batch.values, ref_points.values)
+            and _identical(win.values, ref_windows.values)
         )
         reads_match = (
             reads_match
-            and batch.total_block_accesses == ref_points.total_block_accesses
-            and batch.per_shard_block_accesses == ref_points.per_shard_block_accesses
-            and win.total_block_accesses == ref_windows.total_block_accesses
+            and batch.access.logical_reads == ref_points.access.logical_reads
+            and batch.access.per_shard_logical_reads == ref_points.access.per_shard_logical_reads
+            and win.access.logical_reads == ref_windows.access.logical_reads
         )
 
     n_cores = os.cpu_count() or 1
@@ -148,8 +149,8 @@ def test_parallel_scaling_and_identity(benchmark):
         "block_capacity": BLOCK_CAPACITY,
         "worker_counts": list(WORKER_COUNTS),
         "answers_identical": int(identical),
-        "logical_reads": ref_points.total_block_accesses,
-        "window_logical_reads": ref_windows.total_block_accesses,
+        "logical_reads": ref_points.access.logical_reads,
+        "window_logical_reads": ref_windows.access.logical_reads,
         "reads_match": int(reads_match),
         "speedup_gate_ok": speedup_gate_ok,
         # informational (machine-dependent): the measured rates and ratio
@@ -158,7 +159,7 @@ def test_parallel_scaling_and_identity(benchmark):
         **{f"rate_{w}w_ops_per_s": round(r, 1) for w, r in rates.items()},
         "single_thread_ops_per_s": round(
             queries.shape[0]
-            / max(1e-9, _timed(lambda: reference.point_queries(queries))),
+            / max(1e-9, _timed(lambda: reference.execute(QueryRequest.for_points(queries)))),
             1,
         ),
     }
@@ -166,9 +167,9 @@ def test_parallel_scaling_and_identity(benchmark):
     benchmark.extra_info.update(payload)
 
     with ParallelShardEngine(spec, n_workers=WORKER_COUNTS[-1]) as engine:
-        engine.point_queries(queries[:64])
+        engine.execute(QueryRequest.for_points(queries[:64]))
         benchmark.pedantic(
-            lambda: engine.point_queries(queries),
+            lambda: engine.execute(QueryRequest.for_points(queries)),
             rounds=1,
             iterations=1,
             warmup_rounds=0,

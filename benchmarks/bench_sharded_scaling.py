@@ -32,6 +32,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.analytics import QueryRequest
 from repro.datasets import dataset_by_name
 from repro.engine import BatchQueryEngine
 from repro.geometry import Rect
@@ -73,7 +74,7 @@ def test_sharded_point_throughput_scaling(benchmark, workload):
     points, queries = workload
     single = shard_index_factory("HRR", block_capacity=100)(points, 0)
     single_engine = BatchQueryEngine(single)
-    single_s, single_batch = _best_of(lambda: single_engine.point_queries(queries))
+    single_s, single_batch = _best_of(lambda: single_engine.execute(QueryRequest.for_points(queries)))
 
     speedups: dict[int, float] = {}
     best_engine = None
@@ -82,8 +83,8 @@ def test_sharded_point_throughput_scaling(benchmark, workload):
         factory = shard_index_factory("HRR", block_capacity=100)
         sharded = ShardedSpatialIndex(factory, n_shards=n_shards, policy="grid").build(points)
         engine = ShardedBatchEngine(sharded)
-        sharded_s, sharded_batch = _best_of(lambda: engine.point_queries(queries))
-        assert sharded_batch.results == single_batch.results
+        sharded_s, sharded_batch = _best_of(lambda: engine.execute(QueryRequest.for_points(queries)))
+        assert sharded_batch.values == single_batch.values
         speedups[n_shards] = single_s / sharded_s
         if speedups[n_shards] > best_speedup:
             best_speedup = speedups[n_shards]
@@ -96,7 +97,7 @@ def test_sharded_point_throughput_scaling(benchmark, workload):
         single_qps=round(len(queries) / single_s, 1),
         speedups={k: round(v, 2) for k, v in speedups.items()},
     )
-    benchmark(lambda: best_engine.point_queries(queries))
+    benchmark(lambda: best_engine.execute(QueryRequest.for_points(queries)))
     assert best_speedup >= MIN_SPEEDUP, (
         f"sharded batched point queries only {best_speedup:.2f}x the single-index "
         f"engine (per shard count: { {k: round(v, 2) for k, v in speedups.items()} })"
@@ -111,7 +112,7 @@ def test_rsmi_sharded_parity(benchmark, workload):
         "RSMI", block_capacity=100, partition_threshold=10_000, training=training
     )(points, 0)
     single_engine = BatchQueryEngine(single)
-    single_s, single_batch = _best_of(lambda: single_engine.point_queries(queries), repeats=3)
+    single_s, single_batch = _best_of(lambda: single_engine.execute(QueryRequest.for_points(queries)), repeats=3)
 
     factory = shard_index_factory(
         "RSMI",
@@ -121,8 +122,8 @@ def test_rsmi_sharded_parity(benchmark, workload):
     )
     sharded = ShardedSpatialIndex(factory, n_shards=4, policy="grid").build(points)
     engine = ShardedBatchEngine(sharded)
-    sharded_s, sharded_batch = _best_of(lambda: engine.point_queries(queries), repeats=3)
-    assert sharded_batch.results == single_batch.results
+    sharded_s, sharded_batch = _best_of(lambda: engine.execute(QueryRequest.for_points(queries)), repeats=3)
+    assert sharded_batch.values == single_batch.values
 
     ratio = single_s / sharded_s
     benchmark.extra_info.update(
@@ -131,7 +132,7 @@ def test_rsmi_sharded_parity(benchmark, workload):
         sharded_qps=round(len(queries) / sharded_s, 1),
         ratio=round(ratio, 2),
     )
-    benchmark(lambda: engine.point_queries(queries))
+    benchmark(lambda: engine.execute(QueryRequest.for_points(queries)))
     # parity floor: the vectorised engine is already level-synchronous, so
     # sharding must at minimum not regress it materially
     assert ratio >= 0.7, f"sharded RSMI collapsed to {ratio:.2f}x of the single engine"
@@ -157,21 +158,22 @@ def test_window_batches_touch_only_intersecting_shards(benchmark):
         3: Rect(0.6, 0.6, 0.9, 0.9),
     }
     for shard_id, window in quadrant_windows.items():
-        batch = engine.window_queries([window])
-        assert set(batch.per_shard_block_accesses) == {shard_id}, (
+        batch = engine.execute(QueryRequest.for_windows([window]))
+        assert set(batch.access.per_shard_logical_reads) == {shard_id}, (
             f"window {window.as_tuple()} leaked to shards "
-            f"{sorted(batch.per_shard_block_accesses)}"
+            f"{sorted(batch.access.per_shard_logical_reads)}"
         )
 
     # a two-shard straddling window touches exactly those two shards
     straddle = Rect(0.3, 0.1, 0.7, 0.4)
-    batch = engine.window_queries([straddle])
-    assert set(batch.per_shard_block_accesses) == {0, 1}
+    batch = engine.execute(QueryRequest.for_windows([straddle]))
+    assert set(batch.access.per_shard_logical_reads) == {0, 1}
 
     # the full-space window touches everything — completeness, not skipping
-    full_batch = engine.window_queries([Rect.unit()])
-    assert set(full_batch.per_shard_block_accesses) == {0, 1, 2, 3}
-    assert sum(r.shape[0] for r in full_batch.results) == WINDOW_N
+    full_batch = engine.execute(QueryRequest.for_windows([Rect.unit()]))
+    assert set(full_batch.access.per_shard_logical_reads) == {0, 1, 2, 3}
+    assert sum(r.shape[0] for r in full_batch.values) == WINDOW_N
 
-    result = benchmark(lambda: engine.window_queries(list(quadrant_windows.values())))
-    assert set(result.per_shard_block_accesses) == {0, 1, 2, 3}
+    batch_request = QueryRequest.for_windows(list(quadrant_windows.values()))
+    result = benchmark(lambda: engine.execute(batch_request))
+    assert set(result.access.per_shard_logical_reads) == {0, 1, 2, 3}

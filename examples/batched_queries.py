@@ -14,6 +14,7 @@ import time
 import numpy as np
 
 from repro import BatchQueryEngine, RSMI, RSMIConfig
+from repro.analytics import QueryRequest
 from repro.datasets import generate_uniform
 from repro.nn import TrainingConfig
 from repro.queries import generate_point_queries, generate_window_queries
@@ -41,15 +42,15 @@ def main() -> None:
     sequential_accesses = index.stats.total_reads
 
     start = time.perf_counter()
-    batch = engine.point_queries(queries)
+    batch = engine.execute(QueryRequest.for_points(queries))
     batched_s = time.perf_counter() - start
 
-    assert sum(batch.results) == sequential_found == len(queries)
+    assert sum(batch.values) == sequential_found == len(queries)
     print(f"\npoint queries ({len(queries)} lookups, all stored points):")
     print(f"  sequential: {len(queries) / sequential_s:>10.0f} q/s, "
           f"{sequential_accesses} block accesses")
     print(f"  batched:    {len(queries) / batched_s:>10.0f} q/s, "
-          f"{batch.total_block_accesses} block accesses "
+          f"{batch.access.logical_reads} block accesses "
           f"({sequential_s / batched_s:.1f}x faster)")
 
     # 3. window queries: identical answers, shared block scans
@@ -61,24 +62,24 @@ def main() -> None:
     sequential_accesses = index.stats.total_reads
 
     start = time.perf_counter()
-    window_batch = engine.window_queries(windows)
+    window_batch = engine.execute(QueryRequest.for_windows(windows))
     batched_s = time.perf_counter() - start
 
     assert all(
         np.array_equal(got, want)
-        for got, want in zip(window_batch.results, sequential_results)
+        for got, want in zip(window_batch.values, sequential_results)
     )
-    total_hits = sum(r.shape[0] for r in window_batch.results)
+    total_hits = sum(r.shape[0] for r in window_batch.values)
     print(f"\nwindow queries ({len(windows)} windows, {total_hits} result points):")
     print(f"  sequential: {len(windows) / sequential_s:>10.0f} q/s, "
           f"{sequential_accesses} block accesses")
     print(f"  batched:    {len(windows) / batched_s:>10.0f} q/s, "
-          f"{window_batch.total_block_accesses} block accesses "
+          f"{window_batch.access.logical_reads} block accesses "
           f"({sequential_s / batched_s:.1f}x faster)")
 
     # 4. kNN batches run through the uniform per-query path (Algorithm 3 is
     #    adaptive, so there is no vectorised formulation) — same answers
-    knn_batch = engine.knn_queries(queries[:50], k=10)
+    knn_batch = engine.execute(QueryRequest.for_knn(queries[:50], k=10))
     print(f"\nkNN queries: {knn_batch.n_queries} batched lookups, "
           f"avg {knn_batch.avg_block_accesses:.1f} block accesses/query")
 

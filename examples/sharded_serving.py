@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analytics import QueryRequest
 from repro.datasets import dataset_by_name
 from repro.geometry import Rect
 from repro.nn import TrainingConfig
@@ -40,24 +41,24 @@ def main() -> None:
     engine = ShardedBatchEngine(index)
 
     queries = generate_point_queries(points, 500, seed=21)
-    batch = engine.point_queries(queries)
-    print(f"\npoint batch: {sum(batch.results)}/{batch.n_queries} found, "
-          f"{batch.total_block_accesses} block accesses, "
-          f"per shard: {batch.per_shard_block_accesses}")
+    batch = engine.execute(QueryRequest.for_points(queries))
+    print(f"\npoint batch: {sum(batch.values)}/{batch.n_queries} found, "
+          f"{batch.access.logical_reads} block accesses, "
+          f"per shard: {batch.access.per_shard_logical_reads}")
 
     windows = generate_window_queries(points, 50, area_fraction=0.001, seed=22)
-    window_batch = engine.window_queries(windows)
-    touched = sorted(window_batch.per_shard_block_accesses)
-    print(f"window batch: {sum(r.shape[0] for r in window_batch.results)} result "
+    window_batch = engine.execute(QueryRequest.for_windows(windows))
+    touched = sorted(window_batch.access.per_shard_logical_reads)
+    print(f"window batch: {sum(r.shape[0] for r in window_batch.values)} result "
           f"points, shards touched: {touched} of {N_SHARDS}")
 
     # a window inside one shard's region touches exactly that shard
     extent = index.shard_extents()[0]
     cx, cy = extent.center
     local = Rect.from_center(cx, cy, extent.width * 0.2, extent.height * 0.2)
-    local_batch = engine.window_queries([local])
+    local_batch = engine.execute(QueryRequest.for_windows([local]))
     print(f"single-region window touched shards: "
-          f"{sorted(local_batch.per_shard_block_accesses)}")
+          f"{sorted(local_batch.access.per_shard_logical_reads)}")
 
     # 3. shards can wrap the learned index too (RSMI per shard)
     rsmi_points = dataset_by_name("uniform", N_RSMI_POINTS, seed=13)
@@ -70,10 +71,10 @@ def main() -> None:
     rsmi_sharded = ShardedSpatialIndex(
         rsmi_factory, n_shards=N_SHARDS, policy="grid"
     ).build(rsmi_points)
-    knn_batch = ShardedBatchEngine(rsmi_sharded).knn_queries(rsmi_points[:20], k=5)
+    knn_batch = ShardedBatchEngine(rsmi_sharded).execute(QueryRequest.for_knn(rsmi_points[:20], k=5))
     print(f"\nsharded RSMI: {rsmi_sharded.per_shard_points()} points per shard, "
           f"kNN batch of {knn_batch.n_queries} served with "
-          f"{knn_batch.total_block_accesses} block accesses")
+          f"{knn_batch.access.logical_reads} block accesses")
 
     # 4. serving under churn, every answer checked against a brute-force oracle
     spec = scenario_by_name("sharded-mixed").with_overrides(

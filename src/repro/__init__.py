@@ -34,16 +34,57 @@ differential harness in ``tests/test_engine_differential.py``), typically at
 an order of magnitude fewer block accesses per batch::
 
     from repro import BatchQueryEngine
+    from repro.analytics import QueryRequest
 
     engine = BatchQueryEngine(index)           # also accepts baselines/adapters
-    engine.point_queries(points[:1000])        # -> BatchResult of booleans
-    engine.window_queries(windows)             # -> BatchResult of point arrays
-    engine.knn_queries(points[:100], k=10)     # -> BatchResult of point arrays
+    engine.execute(QueryRequest.for_points(points[:1000]))   # booleans
+    engine.execute(QueryRequest.for_windows(windows))        # point arrays
+    engine.execute(QueryRequest.for_knn(points[:100], k=10)) # point arrays
+
+(The former per-kind entry points ``point_queries``/``window_queries``/
+``knn_queries`` survive as deprecated shims over the same internals and
+emit ``DeprecationWarning``.)
 
 The experiment harness opts in through the measurement functions'
 ``execution="batched"`` parameter (:mod:`repro.evaluation.runner`) or the
 CLI's ``--execution batched`` flag; see ``examples/batched_queries.py`` for a
 runnable tour.
+
+Analytic queries: push-down aggregates, quantiles, top-k
+--------------------------------------------------------
+
+Production spatial services also answer **aggregate** questions — count/
+sum/mean over a window, quantiles of an attribute within a region,
+top-k-by-attribute.  :mod:`repro.analytics` defines them as engine-level
+operators: an :class:`~repro.analytics.AggregateSpec` names the operator
+and window (the attribute column is a deterministic per-point value, so
+every answer has a brute-force reference,
+:func:`~repro.analytics.exact_aggregate`), and the engines push the
+aggregation **down to the blocks** — each touched block emits a partial
+(count/sum pairs, a mergeable quantile sketch, a bounded top-k heap),
+partials merge per shard and again at the router, and only the merged
+partials cross shard or worker-process boundaries::
+
+    from repro.analytics import AggregateSpec, QueryRequest
+
+    specs = [AggregateSpec(op="quantile", window=Rect(0.2, 0.2, 0.4, 0.4), q=0.9),
+             AggregateSpec(op="top-k", window=Rect(0.5, 0.5, 0.7, 0.7), k=8)]
+    result = engine.execute(QueryRequest.for_aggregates(specs))
+    result.values[0].value            # the in-region 0.9-quantile
+    result.values[0].max_rank_error   # the sketch's self-reported rank bound
+    result.access.logical_reads       # blocks touched, not a full scan
+
+Indexes whose ``supports_exact_results`` flag is set reproduce the
+brute-force answers exactly (quantiles within the sketch's self-reported
+rank-error bound); the approximate learned indexes (ZM, raw RSMI) get
+soundness checks.  Every operator is differentially fuzzed against the
+oracle across index kinds, sharding policies, caches, mid-migration
+rebalancing and worker processes
+(``tests/test_analytics_differential.py``); the ``analytics-mixed``
+scenario preset and ``analytics-sweep``/``rebuild-policy`` experiments
+drive the same machinery from the CLI, and
+``benchmarks/bench_analytics.py`` gates the blocks-touched reduction
+(``BENCH_analytics.json``).
 
 Scenario workloads & fuzzing
 ----------------------------
@@ -129,14 +170,15 @@ algorithm touched; the paper's "# block accesses", identical with the
 cache on or off) and **physical** reads (what actually hit storage)::
 
     from repro import BatchQueryEngine
+    from repro.analytics import QueryRequest
     from repro.storage import PageCache
 
     index.attach_cache(PageCache(64, "lru"))     # any index kind
     engine = BatchQueryEngine(index)             # or cache_blocks=64 here
-    batch = engine.point_queries(points[:1000])
-    batch.total_block_accesses                   # logical (unchanged)
-    batch.total_physical_accesses                # post-cache
-    batch.cache_hit_ratio
+    result = engine.execute(QueryRequest.for_points(points[:1000]))
+    result.access.logical_reads                  # logical (unchanged)
+    result.access.physical_reads                 # post-cache
+    result.access.cache_hit_ratio
 
 Sharded deployments take one cache **per shard**
 (``ShardedSpatialIndex(..., cache_blocks=64)``), so a write routed to one
@@ -213,8 +255,8 @@ reporting block accesses both in total and per shard::
     sharded = ShardedSpatialIndex(factory, n_shards=4,
                                   policy="balanced").build(points)
     engine = ShardedBatchEngine(sharded)
-    batch = engine.point_queries(points[:1000])
-    batch.per_shard_block_accesses      # attribution per shard id
+    result = engine.execute(QueryRequest.for_points(points[:1000]))
+    result.access.per_shard_logical_reads   # attribution per shard id
 
 Sharded answers are differentially tested against a single-index oracle
 (``tests/test_sharding_differential.py``), the scenario runner drives
@@ -225,6 +267,7 @@ scaling and asserts the shard-locality of window batches;
 ``examples/sharded_serving.py`` is a runnable tour.
 """
 
+from repro.analytics import AggregateSpec, QueryRequest, QueryResult
 from repro.core import RSMI, RSMIConfig, PeriodicRebuilder
 from repro.engine import BatchQueryEngine
 from repro.geometry import Rect
@@ -248,13 +291,16 @@ from repro.workloads import (
     VirtualClock,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "RSMI",
     "RSMIConfig",
     "PeriodicRebuilder",
     "BatchQueryEngine",
+    "AggregateSpec",
+    "QueryRequest",
+    "QueryResult",
     "ShardedSpatialIndex",
     "ShardedBatchEngine",
     "Rect",

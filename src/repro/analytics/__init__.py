@@ -1,0 +1,62 @@
+"""Analytic query surface: push-down aggregates behind the operator API.
+
+Production spatial services answer aggregate questions — how many points in
+this region, the sum/mean of a measure, an in-region quantile, the top-k
+items by attribute — far more often than they enumerate raw points.  This
+package adds those operators to every engine tier without materialising
+window results across any boundary:
+
+* :mod:`repro.analytics.attributes` — a deterministic keyed attribute
+  column derived from the coordinates (exact multiples of 2^-20, so sums
+  are order-independent and bit-exact),
+* :mod:`repro.analytics.partials` — the mergeable partial-aggregate state
+  (count/sum pairs, a deterministic mergeable quantile summary with a
+  self-tracked rank-error bound, bounded top-k lists), all picklable so
+  the parallel serving tier ships partials instead of point sets,
+* :mod:`repro.analytics.ops` — the unified ``QueryRequest`` /
+  ``QueryResult`` operation protocol all four operation kinds flow
+  through, plus :func:`~repro.analytics.ops.exact_aggregate`, the
+  independent brute-force reference used by the oracle shadows.
+"""
+
+from repro.analytics.attributes import (
+    ATTRIBUTE_FRACTION_BITS,
+    attribute_value,
+    attribute_values,
+)
+from repro.analytics.ops import (
+    AGGREGATE_OPS,
+    OPERATOR_KINDS,
+    AggregateOutcome,
+    AggregateSpec,
+    QueryRequest,
+    QueryResult,
+    exact_aggregate,
+    quantile_rank_distance,
+)
+from repro.analytics.partials import (
+    DEFAULT_QUANTILE_CAPACITY,
+    CountSumPartial,
+    QuantileSummary,
+    TopKPartial,
+    make_partial,
+)
+
+__all__ = [
+    "AGGREGATE_OPS",
+    "OPERATOR_KINDS",
+    "ATTRIBUTE_FRACTION_BITS",
+    "AggregateOutcome",
+    "AggregateSpec",
+    "QueryRequest",
+    "QueryResult",
+    "exact_aggregate",
+    "quantile_rank_distance",
+    "attribute_value",
+    "attribute_values",
+    "DEFAULT_QUANTILE_CAPACITY",
+    "CountSumPartial",
+    "QuantileSummary",
+    "TopKPartial",
+    "make_partial",
+]

@@ -1,0 +1,66 @@
+"""Deterministic per-point attributes for aggregate queries.
+
+The paper's datasets carry coordinates only, but the aggregate operators
+(``sum``/``mean``/``quantile``/``top-k``) need a measure to aggregate.  We
+derive one *from the coordinates themselves* with a keyed integer mix of the
+two float64 bit patterns, so
+
+* every component — a block scanning its points, a shard merging block
+  partials, the router merging shard partials, the brute-force oracle —
+  computes the **same** value for the same point without shipping an extra
+  column around, and
+* the value is quantised to 20 fractional bits in ``[0, 1)``.  Every
+  attribute is an exact multiple of 2^-20, so any sum of fewer than ~2^33
+  of them is an integer multiple of 2^-20 below 2^53 — i.e. **exactly
+  representable in float64 regardless of summation order**.  That is what
+  lets the differential tests demand bit-exact ``sum``/``mean`` agreement
+  between the oracle and any partial-merge tree (per block, per shard, per
+  worker process).
+
+``attribute_seed`` keys the mix so scenarios can draw independent attribute
+"columns" from the same point set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ATTRIBUTE_FRACTION_BITS", "attribute_value", "attribute_values"]
+
+#: attribute values are exact multiples of 2**-ATTRIBUTE_FRACTION_BITS
+ATTRIBUTE_FRACTION_BITS = 20
+
+_SCALE = float(1 << ATTRIBUTE_FRACTION_BITS)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix(z: np.ndarray) -> np.ndarray:
+    """SplitMix64 finaliser, vectorised over a uint64 array."""
+    z = (z ^ (z >> np.uint64(30))) * _MIX_1
+    z = (z ^ (z >> np.uint64(27))) * _MIX_2
+    return z ^ (z >> np.uint64(31))
+
+
+def attribute_values(points, seed: int = 0) -> np.ndarray:
+    """The attribute value of every ``(x, y)`` row of ``points``.
+
+    Returns a float64 array of multiples of 2^-20 in ``[0, 1)``.  The value
+    depends only on the exact float64 bit patterns of the coordinates and on
+    ``seed`` — no global state, no RNG stream to keep in sync.
+    """
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+    if pts.shape[0] == 0:
+        return np.empty(0, dtype=np.float64)
+    bits_x = np.ascontiguousarray(pts[:, 0]).view(np.uint64)
+    bits_y = np.ascontiguousarray(pts[:, 1]).view(np.uint64)
+    with np.errstate(over="ignore"):
+        key = np.uint64(np.uint64(seed & 0xFFFFFFFFFFFFFFFF) * _GOLDEN)
+        mixed = _mix(_mix(bits_x ^ key) ^ bits_y)
+    return (mixed >> np.uint64(64 - ATTRIBUTE_FRACTION_BITS)).astype(np.float64) / _SCALE
+
+
+def attribute_value(x: float, y: float, seed: int = 0) -> float:
+    """Scalar convenience wrapper around :func:`attribute_values`."""
+    return float(attribute_values(np.array([[x, y]], dtype=np.float64), seed)[0])

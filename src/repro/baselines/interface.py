@@ -31,6 +31,15 @@ class SpatialIndex(abc.ABC):
     #: short display name used in experiment tables ("Grid", "KDB", ...)
     name: str = "abstract"
 
+    #: True when window/kNN answers are exact (full recall, no false
+    #: positives); learned indices with approximate traversal override this
+    supports_exact_results: bool = True
+
+    #: True when the index reports concrete stored points (so the derived
+    #: attribute column — and with it sum/mean/quantile/top-k aggregates —
+    #: can be computed from its answers)
+    supports_attributes: bool = True
+
     def __init__(
         self, stats: Optional[AccessStats] = None, cache: Optional[PageCache] = None
     ):

@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.geometry import Rect
+from repro.storage.stats import AccessSummary
 
 __all__ = [
     "BatchResult",
@@ -65,17 +66,22 @@ def contains_callable(index):
 
 @dataclass
 class BatchResult:
-    """Results of one batched workload."""
+    """Results of one batched workload.
+
+    The three accounting fields are the *deprecated* spelling of one
+    :class:`~repro.storage.stats.AccessSummary` — new code should read
+    :attr:`access` (or use ``engine.execute`` and get a ``QueryResult``,
+    which carries the summary directly).
+    """
 
     #: one entry per query, in input order
     results: list = field(default_factory=list)
-    #: total logical block/node reads accumulated while serving the batch
-    #: (what the algorithms touched — identical with and without a cache)
+    #: deprecated alias of ``access.logical_reads`` — total logical
+    #: block/node reads accumulated while serving the batch
     total_block_accesses: int | None = None
-    #: block/node reads attributed per shard id (sharded engines only)
+    #: deprecated alias of ``access.per_shard_logical_reads``
     per_shard_block_accesses: dict[int, int] | None = None
-    #: physical (post-cache) reads for the batch; equals
-    #: ``total_block_accesses`` when no page cache is attached
+    #: deprecated alias of ``access.physical_reads``
     total_physical_accesses: int | None = None
     #: per-query latency percentiles for the batch (engines measure wall time
     #: per query on per-query paths and attribute the batch wall time
@@ -84,6 +90,15 @@ class BatchResult:
     #: per-query latency percentiles attributed per shard id (sharded point
     #: and window batches only — kNN fans one query across shards)
     per_shard_latency: dict | None = None
+
+    @property
+    def access(self) -> AccessSummary:
+        """The batch's read accounting as one unified summary."""
+        return AccessSummary(
+            logical_reads=self.total_block_accesses,
+            physical_reads=self.total_physical_accesses,
+            per_shard_logical_reads=self.per_shard_block_accesses,
+        )
 
     @property
     def cache_hit_ratio(self) -> float | None:

@@ -32,6 +32,11 @@ import time
 
 import numpy as np
 
+from repro.analytics.ops import (
+    QueryRequest,
+    QueryResult,
+    warn_deprecated_entry_point,
+)
 from repro.core.batch import (
     BatchResult,
     contains_callable,
@@ -161,7 +166,51 @@ class BatchQueryEngine:
 
     # ------------------------------------------------------------------ queries --
 
+    def execute(self, request: QueryRequest) -> QueryResult:
+        """Execute one :class:`~repro.analytics.ops.QueryRequest`.
+
+        The canonical entry point: every operation kind — ``point``,
+        ``window``, ``knn`` and the push-down ``aggregate`` operators —
+        flows through here and returns a
+        :class:`~repro.analytics.ops.QueryResult` with per-op values in
+        request order plus one unified
+        :class:`~repro.storage.stats.AccessSummary`.
+        """
+        if request.kind == "point":
+            return QueryResult.from_batch("point", self._run_points(request.points))
+        if request.kind == "window":
+            return QueryResult.from_batch("window", self._run_windows(request.windows))
+        if request.kind == "knn":
+            return QueryResult.from_batch("knn", self._run_knn(request.points, request.k))
+        return QueryResult.from_batch(
+            "aggregate", self._run_aggregates(request.aggregates)
+        )
+
     def point_queries(self, points: np.ndarray) -> BatchResult:
+        """Deprecated shim over :meth:`execute`; use
+        ``execute(QueryRequest.for_points(...))`` in new code."""
+        warn_deprecated_entry_point(
+            "BatchQueryEngine.point_queries", "execute(QueryRequest.for_points(...))"
+        )
+        return self._run_points(points)
+
+    def window_queries(self, windows) -> BatchResult:
+        """Deprecated shim over :meth:`execute`; use
+        ``execute(QueryRequest.for_windows(...))`` in new code."""
+        warn_deprecated_entry_point(
+            "BatchQueryEngine.window_queries", "execute(QueryRequest.for_windows(...))"
+        )
+        return self._run_windows(windows)
+
+    def knn_queries(self, queries: np.ndarray, k: int) -> BatchResult:
+        """Deprecated shim over :meth:`execute`; use
+        ``execute(QueryRequest.for_knn(...))`` in new code."""
+        warn_deprecated_entry_point(
+            "BatchQueryEngine.knn_queries", "execute(QueryRequest.for_knn(...))"
+        )
+        return self._run_knn(queries, k)
+
+    def _run_points(self, points: np.ndarray) -> BatchResult:
         """Membership of every row of ``points``; results are booleans in input order."""
         points = np.asarray(points, dtype=float).reshape(-1, 2)
         stats = self._reset_stats()
@@ -184,7 +233,7 @@ class BatchQueryEngine:
             latency=latency,
         )
 
-    def window_queries(self, windows) -> BatchResult:
+    def _run_windows(self, windows) -> BatchResult:
         """Window queries; each result is an ``(m, 2)`` point array in input order."""
         windows = list(windows)
         stats = self._reset_stats()
@@ -213,7 +262,7 @@ class BatchQueryEngine:
             latency=latency,
         )
 
-    def knn_queries(self, queries: np.ndarray, k: int) -> BatchResult:
+    def _run_knn(self, queries: np.ndarray, k: int) -> BatchResult:
         """kNN queries; each result is a ``(k, 2)`` point array in input order.
 
         The RSMI's Algorithm 3 adapts its search region per query (the region
@@ -242,6 +291,106 @@ class BatchQueryEngine:
             total_physical_accesses=self._physical_reads(stats),
             latency=latency_from_durations(durations),
         )
+
+    # ----------------------------------------------------------------- aggregates --
+
+    def _run_aggregates(self, specs) -> BatchResult:
+        """Aggregate operators; each result is an ``AggregateOutcome``."""
+        specs = list(specs)
+        stats = self._reset_stats()
+        partials, latency = self._aggregate_batch(specs)
+        results = [spec.finalize(partial) for spec, partial in zip(specs, partials)]
+        return BatchResult(
+            results=results,
+            total_block_accesses=self._total_reads(stats),
+            total_physical_accesses=self._physical_reads(stats),
+            latency=latency,
+        )
+
+    def aggregate_partials(self, specs) -> BatchResult:
+        """Per-spec **unfinalised** partials, for upstream merging.
+
+        The push-down surface: the sharded engine and the serving workers
+        call this instead of ``execute`` so one partial per spec — not a
+        point set — crosses the shard/process boundary; the caller merges
+        partials in shard-id order and finalises once.  ``results`` holds
+        the partial objects; accounting matches a window batch over the
+        same windows.
+        """
+        specs = list(specs)
+        stats = self._reset_stats()
+        partials, latency = self._aggregate_batch(specs)
+        return BatchResult(
+            results=partials,
+            total_block_accesses=self._total_reads(stats),
+            total_physical_accesses=self._physical_reads(stats),
+            latency=latency,
+        )
+
+    def _aggregate_batch(self, specs) -> tuple[list, object]:
+        """One partial per spec plus the batch's latency summary."""
+        if self._vectorizes("window") and specs:
+            started = time.perf_counter()
+            partials = self._aggregate_batch_vectorized(specs)
+            return partials, latency_uniform(time.perf_counter() - started, len(specs))
+        centers = np.asarray(
+            [
+                (
+                    (s.window.xlo + s.window.xhi) / 2.0,
+                    (s.window.ylo + s.window.yhi) / 2.0,
+                )
+                for s in specs
+            ],
+            dtype=float,
+        ).reshape(-1, 2)
+        order = self._batch_order(centers)
+        if order is None:
+            partials, durations = self._aggregate_batch_fallback(specs)
+        else:
+            grouped, durations = self._aggregate_batch_fallback(
+                [specs[i] for i in order.tolist()]
+            )
+            partials = _scatter(grouped, order)
+        return partials, latency_from_durations(durations)
+
+    def _aggregate_batch_vectorized(self, specs) -> list:
+        """Block-level push-down over the RSMI store.
+
+        Routes every spec's window exactly like the vectorised window batch
+        (same corner routing, same block ranges, blocks read once per
+        batch), but folds each touched block's in-window points straight
+        into the spec's partial — no per-window point set is built.
+        """
+        cache: dict[int, tuple[np.ndarray, set]] = {}
+        windows = [spec.window for spec in specs]
+        partials = []
+        for spec, (begin, end) in zip(specs, self._window_block_ranges(windows, cache)):
+            partial = spec.new_partial()
+            for position in range(begin, end + 1):
+                points = self._position_points(position, cache)
+                if points.shape[0] == 0:
+                    continue
+                inside = points[spec.window.contains_points(points)]
+                if inside.shape[0]:
+                    spec.fold(partial, inside)
+            partials.append(partial)
+        return partials
+
+    def _aggregate_batch_fallback(self, specs):
+        """Per-query aggregates for indices without the vectorised path.
+
+        The window scan itself is whatever the index answers a window query
+        with (exact traversal for the RSMIa variants, node-based traversal
+        for the baselines); its result folds into the partial immediately,
+        so only the partial survives the query.
+        """
+
+        def one(spec):
+            answer = self.index.window_query(spec.window)
+            points = answer.points if hasattr(answer, "points") else answer
+            return spec.fold(spec.new_partial(), points)
+
+        return self._run_fallback(one, specs)
 
     # ------------------------------------------------------------ vectorised paths --
 
@@ -275,6 +424,28 @@ class BatchQueryEngine:
         corners pin the range, unlocated corners widen it by the leaf error
         bounds), and the union of touched blocks is scanned once.
         """
+        cache: dict[int, tuple[np.ndarray, set]] = {}
+        results: list[np.ndarray] = []
+        for window, (begin, end) in zip(windows, self._window_block_ranges(windows, cache)):
+            chunks = [
+                self._position_points(position, cache) for position in range(begin, end + 1)
+            ]
+            candidates = np.vstack(chunks) if chunks else _EMPTY
+            if candidates.shape[0] == 0:
+                results.append(_EMPTY.copy())
+                continue
+            results.append(candidates[window.contains_points(candidates)])
+        return results
+
+    def _window_block_ranges(
+        self, windows: list[Rect], cache: dict
+    ) -> list[tuple[int, int]]:
+        """Each window's inclusive block-position range (vectorised routing).
+
+        Shared by the window batch (which materialises the filtered points)
+        and the aggregate batch (which folds each block into a partial
+        instead) so both touch the identical block set.
+        """
         rsmi = self._rsmi
         corner_lists = [window_corner_points(window, rsmi.config.curve) for window in windows]
         corner_counts = [len(corners) for corners in corner_lists]
@@ -284,7 +455,6 @@ class BatchQueryEngine:
 
         lower = np.empty(corners.shape[0], dtype=np.int64)
         upper = np.empty(corners.shape[0], dtype=np.int64)
-        cache: dict[int, tuple[np.ndarray, set]] = {}
         for batch in route_batch(rsmi, corners):
             leaf = batch.leaf
             predicted = leaf.predict_positions(corners[batch.indices])
@@ -305,23 +475,16 @@ class BatchQueryEngine:
                     lower[qi] = begin
                     upper[qi] = end
 
-        results: list[np.ndarray] = []
+        ranges: list[tuple[int, int]] = []
         offset = 0
-        for window, count in zip(windows, corner_counts):
+        for count in corner_counts:
             begin = rsmi.store.clamp_position(int(lower[offset : offset + count].min()))
             end = rsmi.store.clamp_position(int(upper[offset : offset + count].max()))
             offset += count
             if begin > end:
                 begin, end = end, begin
-            chunks = [
-                self._position_points(position, cache) for position in range(begin, end + 1)
-            ]
-            candidates = np.vstack(chunks) if chunks else _EMPTY
-            if candidates.shape[0] == 0:
-                results.append(_EMPTY.copy())
-                continue
-            results.append(candidates[window.contains_points(candidates)])
-        return results
+            ranges.append((begin, end))
+        return ranges
 
     # ----------------------------------------------------------- block-batch cache --
 

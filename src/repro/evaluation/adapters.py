@@ -44,6 +44,15 @@ class IndexAdapter(abc.ABC):
     #: per-query path instead of the vectorised approximate one.
     prefers_exact_queries: bool = False
 
+    #: capability flag: window/kNN/aggregate answers agree exactly with a
+    #: brute-force oracle (replaces string-matching index names against the
+    #: deprecated ``EXACT_RESULT_INDICES`` set)
+    supports_exact_results: bool = False
+
+    #: capability flag: answers carry concrete stored points, so the derived
+    #: attribute column (and the aggregate operators over it) is available
+    supports_attributes: bool = True
+
     @abc.abstractmethod
     def point_query(self, x: float, y: float) -> bool:
         """True when the point is stored."""
@@ -113,6 +122,10 @@ class BaselineAdapter(IndexAdapter):
         return self._index.size_bytes()
 
     @property
+    def supports_exact_results(self) -> bool:
+        return bool(getattr(self._index, "supports_exact_results", True))
+
+    @property
     def stats(self) -> AccessStats:
         return self._index.stats
 
@@ -178,6 +191,7 @@ class RSMIExactAdapter(RSMIAdapter):
 
     name = "RSMIa"
     prefers_exact_queries = True
+    supports_exact_results = True
 
     def window_query(self, window: Rect) -> np.ndarray:
         return self._index.window_query_exact(window).points

@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analytics.ops import QueryRequest
 from repro.engine import BatchQueryEngine
 from repro.evaluation.adapters import IndexAdapter, build_index_suite
 from repro.evaluation.metrics import knn_recall, window_recall
@@ -150,11 +151,11 @@ def measure_point_queries(
     if execution != "sequential":
         engine = engine_for_execution(adapter, execution)
         start = time.perf_counter()
-        batch = engine.point_queries(queries)
+        result = engine.execute(QueryRequest.for_points(queries))
         elapsed = time.perf_counter() - start
         return QueryMetrics(
             avg_time_ms=elapsed / n * 1000.0,
-            avg_block_accesses=(batch.total_block_accesses or 0) / n,
+            avg_block_accesses=(result.access.logical_reads or 0) / n,
             n_queries=queries.shape[0],
         )
     adapter.stats.reset()
@@ -180,15 +181,15 @@ def measure_window_queries(
     if execution != "sequential":
         engine = engine_for_execution(adapter, execution)
         start = time.perf_counter()
-        batch = engine.window_queries(windows)
+        result = engine.execute(QueryRequest.for_windows(windows))
         elapsed = time.perf_counter() - start
         recalls = [
             window_recall(reported, brute_force_window(data_points, window))
-            for window, reported in zip(windows, batch.results)
+            for window, reported in zip(windows, result.values)
         ]
         return QueryMetrics(
             avg_time_ms=elapsed / n * 1000.0,
-            avg_block_accesses=(batch.total_block_accesses or 0) / n,
+            avg_block_accesses=(result.access.logical_reads or 0) / n,
             recall=float(np.mean(recalls)) if recalls else None,
             n_queries=len(windows),
         )
@@ -222,15 +223,15 @@ def measure_knn_queries(
         n = max(queries.shape[0], 1)
         engine = engine_for_execution(adapter, execution)
         start = time.perf_counter()
-        batch = engine.knn_queries(queries, k)
+        result = engine.execute(QueryRequest.for_knn(queries, k))
         elapsed = time.perf_counter() - start
         recalls = [
             knn_recall(reported, brute_force_knn(data_points, float(x), float(y), k))
-            for (x, y), reported in zip(queries, batch.results)
+            for (x, y), reported in zip(queries, result.values)
         ]
         return QueryMetrics(
             avg_time_ms=elapsed / n * 1000.0,
-            avg_block_accesses=(batch.total_block_accesses or 0) / n,
+            avg_block_accesses=(result.access.logical_reads or 0) / n,
             recall=float(np.mean(recalls)) if recalls else None,
             n_queries=queries.shape[0],
         )

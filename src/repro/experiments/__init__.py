@@ -20,6 +20,7 @@ from repro.experiments.profiles import PROFILES, ScaleProfile, profile_by_name
 from repro.experiments import (  # noqa: F401  (imported for registration side effects)
     ablation_curve_choice,
     ablation_rank_space,
+    analytics_sweeps,
     cache_sweeps,
     fig6_point_query_distribution,
     fig7_size_build_distribution,

@@ -22,6 +22,10 @@ Examples::
     repro-experiment --scenario latency-hotspot --shards 4 --workers 4 \
         --arrival-rate 3000 --tenant-rate 500 --max-inflight 128
     repro-experiment parallel-sweep --profile tiny
+    repro-experiment analytics-sweep --profile tiny
+    repro-experiment analytics-sweep --aggregate-ops quantile,top-k --shards 4
+    repro-experiment rebuild-policy --profile tiny
+    repro-experiment --scenario analytics-mixed --scenario-indices KDB,RSMI
 
 Every run's text table is also written to ``<results dir>/<id>.txt``; the
 results directory is ``$REPRO_RESULTS_DIR`` when set, else ``./results``
@@ -37,6 +41,7 @@ import time
 from pathlib import Path
 from typing import Sequence
 
+from repro.analytics import AGGREGATE_OPS
 from repro.experiments import EXPERIMENT_REGISTRY, profile_by_name
 from repro.experiments.scenario_sweeps import run_scenario_sweep
 from repro.sharding import SHARDING_POLICY_NAMES
@@ -191,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
         "via --arrival-rate)",
     )
     parser.add_argument(
+        "--aggregate-ops",
+        default=None,
+        help="comma-separated aggregate operators for the analytics-sweep "
+        f"experiment (subset of {','.join(AGGREGATE_OPS)}; default: all)",
+    )
+    parser.add_argument(
         "--scenario",
         choices=sorted(SCENARIO_PRESETS),
         help="replay a mixed read/write workload scenario (oracle-checked) "
@@ -249,6 +260,10 @@ def _apply_profile_overrides(args, profile):
         extras["max_inflight"] = args.max_inflight
     if args.tenant_rate is not None:
         extras["tenant_rate"] = args.tenant_rate
+    if args.aggregate_ops:
+        extras["aggregate_ops"] = tuple(
+            op.strip() for op in args.aggregate_ops.split(",") if op.strip()
+        )
     if extras == profile.extras:
         return profile
     return profile.with_overrides(extras=extras)
@@ -320,6 +335,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.cache_blocks is not None and args.cache_blocks < 0:
         print("--cache-blocks must be >= 0", file=sys.stderr)
         return 2
+
+    if args.aggregate_ops:
+        requested_ops = [
+            op.strip() for op in args.aggregate_ops.split(",") if op.strip()
+        ]
+        unknown_ops = [op for op in requested_ops if op not in AGGREGATE_OPS]
+        if unknown_ops:
+            print(
+                f"unknown aggregate op(s): {', '.join(unknown_ops)}; "
+                f"available: {', '.join(AGGREGATE_OPS)}",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.shared_pool_blocks is not None and args.shared_pool_blocks < 0:
         print("--shared-pool-blocks must be >= 0", file=sys.stderr)

@@ -29,6 +29,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analytics.ops import QueryRequest
 from repro.experiments.base import ExperimentResult, register_experiment
 from repro.experiments.profiles import ScaleProfile
 from repro.experiments.sweeps import make_points
@@ -117,7 +118,7 @@ def run_parallel_sweep(
 
         reference = ShardedBatchEngine(spec.build_index())
         started = time.perf_counter()
-        want = reference.point_queries(queries).results
+        want = reference.execute(QueryRequest.for_points(queries)).values
         single_s = time.perf_counter() - started
         rows.append(
             [name, "batched-points", "single-thread", round(n_queries / single_s, 1),
@@ -127,9 +128,10 @@ def run_parallel_sweep(
         base_rate: Optional[float] = None
         for n_workers in counts:
             with ParallelShardEngine(spec, n_workers=n_workers) as engine:
-                engine.point_queries(queries[: min(64, n_queries)])  # warm the pools
+                # warm the pools before timing
+                engine.execute(QueryRequest.for_points(queries[: min(64, n_queries)]))
                 started = time.perf_counter()
-                got = engine.point_queries(queries).results
+                got = engine.execute(QueryRequest.for_points(queries)).values
                 elapsed = time.perf_counter() - started
             if not _answers_equal(got, want):
                 raise AssertionError(

@@ -25,7 +25,6 @@ from typing import Optional, Sequence
 from repro.experiments.base import ExperimentResult, register_experiment
 from repro.experiments.profiles import ScaleProfile
 from repro.experiments.scenario_sweeps import (
-    EXACT_RESULT_INDICES,
     build_sharded_index,
     scenario_spec_for_profile,
 )
@@ -98,7 +97,6 @@ def run_rebalance_sweep(
                 index,
                 spec,
                 oracle=OracleIndex().build(points) if check else None,
-                exact_results=name in EXACT_RESULT_INDICES,
                 engine_mode=engine_mode,
                 rebalancer=rebalancer,
             )

@@ -56,10 +56,9 @@ __all__ = [
 #: it explicitly via ``--scenario-indices`` to fuzz the exact query variants.
 SCENARIO_INDEX_NAMES = ("Grid", "HRR", "KDB", "RR*", "ZM", "RSMI")
 
-#: indices whose window/kNN answers are exact; the runner asserts exact
-#: oracle agreement for these and soundness + recall for the rest (the
-#: canonical set lives in :mod:`repro.sharding` — exactness is also what
-#: decides a sharded deployment's per-shard query variants)
+#: deprecated: the name set survives for older tests, but harness code now
+#: reads the ``supports_exact_results`` capability flag off the index itself
+#: (string-matching names breaks down for wrappers, shards and engines)
 EXACT_RESULT_INDICES = EXACT_KINDS
 
 #: engine mode per CLI/profile execution override
@@ -398,7 +397,6 @@ def run_scenario_sweep(
             index,
             spec,
             oracle=oracle,
-            exact_results=name in EXACT_RESULT_INDICES,
             engine_mode=engine_mode,
             batch_reorder=bool(profile.extras.get("batch_reorder", False)),
             rebalancer=rebalancer,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro.analytics.ops import QueryRequest
 from repro.engine import BatchQueryEngine
 from repro.experiments.base import ExperimentResult, register_experiment
 from repro.experiments.profiles import ScaleProfile
@@ -96,16 +97,16 @@ def run_sharded_scaling(profile: ScaleProfile) -> ExperimentResult:
             build_s = time.perf_counter() - started
 
             started = time.perf_counter()
-            point_batch = engine.point_queries(point_queries)
+            point_result = engine.execute(QueryRequest.for_points(point_queries))
             point_s = max(time.perf_counter() - started, 1e-9)
 
             started = time.perf_counter()
-            window_batch = engine.window_queries(windows)
+            window_result = engine.execute(QueryRequest.for_windows(windows))
             window_s = max(time.perf_counter() - started, 1e-9)
 
             touched = (
-                len(window_batch.per_shard_block_accesses)
-                if window_batch.per_shard_block_accesses is not None
+                len(window_result.access.per_shard_logical_reads)
+                if window_result.access.per_shard_logical_reads is not None
                 else 1
             )
             balance = (
@@ -118,7 +119,7 @@ def run_sharded_scaling(profile: ScaleProfile) -> ExperimentResult:
                     round(build_s, 2),
                     round(len(point_queries) / point_s, 1),
                     round(len(windows) / window_s, 1),
-                    round((point_batch.total_block_accesses or 0) / max(len(point_queries), 1), 2),
+                    round((point_result.access.logical_reads or 0) / max(len(point_queries), 1), 2),
                     balance,
                     touched,
                 ]

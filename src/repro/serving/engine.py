@@ -37,6 +37,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analytics.ops import (
+    QueryRequest,
+    QueryResult,
+    warn_deprecated_entry_point,
+)
 from repro.core.batch import BatchResult, latency_from_durations, latency_uniform
 from repro.serving import worker as worker_mod
 from repro.serving.spec import ServingSpec
@@ -90,6 +95,9 @@ class ParallelShardEngine:
         self.replicas = int(replicas)
         self.mode = mode
         self.name = spec.name
+        #: capability flags, mirroring the sharded index the workers rebuild
+        self.supports_exact_results = bool(spec.exact_queries)
+        self.supports_attributes = True
         # the parent routes with its own router over a private policy copy;
         # replaying the spec's assignment reproduces the overflow extents a
         # directly built index would have recorded
@@ -216,7 +224,51 @@ class ParallelShardEngine:
 
     # -- queries -----------------------------------------------------------------
 
+    def execute(self, request: QueryRequest) -> QueryResult:
+        """Execute one :class:`~repro.analytics.ops.QueryRequest`.
+
+        Same protocol as the single-process engines.  Aggregate requests
+        ship **partials** back from the workers — an O(1)-sized object per
+        (spec, shard) instead of the shard's window point set — and merge
+        them parent-side in shard-id order, so answers are identical to
+        :class:`~repro.sharding.ShardedBatchEngine` over the same spec.
+        """
+        if request.kind == "point":
+            return QueryResult.from_batch("point", self._run_points(request.points))
+        if request.kind == "window":
+            return QueryResult.from_batch("window", self._run_windows(request.windows))
+        if request.kind == "knn":
+            return QueryResult.from_batch("knn", self._run_knn(request.points, request.k))
+        return QueryResult.from_batch(
+            "aggregate", self._run_aggregates(request.aggregates)
+        )
+
     def point_queries(self, points: np.ndarray) -> BatchResult:
+        """Deprecated shim over :meth:`execute`; use
+        ``execute(QueryRequest.for_points(...))`` in new code."""
+        warn_deprecated_entry_point(
+            "ParallelShardEngine.point_queries", "execute(QueryRequest.for_points(...))"
+        )
+        return self._run_points(points)
+
+    def window_queries(self, windows) -> BatchResult:
+        """Deprecated shim over :meth:`execute`; use
+        ``execute(QueryRequest.for_windows(...))`` in new code."""
+        warn_deprecated_entry_point(
+            "ParallelShardEngine.window_queries",
+            "execute(QueryRequest.for_windows(...))",
+        )
+        return self._run_windows(windows)
+
+    def knn_queries(self, queries: np.ndarray, k: int) -> BatchResult:
+        """Deprecated shim over :meth:`execute`; use
+        ``execute(QueryRequest.for_knn(...))`` in new code."""
+        warn_deprecated_entry_point(
+            "ParallelShardEngine.knn_queries", "execute(QueryRequest.for_knn(...))"
+        )
+        return self._run_knn(queries, k)
+
+    def _run_points(self, points: np.ndarray) -> BatchResult:
         """Membership of every row of ``points``; booleans in input order."""
         points = np.asarray(points, dtype=float).reshape(-1, 2)
         results: list = [False] * points.shape[0]
@@ -254,7 +306,7 @@ class ParallelShardEngine:
             results, per_group_reads, group_seconds, group_positions, shard_counts
         )
 
-    def window_queries(self, windows) -> BatchResult:
+    def _run_windows(self, windows) -> BatchResult:
         """Window queries; per-window results merge per-shard chunks in
         shard-id order, exactly like the single-process sharded engine."""
         windows = list(windows)
@@ -297,7 +349,7 @@ class ParallelShardEngine:
             results, per_group_reads, group_seconds, group_positions, shard_counts
         )
 
-    def knn_queries(self, queries: np.ndarray, k: int) -> BatchResult:
+    def _run_knn(self, queries: np.ndarray, k: int) -> BatchResult:
         """kNN: every group computes its owned shards' local top-k; the
         parent merges with the same ``(distance, px, py)`` sort + truncate
         the best-first single-threaded expansion ends in.
@@ -340,6 +392,57 @@ class ParallelShardEngine:
             per_shard_block_accesses=per_shard,
             total_physical_accesses=physical,
             latency=latency_uniform(time.perf_counter() - started, queries.shape[0]),
+        )
+
+    def _run_aggregates(self, specs) -> BatchResult:
+        """Aggregates with worker-side push-down.
+
+        Every spec fans out to the shards its window intersects (grouped
+        per worker); each worker folds its shards' blocks into one
+        unfinalised partial per (spec, shard) and ships the partials back.
+        The parent merges them in shard-id order and finalises — the same
+        deterministic merge tree the single-process sharded engine uses,
+        so the answers agree bit-for-bit for count/sum/top-k.
+        """
+        specs = list(specs)
+        if not specs:
+            return BatchResult(results=[], total_block_accesses=0,
+                               per_shard_block_accesses={},
+                               total_physical_accesses=0)
+        by_shard: dict[int, list[int]] = {}
+        for spec_index, spec in enumerate(specs):
+            for shard_id in self.router.shards_for_window(spec.window):
+                by_shard.setdefault(shard_id, []).append(spec_index)
+        payloads: dict[int, dict] = {}
+        group_positions: dict[int, list] = {}
+        shard_counts: dict[int, dict] = {}
+        for shard_id, spec_indices in by_shard.items():
+            group = shard_id % self.n_workers
+            payloads.setdefault(group, {})[shard_id] = [specs[i] for i in spec_indices]
+            group_positions.setdefault(group, []).extend(spec_indices)
+            shard_counts.setdefault(group, {})[shard_id] = len(spec_indices)
+        futures = {
+            group: self._read_pool(group).submit(worker_mod.worker_aggregates, payload)
+            for group, payload in sorted(payloads.items())
+        }
+        parts: list[list] = [[] for _ in specs]
+        per_group_reads = []
+        group_seconds = {}
+        for group, future in sorted(futures.items()):
+            shard_partials, reads, seconds = future.result()
+            per_group_reads.append(reads)
+            group_seconds[group] = seconds
+            for shard_id, partials in shard_partials.items():
+                for spec_index, partial in zip(by_shard[shard_id], partials):
+                    parts[spec_index].append((shard_id, partial))
+        results = []
+        for spec, chunks in zip(specs, parts):
+            merged = spec.new_partial()
+            for _, partial in sorted(chunks, key=lambda c: c[0]):
+                merged = merged.merge(partial)
+            results.append(spec.finalize(merged))
+        return self._finalize(
+            results, per_group_reads, group_seconds, group_positions, shard_counts
         )
 
     # -- writes ------------------------------------------------------------------

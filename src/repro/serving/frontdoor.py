@@ -37,6 +37,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analytics.ops import QueryRequest
 from repro.workloads.latency import LatencySummary, PercentileSketch
 from repro.workloads.stream import Operation
 
@@ -334,7 +335,7 @@ class FrontDoor:
         by_kind: dict[str, list[int]] = {}
         for position, op in enumerate(ops):
             by_kind.setdefault(op.kind, []).append(position)
-        for kind in ("point", "window", "knn"):
+        for kind in ("point", "window", "knn", "aggregate"):
             positions = by_kind.get(kind)
             if not positions:
                 continue
@@ -342,15 +343,22 @@ class FrontDoor:
                 queries = np.asarray(
                     [(ops[p].x, ops[p].y) for p in positions], dtype=float
                 )
-                batch = self.engine.point_queries(queries)
+                request = QueryRequest.for_points(queries)
             elif kind == "window":
-                batch = self.engine.window_queries([ops[p].window for p in positions])
-            else:
+                request = QueryRequest.for_windows(
+                    [ops[p].window for p in positions]
+                )
+            elif kind == "knn":
                 queries = np.asarray(
                     [(ops[p].x, ops[p].y) for p in positions], dtype=float
                 )
-                batch = self.engine.knn_queries(queries, ops[positions[0]].k)
-            for position, answer in zip(positions, batch.results):
+                request = QueryRequest.for_knn(queries, ops[positions[0]].k)
+            else:
+                request = QueryRequest.for_aggregates(
+                    [ops[p].agg for p in positions]
+                )
+            result = self.engine.execute(request)
+            for position, answer in zip(positions, result.values):
                 slot_answers[position] = answer
         for position in by_kind.get("insert", []):
             op = ops[position]

@@ -37,6 +37,7 @@ __all__ = [
     "worker_init",
     "worker_points",
     "worker_windows",
+    "worker_aggregates",
     "worker_knn",
     "worker_insert",
     "worker_delete",
@@ -102,7 +103,7 @@ def worker_points(groups: dict):
         if shard.is_empty:
             results[shard_id] = [False] * queries.shape[0]
             continue
-        batch = state.engine.engine_for(shard_id).point_queries(queries)
+        batch = state.engine.engine_for(shard_id)._run_points(queries)
         results[shard_id] = [bool(found) for found in batch.results]
     reads = state.reads_since_reset(sorted(groups))
     return results, reads, time.perf_counter() - started
@@ -127,7 +128,7 @@ def worker_windows(groups: dict):
             chunks[shard_id] = [_EMPTY.copy() for _ in windows]
             continue
         admitted = shard.prefetch_windows(windows)
-        batch = state.engine.engine_for(shard_id).window_queries(windows)
+        batch = state.engine.engine_for(shard_id)._run_windows(windows)
         if admitted:
             # the per-shard engine reset the counters at batch entry; the
             # speculative I/O belongs to this task's interval
@@ -135,6 +136,35 @@ def worker_windows(groups: dict):
         chunks[shard_id] = list(batch.results)
     reads = state.reads_since_reset(sorted(groups))
     return chunks, reads, time.perf_counter() - started
+
+
+def worker_aggregates(groups: dict):
+    """Aggregate sub-batches: ``{shard_id: list[AggregateSpec]}`` (routed).
+
+    Returns ``(partials, reads, seconds)`` with ``partials[shard_id]`` one
+    **unfinalised** picklable partial per spec in input order — this is
+    where the parallel tier's push-down pays: an O(1)-sized partial crosses
+    the process boundary instead of the shard's window point set, and the
+    parent merges partials across workers in shard-id order exactly like
+    :meth:`ShardedBatchEngine._run_aggregates` merges across shards.
+    """
+    state = _state()
+    started = time.perf_counter()
+    partials: dict[int, list] = {}
+    for shard_id in sorted(groups):
+        specs = list(groups[shard_id])
+        shard = state.index.shards[shard_id]
+        shard.stats.reset()
+        if shard.is_empty:
+            partials[shard_id] = [spec.new_partial() for spec in specs]
+            continue
+        admitted = shard.prefetch_windows([spec.window for spec in specs])
+        batch = state.engine.engine_for(shard_id).aggregate_partials(specs)
+        if admitted:
+            shard.stats.record_block_prefetch(admitted)
+        partials[shard_id] = list(batch.results)
+    reads = state.reads_since_reset(sorted(groups))
+    return partials, reads, time.perf_counter() - started
 
 
 def worker_knn(queries: np.ndarray, k: int):

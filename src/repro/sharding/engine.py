@@ -23,6 +23,11 @@ import time
 
 import numpy as np
 
+from repro.analytics.ops import (
+    QueryRequest,
+    QueryResult,
+    warn_deprecated_entry_point,
+)
 from repro.core.batch import BatchResult, latency_from_durations, latency_uniform
 from repro.engine import BatchQueryEngine, ENGINE_MODES, run_threaded
 from repro.sharding.index import ShardedSpatialIndex
@@ -104,7 +109,52 @@ class ShardedBatchEngine:
 
     # ------------------------------------------------------------------ queries --
 
+    def execute(self, request: QueryRequest) -> QueryResult:
+        """Execute one :class:`~repro.analytics.ops.QueryRequest`.
+
+        The canonical entry point (same protocol as
+        :class:`BatchQueryEngine`): the batch is grouped per shard, each
+        shard answers through its own engine, and per-op values scatter
+        back to request order.  Aggregate requests merge per-shard
+        *partials* in shard-id order at this router — point sets never
+        cross the shard boundary.
+        """
+        if request.kind == "point":
+            return QueryResult.from_batch("point", self._run_points(request.points))
+        if request.kind == "window":
+            return QueryResult.from_batch("window", self._run_windows(request.windows))
+        if request.kind == "knn":
+            return QueryResult.from_batch("knn", self._run_knn(request.points, request.k))
+        return QueryResult.from_batch(
+            "aggregate", self._run_aggregates(request.aggregates)
+        )
+
     def point_queries(self, points: np.ndarray) -> BatchResult:
+        """Deprecated shim over :meth:`execute`; use
+        ``execute(QueryRequest.for_points(...))`` in new code."""
+        warn_deprecated_entry_point(
+            "ShardedBatchEngine.point_queries", "execute(QueryRequest.for_points(...))"
+        )
+        return self._run_points(points)
+
+    def window_queries(self, windows) -> BatchResult:
+        """Deprecated shim over :meth:`execute`; use
+        ``execute(QueryRequest.for_windows(...))`` in new code."""
+        warn_deprecated_entry_point(
+            "ShardedBatchEngine.window_queries",
+            "execute(QueryRequest.for_windows(...))",
+        )
+        return self._run_windows(windows)
+
+    def knn_queries(self, queries: np.ndarray, k: int) -> BatchResult:
+        """Deprecated shim over :meth:`execute`; use
+        ``execute(QueryRequest.for_knn(...))`` in new code."""
+        warn_deprecated_entry_point(
+            "ShardedBatchEngine.knn_queries", "execute(QueryRequest.for_knn(...))"
+        )
+        return self._run_knn(queries, k)
+
+    def _run_points(self, points: np.ndarray) -> BatchResult:
         """Membership of every row of ``points``; booleans in input order."""
         points = np.asarray(points, dtype=float).reshape(-1, 2)
         self.index.stats.reset()
@@ -124,14 +174,14 @@ class ShardedBatchEngine:
             shard = self.index.shards[shard_id]
             if shard.is_empty:
                 return
-            batch = self._engine_for(shard_id).point_queries(points[positions])
+            batch = self._engine_for(shard_id)._run_points(points[positions])
             for position, found in zip(positions, batch.results):
                 results[position] = bool(found)
 
         timings = self._dispatch(one_shard, sorted(shard_positions))
         return self._finalize(results, timings=timings, shard_positions=shard_positions)
 
-    def window_queries(self, windows) -> BatchResult:
+    def _run_windows(self, windows) -> BatchResult:
         """Window queries; each result is an ``(m, 2)`` array in input order.
 
         Each window fans out only to the shards its extent intersects;
@@ -159,7 +209,7 @@ class ShardedBatchEngine:
             # per-scan look-ahead inside the store never covers the first
             # position of each prefetch stride, this does (PR-7 follow-up)
             admitted = shard.prefetch_windows(shard_windows)
-            batch = self._engine_for(shard_id).window_queries(shard_windows)
+            batch = self._engine_for(shard_id)._run_windows(shard_windows)
             if admitted:
                 # the per-shard engine resets the shard's counters at batch
                 # entry; the speculative I/O belongs to this batch interval
@@ -175,7 +225,7 @@ class ShardedBatchEngine:
             results.append(np.vstack(chunks) if chunks else _EMPTY.copy())
         return self._finalize(results, timings=timings, shard_positions=by_shard)
 
-    def knn_queries(self, queries: np.ndarray, k: int) -> BatchResult:
+    def _run_knn(self, queries: np.ndarray, k: int) -> BatchResult:
         """kNN queries via the index's best-first shard expansion per query."""
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -200,6 +250,87 @@ class ShardedBatchEngine:
         # a kNN query's best-first expansion crosses shards, so latency is
         # attributed per query only, never per shard
         return self._finalize(results, durations=durations)
+
+    def _run_aggregates(self, specs) -> BatchResult:
+        """Aggregates with per-shard partial push-down.
+
+        Each spec fans out to the shards its window intersects; every shard
+        folds its blocks into one partial per spec
+        (:meth:`BatchQueryEngine.aggregate_partials`), and this router
+        merges the partials in shard-id order before finalising — the merge
+        order is deterministic, so answers are identical however the shard
+        sub-batches interleave in threaded dispatch.
+        """
+        specs = list(specs)
+        self.index.stats.reset()
+        if not specs:
+            return BatchResult(results=[], total_block_accesses=0,
+                               per_shard_block_accesses={},
+                               total_physical_accesses=0)
+        by_shard: dict[int, list[int]] = {}
+        for spec_index, spec in enumerate(specs):
+            for shard_id in self.index.router.shards_for_window(spec.window):
+                by_shard.setdefault(shard_id, []).append(spec_index)
+        parts: list[list[tuple[int, object]]] = [[] for _ in specs]
+
+        def one_shard(shard_id: int) -> None:
+            shard = self.index.shards[shard_id]
+            if shard.is_empty:
+                return
+            spec_indices = by_shard[shard_id]
+            shard_specs = [specs[i] for i in spec_indices]
+            # same up-front cache warming as the window path: an aggregate
+            # touches exactly the blocks a window scan would
+            admitted = shard.prefetch_windows([s.window for s in shard_specs])
+            batch = self._engine_for(shard_id).aggregate_partials(shard_specs)
+            if admitted:
+                shard.stats.record_block_prefetch(admitted)
+            for spec_index, partial in zip(spec_indices, batch.results):
+                parts[spec_index].append((shard_id, partial))
+
+        timings = self._dispatch(one_shard, sorted(by_shard))
+        results = []
+        for spec, chunks in zip(specs, parts):
+            merged = spec.new_partial()
+            for _, partial in sorted(chunks, key=lambda c: c[0]):
+                merged = merged.merge(partial)
+            results.append(spec.finalize(merged))
+        return self._finalize(results, timings=timings, shard_positions=by_shard)
+
+    def aggregate_partials(self, specs) -> BatchResult:
+        """Per-spec partials merged across this index's shards (unfinalised).
+
+        The serving tier's per-worker surface: a worker's engine owns a
+        subset of shards, merges their per-shard partials locally (shard-id
+        order) and ships **one partial per spec** back to the parent, which
+        merges across workers.
+        """
+        specs = list(specs)
+        self.index.stats.reset()
+        by_shard: dict[int, list[int]] = {}
+        for spec_index, spec in enumerate(specs):
+            for shard_id in self.index.router.shards_for_window(spec.window):
+                by_shard.setdefault(shard_id, []).append(spec_index)
+        parts: list[list[tuple[int, object]]] = [[] for _ in specs]
+        for shard_id in sorted(by_shard):
+            shard = self.index.shards[shard_id]
+            if shard.is_empty:
+                continue
+            spec_indices = by_shard[shard_id]
+            shard_specs = [specs[i] for i in spec_indices]
+            admitted = shard.prefetch_windows([s.window for s in shard_specs])
+            batch = self._engine_for(shard_id).aggregate_partials(shard_specs)
+            if admitted:
+                shard.stats.record_block_prefetch(admitted)
+            for spec_index, partial in zip(spec_indices, batch.results):
+                parts[spec_index].append((shard_id, partial))
+        merged_partials = []
+        for spec, chunks in zip(specs, parts):
+            merged = spec.new_partial()
+            for _, partial in sorted(chunks, key=lambda c: c[0]):
+                merged = merged.merge(partial)
+            merged_partials.append(merged)
+        return self._finalize(merged_partials, timings=None, shard_positions=None)
 
     # ------------------------------------------------------------------ plumbing --
 

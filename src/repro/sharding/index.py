@@ -381,6 +381,10 @@ class ShardedSpatialIndex:
             exact_queries = kind in EXACT_KINDS
         self.exact_queries = bool(exact_queries)
         self.prefers_exact_queries = self.exact_queries
+        #: capability flag: exact per-shard queries make the sharded answers
+        #: agree exactly with a brute-force oracle
+        self.supports_exact_results = self.exact_queries
+        self.supports_attributes = True
         self.data_space = data_space if data_space is not None else Rect.unit()
         if isinstance(policy, ShardingPolicy):
             self._policy_spec: Optional[str] = None

@@ -61,13 +61,14 @@ from repro.storage.durability import (
 )
 from repro.storage.page_cache import PAGE_CACHE_POLICIES, PageCache, make_page_cache
 from repro.storage.paged import NodePager
-from repro.storage.stats import AccessStats
+from repro.storage.stats import AccessStats, AccessSummary
 from repro.storage.wal import WalError, WriteAheadLog
 
 __all__ = [
     "Block",
     "BlockStore",
     "AccessStats",
+    "AccessSummary",
     "PageCache",
     "NodePager",
     "PAGE_CACHE_POLICIES",

@@ -24,8 +24,9 @@ split into two views of every read:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
-__all__ = ["AccessStats"]
+__all__ = ["AccessStats", "AccessSummary"]
 
 
 @dataclass
@@ -116,3 +117,73 @@ class AccessStats:
             self.physical_node_reads - earlier.physical_node_reads,
             self.prefetch_block_reads - earlier.prefetch_block_reads,
         )
+
+    def summary(self, per_shard: Mapping[int, int] | None = None) -> "AccessSummary":
+        """The counters as one immutable :class:`AccessSummary`."""
+        return AccessSummary(
+            logical_reads=self.total_reads,
+            physical_reads=self.physical_reads,
+            per_shard_logical_reads=dict(per_shard) if per_shard is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class AccessSummary:
+    """One batch's (or interval's) read accounting, in one shape.
+
+    ``BatchResult``, ``QueryResult``, ``ScenarioSnapshot`` and the sharded
+    engines historically exposed the same three numbers under different
+    names (``total_block_accesses`` vs ``block_reads`` vs per-shard dicts).
+    This is the unified record: logical reads (the paper's "# block
+    accesses"), physical (post-cache) reads, and — for sharded engines —
+    the logical reads attributed per shard id.  The old attribute names
+    survive as deprecated properties on their original carriers.
+
+    Fields are ``None`` when the underlying index exposes no
+    :class:`AccessStats` (the carrier previously reported ``None`` there
+    too, and callers rely on that to mean "unaccounted").
+    """
+
+    #: logical block/node reads (identical with and without a cache)
+    logical_reads: int | None = None
+    #: reads that actually hit (simulated) storage, prefetches included
+    physical_reads: int | None = None
+    #: logical reads attributed per shard id (sharded engines only)
+    per_shard_logical_reads: Mapping[int, int] | None = None
+
+    @property
+    def cache_hit_ratio(self) -> float | None:
+        """Fraction of logical reads served by the cache (None if unknown)."""
+        if self.logical_reads is None or self.physical_reads is None:
+            return None
+        if self.logical_reads <= 0:
+            return 0.0
+        return 1.0 - self.physical_reads / self.logical_reads
+
+    def merged(self, other: "AccessSummary") -> "AccessSummary":
+        """Element-wise sum; ``None`` on either side stays ``None``."""
+
+        def _add(a, b):
+            return None if a is None or b is None else a + b
+
+        per_shard = None
+        if self.per_shard_logical_reads is not None or other.per_shard_logical_reads is not None:
+            per_shard = dict(self.per_shard_logical_reads or {})
+            for shard_id, reads in (other.per_shard_logical_reads or {}).items():
+                per_shard[shard_id] = per_shard.get(shard_id, 0) + reads
+        return AccessSummary(
+            logical_reads=_add(self.logical_reads, other.logical_reads),
+            physical_reads=_add(self.physical_reads, other.physical_reads),
+            per_shard_logical_reads=per_shard,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "logical_reads": self.logical_reads,
+            "physical_reads": self.physical_reads,
+            "per_shard_logical_reads": (
+                dict(self.per_shard_logical_reads)
+                if self.per_shard_logical_reads is not None
+                else None
+            ),
+        }

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analytics.attributes import attribute_values
+from repro.analytics.ops import AggregateOutcome, AggregateSpec, exact_aggregate
 from repro.geometry import Rect, euclidean_many
 from repro.storage import AccessStats
 from repro.workloads.pointset import LivePointSet
@@ -31,6 +33,8 @@ class OracleIndex:
 
     name = "Oracle"
     prefers_exact_queries = True
+    supports_exact_results = True
+    supports_attributes = True
 
     def __init__(self):
         self._points = LivePointSet()
@@ -84,6 +88,21 @@ class OracleIndex:
         if neighbours.shape[0] == 0:
             return np.empty(0, dtype=float)
         return np.sort(euclidean_many((float(x), float(y)), neighbours))
+
+    def aggregate(self, spec: AggregateSpec) -> AggregateOutcome:
+        """Ground-truth aggregate over the live points (brute force)."""
+        return exact_aggregate(spec, self.points())
+
+    def window_attribute_values(self, spec: AggregateSpec) -> np.ndarray:
+        """The sorted attribute column of the live points inside the window.
+
+        The rank-error check of approximate quantiles needs the full sorted
+        column, not just one true quantile value.
+        """
+        inside = self.window_query(spec.window)
+        if inside.shape[0] == 0:
+            return np.empty(0, dtype=float)
+        return np.sort(attribute_values(inside, seed=spec.attribute_seed))
 
     # -- updates --------------------------------------------------------------
 

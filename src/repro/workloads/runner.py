@@ -41,6 +41,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analytics.attributes import attribute_value
+from repro.analytics.ops import QueryRequest, quantile_rank_distance
 from repro.engine import BatchQueryEngine
 from repro.evaluation.metrics import knn_recall, window_recall
 from repro.sharding import ShardedBatchEngine, ShardedSpatialIndex
@@ -185,9 +187,12 @@ class ScenarioRunner:
         Optional shadow :class:`OracleIndex` built over the *same* initial
         points; when given, every answer is checked and recall is recorded.
     exact_results:
-        True when the index answers window/kNN queries exactly (the
+        True when the index answers window/kNN/aggregate queries exactly (the
         traditional baselines); enables exact-agreement assertions instead of
-        soundness-only checks.  Ignored without an oracle.
+        soundness-only checks.  Ignored without an oracle.  The default
+        (``None``) auto-detects from the index's ``supports_exact_results``
+        capability flag (falling back to the innermost wrapped index, then to
+        ``False``).
     engine_mode / batch_size:
         Execution mode for the read engine and the maximum number of reads
         batched between writes/snapshots.
@@ -220,7 +225,7 @@ class ScenarioRunner:
         spec: ScenarioSpec,
         *,
         oracle: Optional[OracleIndex] = None,
-        exact_results: bool = False,
+        exact_results: Optional[bool] = None,
         engine_mode: str = "auto",
         batch_size: int = 64,
         batch_reorder: bool = False,
@@ -232,7 +237,12 @@ class ScenarioRunner:
         self.index = index
         self.spec = spec
         self.oracle = oracle
-        self.exact_results = exact_results
+        if exact_results is None:
+            detected = getattr(index, "supports_exact_results", None)
+            if detected is None:
+                detected = getattr(_innermost(index), "supports_exact_results", None)
+            exact_results = bool(detected)
+        self.exact_results = bool(exact_results)
         if engine is not None:
             if rebalancer is not None:
                 raise ValueError(
@@ -284,7 +294,7 @@ class ScenarioRunner:
         started = time.perf_counter()
 
         for op_index, op in enumerate(operations):
-            if op.kind in ("point", "window", "knn"):
+            if op.kind in ("point", "window", "knn", "aggregate"):
                 pending.append(op)
                 if len(pending) >= self.batch_size:
                     self._flush(pending, interval)
@@ -350,42 +360,57 @@ class ScenarioRunner:
         ops = list(pending)
         pending.clear()
         services = [0.0] * len(ops)
-        by_kind: dict[str, list[int]] = {"point": [], "window": [], "knn": []}
+        by_kind: dict[str, list[int]] = {
+            "point": [],
+            "window": [],
+            "knn": [],
+            "aggregate": [],
+        }
         for position, op in enumerate(ops):
             by_kind[op.kind].append(position)
 
         positions = by_kind["point"]
         if positions:
             queries = np.asarray([(ops[p].x, ops[p].y) for p in positions], dtype=float)
-            batch, per_op = self._timed(lambda: self.engine.point_queries(queries), positions)
-            self._account(batch, interval)
+            request = QueryRequest.for_points(queries)
+            result, per_op = self._timed(lambda: self.engine.execute(request), positions)
+            self._account(result, interval)
             for p in positions:
                 services[p] = per_op
             if self.oracle is not None:
-                for p, found in zip(positions, batch.results):
+                for p, found in zip(positions, result.values):
                     self._check_point(ops[p], bool(found))
         positions = by_kind["window"]
         if positions:
-            windows = [ops[p].window for p in positions]
-            batch, per_op = self._timed(lambda: self.engine.window_queries(windows), positions)
-            self._account(batch, interval)
+            request = QueryRequest.for_windows([ops[p].window for p in positions])
+            result, per_op = self._timed(lambda: self.engine.execute(request), positions)
+            self._account(result, interval)
             for p in positions:
                 services[p] = per_op
             if self.oracle is not None:
-                for p, reported in zip(positions, batch.results):
+                for p, reported in zip(positions, result.values):
                     self._check_window(ops[p], reported, interval)
         positions = by_kind["knn"]
         if positions:
             queries = np.asarray([(ops[p].x, ops[p].y) for p in positions], dtype=float)
-            batch, per_op = self._timed(
-                lambda: self.engine.knn_queries(queries, self.spec.k), positions
-            )
-            self._account(batch, interval)
+            request = QueryRequest.for_knn(queries, self.spec.k)
+            result, per_op = self._timed(lambda: self.engine.execute(request), positions)
+            self._account(result, interval)
             for p in positions:
                 services[p] = per_op
             if self.oracle is not None:
-                for p, reported in zip(positions, batch.results):
+                for p, reported in zip(positions, result.values):
                     self._check_knn(ops[p], reported, interval)
+        positions = by_kind["aggregate"]
+        if positions:
+            request = QueryRequest.for_aggregates([ops[p].agg for p in positions])
+            result, per_op = self._timed(lambda: self.engine.execute(request), positions)
+            self._account(result, interval)
+            for p in positions:
+                services[p] = per_op
+            if self.oracle is not None:
+                for p, outcome in zip(positions, result.values):
+                    self._check_aggregate(ops[p], outcome)
 
         # the flushed reads re-enter the virtual timeline in stream order
         for op, service in zip(ops, services):
@@ -402,25 +427,25 @@ class ScenarioRunner:
         batch = run()
         return batch, (time.perf_counter() - started) / max(len(positions), 1)
 
-    def _account(self, batch, interval: _IntervalAccumulator) -> None:
-        """Fold one engine batch's access counters into the interval/run totals."""
+    def _account(self, result, interval: _IntervalAccumulator) -> None:
+        """Fold one request's unified access summary into the interval/run totals."""
+        access = result.access
+        per_shard = access.per_shard_logical_reads if access is not None else None
         if self._rebalancer is not None:
-            self._rebalancer.observe(
-                batch.per_shard_block_accesses, batch.per_shard_latency
-            )
-        if batch.per_shard_block_accesses:
-            for shard_id, reads in batch.per_shard_block_accesses.items():
+            self._rebalancer.observe(per_shard, result.per_shard_latency)
+        if per_shard:
+            for shard_id, reads in per_shard.items():
                 self._per_shard_reads[shard_id] = (
                     self._per_shard_reads.get(shard_id, 0) + reads
                 )
-        if batch.per_shard_latency:
-            for shard_id, summary in batch.per_shard_latency.items():
+        if result.per_shard_latency:
+            for shard_id, summary in result.per_shard_latency.items():
                 self._per_shard_service[shard_id] = self._per_shard_service.get(
                     shard_id, 0.0
                 ) + (summary.mean_ms / 1e3) * summary.count
-        logical = batch.total_block_accesses or 0
+        logical = (access.logical_reads if access is not None else None) or 0
         interval.block_accesses += logical
-        physical = batch.total_physical_accesses
+        physical = access.physical_reads if access is not None else None
         interval.physical_accesses += logical if physical is None else physical
 
     # -- latency --------------------------------------------------------------
@@ -561,6 +586,92 @@ class ScenarioRunner:
                     f"from the oracle: {got_d} vs {want_d}"
                 )
         interval.knn_recalls.append(knn_recall(reported, truth))
+
+    def _check_aggregate(self, op: Operation, outcome) -> None:
+        """Check one aggregate answer against the brute-force oracle.
+
+        Exact indices must agree exactly — bit-identical count/sum/mean (the
+        quantised attribute column makes sums order-independent), identical
+        top-k items, and a quantile within the sketch's self-reported rank
+        error of the true column.  Approximate indices get soundness checks:
+        the answer must be derivable from a subset of the true window (no
+        inflated counts/sums, no invented points or attribute values).
+        """
+        spec = op.agg
+        truth = self.oracle.aggregate(spec)
+        label = f"{self._name}: {spec.op} over {spec.window}"
+        if self.exact_results:
+            if outcome.count != truth.count:
+                raise ScenarioMismatch(
+                    f"{label} saw {outcome.count} points, oracle has {truth.count}"
+                )
+            if spec.op in ("count", "sum", "mean"):
+                if outcome.value != truth.value:
+                    raise ScenarioMismatch(
+                        f"{label} = {outcome.value!r}, oracle says {truth.value!r}"
+                    )
+            elif spec.op == "top-k":
+                if outcome.items != truth.items:
+                    raise ScenarioMismatch(
+                        f"{label} items {outcome.items} != oracle {truth.items}"
+                    )
+            else:  # quantile: within the sketch's self-reported rank error
+                if truth.count == 0:
+                    if outcome.value is not None:
+                        raise ScenarioMismatch(
+                            f"{label} returned {outcome.value!r} over an empty window"
+                        )
+                    return
+                column = self.oracle.window_attribute_values(spec)
+                distance = quantile_rank_distance(outcome.value, column, spec.q)
+                if distance > outcome.max_rank_error:
+                    raise ScenarioMismatch(
+                        f"{label} q={spec.q} value {outcome.value!r} is {distance} "
+                        f"ranks off, sketch promised <= {outcome.max_rank_error}"
+                    )
+            return
+        # approximate index: the answer must come from a subset of the truth
+        if outcome.count > truth.count:
+            raise ScenarioMismatch(
+                f"{label} saw {outcome.count} points, oracle has only {truth.count}"
+            )
+        if spec.op == "count" and outcome.value > truth.value:
+            raise ScenarioMismatch(
+                f"{label} = {outcome.value!r} exceeds oracle {truth.value!r}"
+            )
+        elif spec.op == "sum" and outcome.value > truth.value + 1e-9:
+            # attribute values are >= 0, so a subset sum can never exceed
+            raise ScenarioMismatch(
+                f"{label} = {outcome.value!r} exceeds oracle {truth.value!r}"
+            )
+        elif spec.op == "mean" and outcome.count > 0:
+            column = self.oracle.window_attribute_values(spec)
+            if not float(column[0]) <= outcome.value <= float(column[-1]):
+                raise ScenarioMismatch(
+                    f"{label} = {outcome.value!r} outside the true attribute "
+                    f"range [{column[0]}, {column[-1]}]"
+                )
+        elif spec.op == "quantile" and outcome.value is not None:
+            column = self.oracle.window_attribute_values(spec)
+            if not np.any(column == outcome.value):
+                raise ScenarioMismatch(
+                    f"{label} value {outcome.value!r} is not a true attribute "
+                    f"value of the window"
+                )
+        elif spec.op == "top-k" and outcome.items:
+            for value, x, y in outcome.items:
+                if not spec.window.contains_point(x, y) or not self.oracle.point_query(
+                    x, y
+                ):
+                    raise ScenarioMismatch(
+                        f"{label} reported non-stored/out-of-window item "
+                        f"({value}, {x}, {y})"
+                    )
+                if value != attribute_value(x, y, spec.attribute_seed):
+                    raise ScenarioMismatch(
+                        f"{label} item ({x}, {y}) carries attribute {value!r}, "
+                        f"true value is {attribute_value(x, y, spec.attribute_seed)!r}"
+                    )
 
     # -- snapshots ------------------------------------------------------------
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.analytics.ops import AGGREGATE_OPS
 from repro.geometry import Rect
 
 __all__ = [
@@ -31,8 +32,9 @@ __all__ = [
     "scenario_by_name",
 ]
 
-#: the five operation kinds a scenario interleaves
-OPERATION_KINDS = ("point", "window", "knn", "insert", "delete")
+#: the operation kinds a scenario interleaves ("aggregate" was appended
+#: last so the first five keep their historical sampling indices)
+OPERATION_KINDS = ("point", "window", "knn", "insert", "delete", "aggregate")
 
 #: where operation keys are drawn from
 KEY_DISTRIBUTIONS = ("uniform", "data", "hotspot", "drifting", "zipfian", "bulk-churn")
@@ -50,10 +52,13 @@ ARRIVAL_MODELS = ("closed-loop", "open-loop")
 
 @dataclass(frozen=True)
 class OperationMix:
-    """Relative weights of the five operation kinds.
+    """Relative weights of the six operation kinds.
 
     Weights need not sum to one — they are normalised when sampling — but
-    must be non-negative with at least one positive entry.
+    must be non-negative with at least one positive entry.  ``aggregate``
+    defaults to zero, and a zero aggregate weight keeps the sampled kind
+    stream **byte-identical** to the historical five-kind streams (the
+    committed benchmark baselines depend on this).
     """
 
     point: float = 1.0
@@ -61,6 +66,7 @@ class OperationMix:
     knn: float = 0.0
     insert: float = 0.0
     delete: float = 0.0
+    aggregate: float = 0.0
 
     def __post_init__(self) -> None:
         weights = self.as_tuple()
@@ -71,7 +77,8 @@ class OperationMix:
 
     def as_tuple(self) -> tuple[float, ...]:
         """Weights in :data:`OPERATION_KINDS` order."""
-        return (self.point, self.window, self.knn, self.insert, self.delete)
+        return (self.point, self.window, self.knn, self.insert, self.delete,
+                self.aggregate)
 
     def probabilities(self) -> tuple[float, ...]:
         """Weights normalised to a probability vector."""
@@ -130,6 +137,13 @@ class ScenarioSpec:
     point_miss_fraction: float = 0.25
     #: fraction of deletions targeting keys that are not stored
     delete_miss_fraction: float = 0.05
+    #: operators an ``aggregate`` operation draws from (uniformly)
+    aggregate_ops: tuple[str, ...] = AGGREGATE_OPS
+    #: candidate quantile fractions for ``quantile`` aggregate operations
+    aggregate_quantiles: tuple[float, ...] = (0.25, 0.5, 0.9)
+    #: aggregate-window area as a fraction of the data space; None reuses
+    #: ``window_area_fraction`` (aggregates touch window-scan-sized regions)
+    aggregate_window_area_fraction: float | None = None
     #: the data space operations live in
     data_space: Rect = field(default_factory=Rect.unit)
 
@@ -176,6 +190,22 @@ class ScenarioSpec:
             raise ValueError("point_miss_fraction must lie in [0, 1]")
         if not 0 <= self.delete_miss_fraction <= 1:
             raise ValueError("delete_miss_fraction must lie in [0, 1]")
+        if not self.aggregate_ops:
+            raise ValueError("aggregate_ops must name at least one operator")
+        for op in self.aggregate_ops:
+            if op not in AGGREGATE_OPS:
+                raise ValueError(
+                    f"unknown aggregate op {op!r}; available: {AGGREGATE_OPS}"
+                )
+        if not self.aggregate_quantiles:
+            raise ValueError("aggregate_quantiles must not be empty")
+        for q in self.aggregate_quantiles:
+            if not 0 <= q <= 1:
+                raise ValueError("aggregate_quantiles entries must lie in [0, 1]")
+        if self.aggregate_window_area_fraction is not None and not (
+            0 < self.aggregate_window_area_fraction <= 1
+        ):
+            raise ValueError("aggregate_window_area_fraction must lie in (0, 1]")
 
     def with_overrides(self, **kwargs) -> "ScenarioSpec":
         """A copy of this spec with some fields replaced."""
@@ -285,6 +315,20 @@ SCENARIO_PRESETS: dict[str, ScenarioSpec] = {
         arrival_model="open-loop",
         arrival_rate=2_000.0,
         point_miss_fraction=0.3,
+    ),
+    # the analytic serving mix: push-down aggregates (count/sum/mean/
+    # quantile/top-k over hotspot-sized windows) interleaved with the classic
+    # kinds and enough churn that aggregate answers must track live data —
+    # the fuzz matrices replay it against the brute-force oracle shadows
+    # (single-index, --shards N, --cache-blocks N, --workers N all apply)
+    "analytics-mixed": ScenarioSpec(
+        name="analytics-mixed",
+        mix=OperationMix(point=0.25, window=0.1, knn=0.05, insert=0.2,
+                         delete=0.1, aggregate=0.3),
+        distribution="hotspot",
+        hotspot_fraction=0.8,
+        hotspot_extent=0.25,
+        aggregate_window_area_fraction=0.002,
     ),
     # read-mostly traffic hammering one tiny region under an open-loop
     # arrival schedule: when the offered rate outpaces the measured service

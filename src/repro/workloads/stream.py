@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analytics.ops import AggregateSpec
 from repro.geometry import Rect
 from repro.workloads.pointset import LivePointSet
 from repro.workloads.spec import OPERATION_KINDS, ScenarioSpec
@@ -45,10 +46,14 @@ class Operation:
     k: int = 0
     arrival_time: float = 0.0
     tenant: int = 0
+    #: the full aggregate operation (``aggregate`` kind only)
+    agg: Optional[AggregateSpec] = None
 
     def __post_init__(self) -> None:
         if self.kind not in OPERATION_KINDS:
             raise ValueError(f"unknown operation kind {self.kind!r}")
+        if self.kind == "aggregate" and self.agg is None:
+            raise ValueError("aggregate operations must carry an AggregateSpec")
 
 
 class _StreamState:
@@ -68,6 +73,11 @@ class _StreamState:
         self.mirror = LivePointSet(initial_points)
         self.space = spec.data_space
         self.probabilities = np.asarray(spec.mix.probabilities())
+        # a zero aggregate weight keeps the historical five-kind draw — the
+        # RNG consumes exactly the same variates, so pre-analytics streams
+        # (and the committed benchmark baselines built on them) are
+        # byte-identical
+        self._n_kinds = 5 if spec.mix.aggregate == 0 else len(OPERATION_KINDS)
         self.hot_region: Optional[Rect] = None
         if spec.distribution in ("hotspot", "bulk-churn"):
             self.hot_region = self._place_hot_region()
@@ -109,11 +119,15 @@ class _StreamState:
 
     # -- arrival pattern ------------------------------------------------------
 
+    def _draw_kind(self) -> str:
+        n = self._n_kinds
+        return OPERATION_KINDS[int(self.rng.choice(n, p=self.probabilities[:n]))]
+
     def next_kind(self) -> str:
         if self.spec.arrival == "steady":
-            return OPERATION_KINDS[int(self.rng.choice(5, p=self.probabilities))]
+            return self._draw_kind()
         if self._burst_remaining <= 0:
-            self._burst_kind = OPERATION_KINDS[int(self.rng.choice(5, p=self.probabilities))]
+            self._burst_kind = self._draw_kind()
             self._burst_remaining = int(self.rng.geometric(1.0 / self.spec.burst_length))
         self._burst_remaining -= 1
         return self._burst_kind
@@ -198,6 +212,14 @@ def generate_operations(spec: ScenarioSpec, initial_points: np.ndarray) -> list[
     spec_area = spec.window_area_fraction * spec.data_space.area
     window_height = math.sqrt(spec_area / spec.window_aspect_ratio)
     window_width = spec_area / window_height
+    agg_fraction = (
+        spec.aggregate_window_area_fraction
+        if spec.aggregate_window_area_fraction is not None
+        else spec.window_area_fraction
+    )
+    agg_area = agg_fraction * spec.data_space.area
+    agg_height = math.sqrt(agg_area / spec.window_aspect_ratio)
+    agg_width = agg_area / agg_height
 
     operations: list[Operation] = []
     for op_index in range(spec.n_ops):
@@ -223,6 +245,27 @@ def generate_operations(spec: ScenarioSpec, initial_points: np.ndarray) -> list[
         elif kind == "knn":
             x, y = state.fresh_location(region)
             operations.append(Operation("knn", x, y, k=spec.k, arrival_time=at))
+        elif kind == "aggregate":
+            cx, cy = state.fresh_location(region)
+            window = Rect.from_center(cx, cy, agg_width, agg_height).clip_to(
+                spec.data_space
+            )
+            op_name = spec.aggregate_ops[
+                int(state.rng.integers(len(spec.aggregate_ops)))
+            ]
+            q = 0.5
+            if op_name == "quantile":
+                q = float(
+                    spec.aggregate_quantiles[
+                        int(state.rng.integers(len(spec.aggregate_quantiles)))
+                    ]
+                )
+            agg = AggregateSpec(
+                op=op_name, window=window, q=q, k=spec.k, attribute_seed=spec.seed
+            )
+            operations.append(
+                Operation("aggregate", cx, cy, window=window, agg=agg, arrival_time=at)
+            )
         elif kind == "insert":
             x, y = state.unique_fresh_key(region)
             state.mirror.add((x, y))

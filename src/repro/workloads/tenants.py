@@ -28,6 +28,8 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.analytics.attributes import attribute_values
+from repro.analytics.ops import AggregateOutcome, AggregateSpec, exact_aggregate
 from repro.geometry import Rect, euclidean_many
 from repro.workloads.oracle import OracleIndex
 from repro.workloads.spec import ScenarioSpec
@@ -131,6 +133,8 @@ class MultiTenantOracle:
 
     name = "MultiTenantOracle"
     prefers_exact_queries = True
+    supports_exact_results = True
+    supports_attributes = True
     tenant_aware = True
 
     def __init__(self, n_tenants: int):
@@ -190,6 +194,17 @@ class MultiTenantOracle:
         idx = np.argpartition(distances, k - 1)[:k]
         idx = idx[np.argsort(distances[idx], kind="stable")]
         return points[idx]
+
+    def aggregate(self, spec: AggregateSpec) -> AggregateOutcome:
+        """Ground-truth aggregate over the union of all tenants' points."""
+        return exact_aggregate(spec, self.points())
+
+    def window_attribute_values(self, spec: AggregateSpec) -> np.ndarray:
+        """Sorted attribute column of the union points inside the window."""
+        inside = self.window_query(spec.window)
+        if inside.shape[0] == 0:
+            return np.empty(0, dtype=float)
+        return np.sort(attribute_values(inside, seed=spec.attribute_seed))
 
     # -- updates (routed to the owning tenant) --------------------------------
 

@@ -1,0 +1,199 @@
+"""Unit tests of the analytics core: attribute column, partials, operator specs.
+
+The push-down machinery rests on three properties these tests pin down:
+
+* the derived attribute column is a pure deterministic function of the
+  coordinates (quantised so sums are bit-exact under any merge order),
+* every partial folded in chunks and merged in any order equals the
+  brute-force :func:`~repro.analytics.ops.exact_aggregate` reference
+  (exactly for count/sum/mean/top-k, within the self-reported rank error
+  for quantile sketches),
+* partials survive pickling, which is what lets the process-pool serving
+  tier ship them across the worker boundary.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    AGGREGATE_OPS,
+    ATTRIBUTE_FRACTION_BITS,
+    AggregateSpec,
+    CountSumPartial,
+    QuantileSummary,
+    QueryRequest,
+    TopKPartial,
+    attribute_value,
+    attribute_values,
+    exact_aggregate,
+    make_partial,
+    quantile_rank_distance,
+)
+from repro.geometry import Rect
+
+
+def _points(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((n, 2))
+
+
+def _folded(spec: AggregateSpec, points: np.ndarray, chunks: int, seed: int):
+    """Fold ``points`` in ``chunks`` pieces, merge the partials shuffled."""
+    parts = []
+    for chunk in np.array_split(points, chunks):
+        part = spec.new_partial()
+        inside = chunk[spec.window.contains_points(chunk)] if chunk.size else chunk
+        spec.fold(part, inside)
+        parts.append(part)
+    random.Random(seed).shuffle(parts)
+    merged = spec.new_partial()
+    for part in parts:
+        merged.merge(part)
+    return merged
+
+
+class TestAttributeColumn:
+    def test_deterministic_and_seed_keyed(self):
+        pts = _points(300, seed=1)
+        a = attribute_values(pts, seed=7)
+        b = attribute_values(pts, seed=7)
+        c = attribute_values(pts, seed=8)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_range_and_quantisation(self):
+        values = attribute_values(_points(400, seed=2), seed=0)
+        assert np.all(values >= 0.0) and np.all(values < 1.0)
+        scaled = values * (1 << ATTRIBUTE_FRACTION_BITS)
+        np.testing.assert_array_equal(scaled, np.round(scaled))
+
+    def test_scalar_matches_column(self):
+        pts = _points(50, seed=3)
+        column = attribute_values(pts, seed=5)
+        for i in (0, 17, 49):
+            assert attribute_value(pts[i, 0], pts[i, 1], seed=5) == column[i]
+
+    def test_sum_is_order_independent(self):
+        values = attribute_values(_points(2_000, seed=4))
+        shuffled = values.copy()
+        np.random.default_rng(0).shuffle(shuffled)
+        assert float(values.sum()) == float(shuffled.sum())
+
+    def test_empty_input(self):
+        assert attribute_values(np.empty((0, 2))).shape == (0,)
+
+
+class TestPartials:
+    WINDOW = Rect(0.2, 0.7, 0.3, 0.9)
+
+    @pytest.mark.parametrize("op", AGGREGATE_OPS)
+    @pytest.mark.parametrize("chunks", [1, 7])
+    def test_chunked_fold_matches_exact(self, op, chunks):
+        pts = _points(800, seed=5)
+        spec = AggregateSpec(op=op, window=self.WINDOW, q=0.73, k=5, attribute_seed=3)
+        truth = exact_aggregate(spec, pts)
+        outcome = spec.finalize(_folded(spec, pts, chunks, seed=chunks))
+        assert outcome.count == truth.count
+        if op in ("count", "sum", "mean"):
+            assert outcome.value == truth.value
+        elif op == "top-k":
+            assert outcome.items == truth.items
+        else:
+            column = np.sort(attribute_values(
+                pts[self.WINDOW.contains_points(pts)], seed=3
+            ))
+            distance = quantile_rank_distance(outcome.value, column, spec.q)
+            assert distance <= outcome.max_rank_error
+
+    def test_quantile_exact_below_capacity(self):
+        pts = _points(300, seed=6)
+        spec = AggregateSpec(op="quantile", window=Rect.unit(), q=0.5)
+        truth = exact_aggregate(spec, pts)
+        outcome = spec.finalize(_folded(spec, pts, 4, seed=1))
+        assert outcome.max_rank_error == 0
+        assert outcome.value == truth.value
+
+    def test_quantile_compaction_bounds_error(self):
+        pts = _points(4_000, seed=7)
+        spec = AggregateSpec(
+            op="quantile", window=Rect.unit(), q=0.9, quantile_capacity=64
+        )
+        merged = _folded(spec, pts, 16, seed=2)
+        assert len(merged.values) <= 3 * 64  # capacity is respected up to merge slack
+        outcome = spec.finalize(merged)
+        assert outcome.max_rank_error > 0
+        column = np.sort(attribute_values(pts))
+        assert quantile_rank_distance(outcome.value, column, 0.9) <= outcome.max_rank_error
+
+    def test_topk_tiebreak_is_deterministic(self):
+        # duplicate attribute values: points at mirrored coordinates can
+        # collide; the (-value, x, y) order must decide identically
+        pts = np.array([[0.5, 0.5], [0.25, 0.75], [0.75, 0.25], [0.1, 0.9]])
+        spec = AggregateSpec(op="top-k", window=Rect.unit(), k=2)
+        a = spec.finalize(_folded(spec, pts, 4, seed=0))
+        b = spec.finalize(_folded(spec, pts, 1, seed=0))
+        assert a.items == b.items == exact_aggregate(spec, pts).items
+
+    @pytest.mark.parametrize("op", AGGREGATE_OPS)
+    def test_partials_pickle(self, op):
+        pts = _points(200, seed=8)
+        spec = AggregateSpec(op=op, window=Rect.unit(), k=3)
+        part = spec.fold(spec.new_partial(), pts)
+        clone = pickle.loads(pickle.dumps(part))
+        assert spec.finalize(clone) == spec.finalize(part)
+
+    def test_empty_window(self):
+        empty = Rect(0.0, 1e-12, 0.0, 1e-12)
+        for op in AGGREGATE_OPS:
+            spec = AggregateSpec(op=op, window=empty)
+            outcome = spec.finalize(spec.new_partial())
+            assert outcome.count == 0
+            assert outcome == exact_aggregate(spec, _points(100, seed=9))
+
+    def test_make_partial_types(self):
+        assert isinstance(make_partial("count"), CountSumPartial)
+        assert isinstance(make_partial("quantile"), QuantileSummary)
+        assert isinstance(make_partial("top-k", k=4), TopKPartial)
+        with pytest.raises(ValueError):
+            make_partial("median")
+
+
+class TestSpecsAndRequests:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AggregateSpec(op="mode", window=Rect.unit())
+        with pytest.raises(ValueError):
+            AggregateSpec(op="quantile", window=Rect.unit(), q=1.5)
+        with pytest.raises(ValueError):
+            AggregateSpec(op="top-k", window=Rect.unit(), k=0)
+        with pytest.raises(TypeError):
+            AggregateSpec(op="count", window=(0, 1, 0, 1))
+
+    def test_request_payloads(self):
+        req = QueryRequest.for_points([(0.1, 0.2), (0.3, 0.4)])
+        assert req.kind == "point" and req.n_ops == 2
+        req = QueryRequest.for_windows([Rect.unit()])
+        assert req.kind == "window" and req.n_ops == 1
+        req = QueryRequest.for_knn([(0.5, 0.5)], k=3)
+        assert req.k == 3
+        specs = (AggregateSpec(op="count", window=Rect.unit()),)
+        assert QueryRequest.for_aggregates(specs).n_ops == 1
+        with pytest.raises(ValueError):
+            QueryRequest.for_knn([(0.5, 0.5)], k=0)
+        with pytest.raises(ValueError):
+            QueryRequest("scan")
+        with pytest.raises(TypeError):
+            QueryRequest.for_aggregates([Rect.unit()])
+
+    def test_rank_distance(self):
+        column = np.array([0.1, 0.2, 0.2, 0.3, 0.4])
+        assert quantile_rank_distance(0.2, column, 0.5) == 0
+        assert quantile_rank_distance(0.1, column, 0.5) == 2
+        assert quantile_rank_distance(0.25, column, 0.5) == 1
+        assert quantile_rank_distance(0.4, column, 1.0) == 0
+        assert quantile_rank_distance(0.5, np.empty(0), 0.5) == 0

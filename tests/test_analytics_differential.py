@@ -1,0 +1,229 @@
+"""Differential fuzz of the push-down aggregate operators.
+
+Every aggregate kind is checked against the independent brute-force
+reference :func:`~repro.analytics.ops.exact_aggregate` across the execution
+matrix the operators ship through: single indices (every adapter kind),
+sharded deployments (several policies, caches on and off), and the
+process-pool serving tier (whose merged partials must be **bit-identical**
+to the single-threaded sharded engine, quantile sketches included).
+
+Exact index kinds must agree exactly — bit-identical count/sum/mean
+(order-independent by the quantised attribute design), identical top-k
+items, quantiles within the sketch's self-reported rank error.  Approximate
+kinds (ZM, RSMI) get soundness checks: their answers must be derivable from
+a subset of the true window.  Tier-1 runs small budgets; ``--runslow``
+scales the matrix and the stream sizes up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    AGGREGATE_OPS,
+    AggregateSpec,
+    QueryRequest,
+    attribute_values,
+    exact_aggregate,
+    quantile_rank_distance,
+)
+from repro.datasets import dataset_by_name
+from repro.engine import BatchQueryEngine
+from repro.evaluation.adapters import build_index_suite
+from repro.geometry import Rect
+from repro.nn import TrainingConfig
+from repro.serving import ParallelShardEngine, ServingSpec
+from repro.sharding import ShardedBatchEngine, ShardedSpatialIndex, shard_index_factory
+from repro.workloads import OracleIndex, ScenarioRunner, scenario_by_name
+
+from tests.conftest import FAST_TRAINING
+
+ALL_KINDS = ("Grid", "HRR", "KDB", "RR*", "ZM", "RSMI", "RSMIa")
+EXACT_KINDS = frozenset({"Grid", "HRR", "KDB", "RR*", "RSMIa"})
+FAST_EPOCHS = TrainingConfig(epochs=10, seed=0)
+
+
+def _specs(points, n, seed, k=4):
+    """Random aggregate specs cycling through every operator, with window
+    sizes spanning two orders of magnitude (block-local to multi-shard)."""
+    rng = np.random.default_rng(seed)
+    specs = []
+    for i in range(n):
+        cx, cy = points[int(rng.integers(points.shape[0]))]
+        extent = float(rng.choice((0.03, 0.1, 0.35)))
+        window = Rect.from_center(
+            float(cx), float(cy), extent, extent * 0.8
+        ).clip_to(Rect.unit())
+        op = AGGREGATE_OPS[i % len(AGGREGATE_OPS)]
+        q = float(rng.choice((0.25, 0.5, 0.9)))
+        specs.append(AggregateSpec(op=op, window=window, q=q, k=k, attribute_seed=seed))
+    return specs
+
+
+def check_outcome(spec, outcome, points, exact):
+    """One aggregate answer vs the brute-force reference (standalone twin of
+    the scenario runner's ``_check_aggregate``)."""
+    truth = exact_aggregate(spec, points)
+    inside = points[spec.window.contains_points(points)]
+    column = np.sort(attribute_values(inside, seed=spec.attribute_seed))
+    if exact:
+        assert outcome.count == truth.count
+        if spec.op in ("count", "sum", "mean"):
+            assert outcome.value == truth.value
+        elif spec.op == "top-k":
+            assert outcome.items == truth.items
+        elif truth.count == 0:
+            assert outcome.value is None
+        else:
+            distance = quantile_rank_distance(outcome.value, column, spec.q)
+            assert distance <= outcome.max_rank_error
+        return
+    assert outcome.count <= truth.count
+    if spec.op in ("count", "sum"):
+        assert outcome.value <= truth.value + 1e-9
+    elif spec.op == "mean" and outcome.count:
+        assert column[0] <= outcome.value <= column[-1]
+    elif spec.op == "quantile" and outcome.value is not None:
+        assert np.any(column == outcome.value)
+    elif spec.op == "top-k" and outcome.items:
+        stored = {(float(x), float(y)) for x, y in inside}
+        for value, x, y in outcome.items:
+            assert (x, y) in stored
+
+
+def run_single(kind, n_points=700, n_specs=15, seed=0):
+    points = dataset_by_name(("uniform", "skewed", "osm")[seed % 3], n_points, seed=seed)
+    suite = build_index_suite(
+        points,
+        [kind],
+        block_capacity=16,
+        partition_threshold=150,
+        training=FAST_EPOCHS,
+        seed=0,
+    )
+    engine = BatchQueryEngine(suite[kind])
+    specs = _specs(points, n_specs, seed=seed + 1)
+    result = engine.execute(QueryRequest.for_aggregates(specs))
+    for spec, outcome in zip(specs, result.values):
+        check_outcome(spec, outcome, points, exact=kind in EXACT_KINDS)
+    return result
+
+
+def run_sharded(kind, policy, cache_blocks, n_points=700, n_specs=12, seed=3):
+    points = dataset_by_name("skewed", n_points, seed=seed)
+    factory = shard_index_factory(
+        kind, block_capacity=16, partition_threshold=150, training=FAST_TRAINING
+    )
+    index = ShardedSpatialIndex(
+        factory, n_shards=4, policy=policy, cache_blocks=cache_blocks
+    ).build(points)
+    engine = ShardedBatchEngine(index)
+    specs = _specs(points, n_specs, seed=seed + 1)
+    result = engine.execute(QueryRequest.for_aggregates(specs))
+    for spec, outcome in zip(specs, result.values):
+        check_outcome(spec, outcome, points, exact=kind in EXACT_KINDS)
+    return specs, result
+
+
+class TestSingleIndex:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_all_kinds_vs_oracle(self, kind):
+        result = run_single(kind)
+        assert result.access.logical_reads > 0
+
+    @pytest.mark.parametrize("kind", ("KDB", "RSMIa"))
+    def test_cache_does_not_change_answers(self, kind):
+        points = dataset_by_name("uniform", 600, seed=5)
+        suite = build_index_suite(
+            points, [kind], block_capacity=16,
+            partition_threshold=150, training=FAST_EPOCHS,
+        )
+        specs = _specs(points, 10, seed=6)
+        uncached = BatchQueryEngine(suite[kind]).execute(
+            QueryRequest.for_aggregates(specs)
+        )
+        cached_suite = build_index_suite(
+            points, [kind], block_capacity=16,
+            partition_threshold=150, training=FAST_EPOCHS,
+        )
+        cached = BatchQueryEngine(cached_suite[kind], cache_blocks=12).execute(
+            QueryRequest.for_aggregates(specs)
+        )
+        assert cached.values == uncached.values
+        assert cached.access.logical_reads == uncached.access.logical_reads
+        assert cached.access.physical_reads <= cached.access.logical_reads
+
+
+class TestSharded:
+    @pytest.mark.parametrize("policy", ("grid", "balanced"))
+    @pytest.mark.parametrize("cache_blocks", (None, 16))
+    def test_kdb_policies_and_caches(self, policy, cache_blocks):
+        specs, result = run_sharded("KDB", policy, cache_blocks)
+        assert result.access.per_shard_logical_reads
+
+    @pytest.mark.parametrize("kind", ("Grid", "ZM"))
+    def test_more_kinds_on_grid_policy(self, kind):
+        run_sharded(kind, "grid", None)
+
+
+class TestParallelWorkers:
+    def test_worker_partials_match_sharded_engine(self):
+        points = dataset_by_name("skewed", 800, seed=9)
+        factory = shard_index_factory("KDB", block_capacity=16)
+        spec = ServingSpec.from_points(factory, points, n_shards=4, policy="grid")
+        reference = ShardedBatchEngine(spec.build_index())
+        specs = _specs(points, 10, seed=10)
+        want = reference.execute(QueryRequest.for_aggregates(specs))
+        with ParallelShardEngine(spec, n_workers=2) as engine:
+            got = engine.execute(QueryRequest.for_aggregates(specs))
+        # bit-identical merged answers, quantile sketch values included
+        assert got.values == want.values
+        assert got.access.logical_reads == want.access.logical_reads
+        for spec_, outcome in zip(specs, got.values):
+            check_outcome(spec_, outcome, points, exact=True)
+
+
+class TestScenarioStream:
+    """The analytics-mixed preset through the oracle-checked runner: the
+    aggregate checks interleave with inserts/deletes, so push-down answers
+    track a mutating point set."""
+
+    @pytest.mark.parametrize("kind", ("KDB", "RSMI"))
+    def test_analytics_mixed_stream(self, kind):
+        points = dataset_by_name("skewed", 500, seed=12)
+        suite = build_index_suite(
+            points, [kind], block_capacity=16,
+            partition_threshold=150, training=FAST_EPOCHS,
+        )
+        spec = scenario_by_name("analytics-mixed").with_overrides(
+            n_ops=160, seed=13, snapshot_every=80
+        )
+        oracle = OracleIndex().build(points)
+        result = ScenarioRunner(suite[kind], spec, oracle=oracle).run(points)
+        assert result.checked
+        assert result.op_counts.get("aggregate", 0) > 0
+
+
+@pytest.mark.slow
+class TestLargeBudget:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_kinds_large(self, kind, seed):
+        run_single(kind, n_points=2_000, n_specs=40, seed=seed)
+
+    @pytest.mark.parametrize("kind", ("Grid", "KDB", "RR*", "ZM", "RSMI"))
+    @pytest.mark.parametrize("policy", ("grid", "zorder", "balanced"))
+    def test_sharded_full_matrix(self, kind, policy):
+        run_sharded(kind, policy, 16, n_points=1_500, n_specs=25, seed=4)
+
+    @pytest.mark.parametrize("kind", ("KDB", "ZM"))
+    def test_analytics_mixed_large(self, kind):
+        points = dataset_by_name("osm", 1_500, seed=15)
+        suite = build_index_suite(
+            points, [kind], block_capacity=16,
+            partition_threshold=150, training=FAST_EPOCHS,
+        )
+        spec = scenario_by_name("analytics-mixed").with_overrides(n_ops=900, seed=16)
+        oracle = OracleIndex().build(points)
+        ScenarioRunner(suite[kind], spec, oracle=oracle).run(points)

@@ -98,3 +98,62 @@ class TestDeletionMeasurement:
         assert metrics.n_queries == 20
         for x, y in points[:20]:
             assert not adapters["Grid"].point_query(float(x), float(y))
+
+
+class TestAnalyticsSweep:
+    def test_rows_verified_and_reduction_positive(self, micro_profile):
+        from repro.experiments.analytics_sweeps import run_analytics_sweep
+
+        result = run_analytics_sweep(micro_profile, index_names=("Grid", "RSMI"))
+        assert result.column("verified") == ["yes"] * len(result.rows)
+        ops = {row[1] for row in result.rows}
+        assert ops == {"count", "sum", "mean", "quantile", "top-k"}
+        assert all(r > 0 for r in result.column("read_reduction"))
+        # exactness column follows the capability flag
+        assert set(result.rows_where("index", "Grid")[0][6:7]) == {"exact"}
+        assert set(result.rows_where("index", "RSMI")[0][6:7]) == {"sound"}
+
+    def test_aggregate_ops_extra_restricts_operators(self, micro_profile):
+        from repro.experiments.analytics_sweeps import run_analytics_sweep
+
+        profile = micro_profile.with_overrides(
+            extras={"aggregate_ops": ("count", "top-k")}
+        )
+        result = run_analytics_sweep(profile, index_names=("Grid",))
+        assert {row[1] for row in result.rows} == {"count", "top-k"}
+
+    def test_unknown_aggregate_op_raises(self, micro_profile):
+        from repro.experiments.analytics_sweeps import run_analytics_sweep
+
+        profile = micro_profile.with_overrides(extras={"aggregate_ops": ("median",)})
+        with pytest.raises(ValueError):
+            run_analytics_sweep(profile, index_names=("Grid",))
+
+    def test_sharded_path(self, micro_profile):
+        from repro.experiments.analytics_sweeps import run_analytics_sweep
+
+        profile = micro_profile.with_overrides(
+            extras={"shards": 2, "aggregate_ops": ("count", "quantile")}
+        )
+        result = run_analytics_sweep(profile, index_names=("Grid",))
+        assert len(result.rows) == 2
+        assert any("shards" in note for note in result.notes)
+
+
+class TestRebuildPolicy:
+    def test_policies_and_trajectory_shape(self, micro_profile):
+        from repro.experiments.analytics_sweeps import (
+            REBUILD_POLICY_NAMES,
+            run_rebuild_policy,
+        )
+
+        profile = micro_profile.with_overrides(extras={"scenario_ops": 250})
+        result = run_rebuild_policy(profile)
+        assert set(result.column("policy")) == set(REBUILD_POLICY_NAMES)
+        never = result.rows_where("policy", "never")
+        assert len(never) >= 2  # a trajectory, not one row
+        assert all(row[3] == 0 for row in never)  # never rebuilds
+        triggered = result.rows_where("policy", "periodic")[-1][3] + \
+            result.rows_where("policy", "chain-depth")[-1][3]
+        assert triggered >= 1  # at least one policy actually retrained
+        assert all(0.0 <= row[5] <= 1.0 for row in result.rows)

@@ -11,6 +11,8 @@ on vacuous runs (no migration, or no operation racing one).  Tier-1 runs a
 small budget per combination; ``--runslow`` scales the streams up.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -25,7 +27,8 @@ SCENARIOS = ("drifting", "bulk-churn")
 LEARNED_KINDS = ("RSMI", "ZM")
 
 
-def fuzz(kind, scenario, n_points=400, n_ops=200, seed=7, **config_overrides):
+def fuzz(kind, scenario, n_points=400, n_ops=200, seed=7, aggregates=False,
+         **config_overrides):
     points = dataset_by_name("skewed", n_points, seed=seed)
     factory = shard_index_factory(
         kind,
@@ -35,6 +38,13 @@ def fuzz(kind, scenario, n_points=400, n_ops=200, seed=7, **config_overrides):
     )
     index = ShardedSpatialIndex(factory, n_shards=2, policy="grid").build(points)
     spec = scenario_by_name(scenario).with_overrides(n_ops=n_ops, seed=seed)
+    if aggregates:
+        # fold a heavy aggregate weight into the scenario's own mix so every
+        # push-down operator races live shard splits/merges
+        spec = spec.with_overrides(
+            mix=dataclasses.replace(spec.mix, aggregate=0.35),
+            aggregate_window_area_fraction=0.01,
+        )
     return run_rebalance_fuzz(
         index,
         spec,
@@ -70,6 +80,23 @@ def test_topology_actually_changed_and_is_queryable():
     assert outcome.n_splits >= 1
 
 
+@pytest.mark.parametrize("kind", ("Grid", "KDB"))
+def test_aggregates_agree_with_oracle_mid_migration(kind):
+    """Push-down aggregate identity while shards split and merge: every
+    count/sum/mean/quantile/top-k answer is oracle-checked exactly while
+    migrations are in flight."""
+    outcome = fuzz(kind, "bulk-churn", aggregates=True)
+    assert outcome.result.op_counts.get("aggregate", 0) > 0
+    assert outcome.n_migrations >= 1
+    assert outcome.mid_migration_ticks >= 1
+
+
+def test_aggregates_stay_sound_mid_migration_learned():
+    outcome = fuzz("RSMI", "drifting", aggregates=True)
+    assert outcome.result.op_counts.get("aggregate", 0) > 0
+    assert outcome.n_migrations >= 1
+
+
 def test_rescued_writes_survive_the_swap():
     """bulk-churn is write-heavy: writes must land mid-split, be buffered by
     the rescue path and come out queryable (the oracle checked them)."""
@@ -90,4 +117,14 @@ def test_exact_kinds_large_budget(kind, scenario):
 @pytest.mark.parametrize("seed", range(5))
 def test_seed_sweep_drifting_grid(seed):
     outcome = fuzz("Grid", "drifting", n_points=800, n_ops=500, seed=seed)
+    assert outcome.n_migrations >= 1
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("kind", sorted(EXACT_RESULT_INDICES))
+def test_aggregates_mid_migration_large_budget(kind, scenario):
+    outcome = fuzz(kind, scenario, n_points=1_000, n_ops=700, seed=5,
+                   aggregates=True)
+    assert outcome.result.op_counts.get("aggregate", 0) > 0
     assert outcome.n_migrations >= 1

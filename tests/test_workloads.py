@@ -27,7 +27,7 @@ class TestOperationMix:
     def test_probabilities_normalised(self):
         mix = OperationMix(point=2.0, insert=1.0, delete=1.0)
         probabilities = mix.probabilities()
-        assert probabilities == pytest.approx((0.5, 0.0, 0.0, 0.25, 0.25))
+        assert probabilities == pytest.approx((0.5, 0.0, 0.0, 0.25, 0.25, 0.0))
         assert mix.write_fraction == pytest.approx(0.5)
 
     def test_negative_weight_rejected(self):

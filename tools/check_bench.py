@@ -67,6 +67,13 @@ CONFIG_KEYS = {
     "sojourn_gate_ok",
     "n_accepted",
     "n_dropped",
+    # analytics: the aggregate batch and the brute-force scan cost are fixed
+    # by (budget, block capacity); answer verification resolves to flags
+    "n_aggregates",
+    "brute_force_reads",
+    "quantile_within_bound",
+    "touched_shards",
+    "layout",
 }
 
 #: gated metrics that may not drop below baseline * (1 - tolerance)
@@ -89,6 +96,9 @@ HIGHER_IS_BETTER = {
     # logical read counts, latency_gate off — only code changes move these)
     "blocks_advantage": 0.10,
     "n_splits": 0.50,
+    # push-down aggregates: blocks touched vs a full scan per aggregate
+    # (deterministic routing; only code changes move it)
+    "agg_read_reduction": 0.15,
 }
 
 #: gated metrics that may not rise above baseline * (1 + tolerance)
@@ -100,6 +110,7 @@ LOWER_IS_BETTER = {
     "logical_reads_hilbert": 0.02,
     "hot_refaults_tinylfu": 0.50,
     "tail_blocks_per_op_on": 0.10,
+    "agg_logical_reads": 0.02,
 }
 
 

@@ -1,0 +1,67 @@
+"""Deprecation-shim lint: no in-repo caller may use the legacy entry points.
+
+The per-kind engine entry points (``point_queries`` / ``window_queries`` /
+``knn_queries``) survive as deprecated shims over ``execute(QueryRequest)``
+for external callers.  The repo itself must not depend on them: this lint
+greps the library, benchmark and example trees for call sites and fails on
+any hit, so the shims can eventually be deleted without an internal
+migration.  The ``tests/`` tree is exempt — the legacy tests *are* the
+shim-compatibility suite and exercise the deprecated surface on purpose.
+
+Usage::
+
+    python tools/check_deprecated.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: trees the lint walks (tests/ deliberately absent)
+LINTED_TREES = ("src/repro", "benchmarks", "examples")
+
+#: call sites of the deprecated per-kind entry points
+DEPRECATED_CALL = re.compile(r"\.(point|window|knn)_queries\(")
+
+#: the shim definitions themselves (allowed, obviously)
+DEFINITION = re.compile(r"def (point|window|knn)_queries\(")
+
+
+def find_violations(root: Path) -> list[tuple[Path, int, str]]:
+    violations = []
+    for tree in LINTED_TREES:
+        for path in sorted((root / tree).rglob("*.py")):
+            for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if DEFINITION.search(line):
+                    continue
+                if DEPRECATED_CALL.search(line):
+                    violations.append((path.relative_to(root), lineno, line.strip()))
+    return violations
+
+
+def main() -> int:
+    violations = find_violations(REPO_ROOT)
+    if violations:
+        print(
+            "deprecated per-kind entry points called outside tests/ "
+            "(use engine.execute(QueryRequest.for_...) instead):",
+            file=sys.stderr,
+        )
+        for path, lineno, line in violations:
+            print(f"  {path}:{lineno}: {line}", file=sys.stderr)
+        return 1
+    print(
+        f"deprecation lint passed: no legacy engine entry-point calls under "
+        f"{', '.join(LINTED_TREES)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
